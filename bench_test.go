@@ -1,0 +1,42 @@
+package autosec_test
+
+import (
+	"testing"
+
+	"autosec/internal/experiments"
+)
+
+// One benchmark per experiment table: `go test -bench .` regenerates the
+// full evaluation of DESIGN.md/EXPERIMENTS.md. Each iteration rebuilds
+// the experiment from scratch, so ns/op is the cost of reproducing that
+// table. The table itself is printed once per benchmark via b.Log (shown
+// with -v).
+
+func benchTable(b *testing.B, run func(seed uint64) *experiments.Table) {
+	b.Helper()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		last = run(1)
+	}
+	if last != nil {
+		b.Log("\n" + last.String())
+	}
+}
+
+func BenchmarkE1BusDoS(b *testing.B)         { benchTable(b, experiments.E1BusDoS) }
+func BenchmarkE2CPA(b *testing.B)            { benchTable(b, experiments.E2SideChannel) }
+func BenchmarkE3Fleet(b *testing.B)          { benchTable(b, experiments.E3FleetCompromise) }
+func BenchmarkE4Pseudonym(b *testing.B)      { benchTable(b, experiments.E4Pseudonym) }
+func BenchmarkE5Tradeoff(b *testing.B)       { benchTable(b, experiments.E5Tradeoff) }
+func BenchmarkE6Verif(b *testing.B)          { benchTable(b, experiments.E6Verification) }
+func BenchmarkE7AuthCAN(b *testing.B)        { benchTable(b, experiments.E7AuthenticatedCAN) }
+func BenchmarkE8Gateway(b *testing.B)        { benchTable(b, experiments.E8Gateway) }
+func BenchmarkE9Relay(b *testing.B)          { benchTable(b, experiments.E9Relay) }
+func BenchmarkE10OTA(b *testing.B)           { benchTable(b, experiments.E10OTA) }
+func BenchmarkE11IDS(b *testing.B)           { benchTable(b, experiments.E11IDS) }
+func BenchmarkE12Lifetime(b *testing.B)      { benchTable(b, experiments.E12Lifetime) }
+func BenchmarkE13Diagnostics(b *testing.B)   { benchTable(b, experiments.E13DiagnosticAccess) }
+func BenchmarkE14BusOff(b *testing.B)        { benchTable(b, experiments.E14BusOff) }
+func BenchmarkE15VerifyScaling(b *testing.B) { benchTable(b, experiments.E15VerifyScaling) }
+func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
+func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }

@@ -1,0 +1,312 @@
+// Command autosim runs named end-to-end scenarios on the full vehicle
+// model and prints an event narrative plus final statistics.
+//
+// Usage:
+//
+//	autosim list
+//	autosim run [-seed N] <scenario>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"autosec/internal/can"
+	"autosec/internal/core"
+	"autosec/internal/gateway"
+	"autosec/internal/ids"
+	"autosec/internal/keyless"
+	"autosec/internal/policy"
+	"autosec/internal/she"
+	"autosec/internal/sim"
+	"autosec/internal/uds"
+	"autosec/internal/workload"
+)
+
+type scenario struct {
+	desc string
+	run  func(seed uint64)
+}
+
+var scenarios = map[string]scenario{
+	"baseline-drive": {
+		desc: "clean 10s drive: traffic on all domains, IDS quiet, gateway deny-by-default",
+		run:  runBaseline,
+	},
+	"headunit-compromise": {
+		desc: "compromised infotainment ECU attacks the powertrain; IDS + quarantine reflex contain it",
+		run:  runHeadunitCompromise,
+	},
+	"policy-upgrade": {
+		desc: "in-field signed policy update: enable 32-bit CAN MACs, add a gateway rule and a detector",
+		run:  runPolicyUpgrade,
+	},
+	"relay-theft": {
+		desc: "PKES relay theft attempt against a car with and without distance bounding",
+		run:  runRelayTheft,
+	},
+	"bus-off-attack": {
+		desc: "targeted bit-error attack drives one victim ECU to bus-off while bystanders keep running",
+		run:  runBusOffAttack,
+	},
+	"diagnostic-attack": {
+		desc: "UDS SecurityAccess sniffing attack against the weak XOR scheme, then against SHE-CMAC",
+		run:  runDiagnosticAttack,
+	},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		names := make([]string, 0, len(scenarios))
+		for n := range scenarios {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-22s %s\n", n, scenarios[n].desc)
+		}
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		seed := fs.Uint64("seed", 1, "scenario seed")
+		_ = fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			usage()
+		}
+		sc, ok := scenarios[fs.Arg(0)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "autosim: unknown scenario %q (try 'autosim list')\n", fs.Arg(0))
+			os.Exit(2)
+		}
+		sc.run(*seed)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: autosim list | autosim run [-seed N] <scenario>")
+	os.Exit(2)
+}
+
+func mustVehicle(seed uint64, policyKey []byte) *core.Vehicle {
+	v, err := core.NewVehicle(core.Config{VIN: "AUTOSIM-0001", Seed: seed, PolicyKey: policyKey})
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func runBaseline(seed uint64) {
+	v := mustVehicle(seed, nil)
+	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01))
+	v.StartTraffic()
+	_ = v.Kernel.RunUntil(10 * sim.Second)
+	v.StopTraffic()
+
+	fmt.Println("baseline drive complete (10s virtual)")
+	for name, bus := range v.Buses {
+		fmt.Printf("  %-13s load=%5.1f%% frames=%d\n", name, 100*bus.Load(), bus.FramesOK.Value)
+	}
+	fmt.Printf("  gateway: forwarded=%d blocked=%d\n", v.Gateway.Forwarded.Value, v.Gateway.Blocked.Value)
+	fmt.Printf("  IDS: %s\n", v.IDS.Summary())
+}
+
+func runHeadunitCompromise(seed uint64) {
+	v := mustVehicle(seed, nil)
+	v.Gateway.DefaultAction = gateway.Allow // the weak pre-hardening baseline
+	// In permissive mode the gateway forwards body-domain traffic into the
+	// powertrain, so the clean baseline the IDS learns must include it.
+	combined := append(workload.PowertrainMatrix(), workload.BodyMatrix()...)
+	v.TrainIDS(workload.SyntheticTrace(combined, 10*sim.Second, seed, 0.01))
+	v.ArmAutoQuarantine(core.DomainInfotainment)
+	v.StartTraffic()
+
+	fmt.Println("t=0s      drive starts; gateway in permissive (legacy) mode")
+	attacker := can.NewController("compromised-headunit")
+	v.Buses[core.DomainInfotainment].Attach(attacker)
+	var quarantinedAt sim.Time = -1
+	v.IDS.OnAlert(func(a ids.Alert) {
+		if quarantinedAt < 0 {
+			quarantinedAt = a.At
+		}
+	})
+	v.Kernel.At(2*sim.Second, func() {
+		fmt.Println("t=2s      head unit compromised: injecting torque frames at 1 kHz into the powertrain")
+	})
+	var stopAtk func()
+	v.Kernel.At(2*sim.Second, func() {
+		stopAtk = can.PeriodicSender(v.Kernel, attacker, can.Frame{ID: 0x0C0, Data: make([]byte, 8)}, sim.Millisecond, 0)
+	})
+	_ = v.Kernel.RunUntil(10 * sim.Second)
+	if stopAtk != nil {
+		stopAtk()
+	}
+	v.StopTraffic()
+
+	if quarantinedAt >= 0 {
+		fmt.Printf("t=%-7v IDS alert -> gateway quarantined %s\n", quarantinedAt, core.DomainInfotainment)
+	}
+	fmt.Printf("final: IDS %s; gateway quarantine=%v; frames dropped in quarantine=%d\n",
+		v.IDS.Summary(), v.Gateway.Quarantined(core.DomainInfotainment), v.Gateway.QuarDrops.Value)
+}
+
+func runPolicyUpgrade(seed uint64) {
+	auth, err := policy.NewAuthority()
+	if err != nil {
+		fatal(err)
+	}
+	v := mustVehicle(seed, auth.PublicKey())
+	fmt.Printf("vehicle built; MACBits=%d, gateway rules=%d, detectors=%v\n",
+		v.MACBits, len(v.Gateway.Rules()), v.IDS.Detectors())
+
+	p := &policy.Policy{
+		Name:    "hardening-2026-07",
+		Version: 1,
+		Directives: []policy.Directive{
+			{Kind: "crypto.mac-bits", Params: map[string]string{"bits": "32"}},
+			{Kind: "gateway.rule", Params: map[string]string{
+				"name": "nav-to-pt", "from": core.DomainInfotainment,
+				"idlo": "0x150", "idhi": "0x15F", "action": "allow", "to": core.DomainPowertrain, "rate": "50"}},
+			{Kind: "ids.detector", Params: map[string]string{"name": "entropy"}},
+		},
+	}
+	auth.Sign(p)
+	if err := v.Policy.Install(p); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("installed signed policy %s@v%d in-field\n", p.Name, p.Version)
+	fmt.Printf("now: MACBits=%d, gateway rules=%d, detectors=%v\n",
+		v.MACBits, len(v.Gateway.Rules()), v.IDS.Detectors())
+	fmt.Printf("architecture upgrade log: %v\n", v.Arch.UpgradeLog)
+
+	// A replayed (stale) policy is refused.
+	if err := v.Policy.Install(p); err != nil {
+		fmt.Printf("replay of the same policy correctly refused: %v\n", err)
+	}
+}
+
+func runRelayTheft(seed uint64) {
+	_ = seed
+	var key [16]byte
+	copy(key[:], "autosim-pkes-key")
+	fob := keyless.NewFob(key)
+	fob.Pos = keyless.Position{X: 60} // fob on the hallway table
+	relay := &keyless.Relay{
+		PosA:    keyless.Position{X: 1},
+		PosB:    keyless.Position{X: 59.5},
+		Latency: 10 * sim.Microsecond,
+	}
+
+	plain := keyless.NewCar(key)
+	rtt, err := plain.TryRelayUnlock(relay, fob)
+	fmt.Printf("legacy PKES: relay attack rtt=%v -> unlocked=%v\n", rtt, err == nil)
+
+	hardened := keyless.NewCar(key)
+	hardened.DistanceBounding = true
+	hardened.RTTBudget = 2*sim.Millisecond + 200*sim.Nanosecond
+	rtt, err = hardened.TryRelayUnlock(relay, fob)
+	fmt.Printf("distance-bounded PKES: relay attack rtt=%v -> unlocked=%v (%v)\n", rtt, err == nil, err)
+
+	fob.Pos = keyless.Position{X: 1}
+	rtt, err = hardened.TryUnlock(fob)
+	fmt.Printf("owner at the door: rtt=%v -> unlocked=%v\n", rtt, err == nil)
+}
+
+func runBusOffAttack(seed uint64) {
+	v := mustVehicle(seed, nil)
+	bus := v.Buses[core.DomainPowertrain]
+	victim := can.NewController("brake-ecu")
+	bystander := can.NewController("engine-ecu")
+	bus.Attach(victim)
+	bus.Attach(bystander)
+
+	fmt.Println("t=0s      powertrain running: brake-ecu (0x100) and engine-ecu (0x0C0) both periodic")
+	stopV := can.PeriodicSender(v.Kernel, victim, can.Frame{ID: 0x100, Data: []byte{1}}, 10*sim.Millisecond, 0)
+	stopB := can.PeriodicSender(v.Kernel, bystander, can.Frame{ID: 0x0C0, Data: []byte{2}}, 10*sim.Millisecond, 0)
+
+	v.Kernel.At(sim.Second, func() {
+		fmt.Println("t=1s      attacker begins forcing bit errors on every brake-ecu transmission")
+		bus.TargetedError = func(_ *can.Frame, sender *can.Controller) bool {
+			return sender.Name == "brake-ecu"
+		}
+	})
+	var busOffAt sim.Time = -1
+	v.Kernel.Every(0, 10*sim.Millisecond, func() {
+		if busOffAt < 0 && victim.State() == can.BusOff {
+			busOffAt = v.Kernel.Now()
+		}
+	})
+	_ = v.Kernel.RunUntil(3 * sim.Second)
+	stopV()
+	stopB()
+
+	if busOffAt >= 0 {
+		fmt.Printf("t=%-7v brake-ecu entered bus-off (TEC > 255) and disconnected itself\n", busOffAt)
+	}
+	tec, _ := victim.Counters()
+	fmt.Printf("final: victim state=%v TEC=%d dropped=%d; bystander state=%v sent=%d\n",
+		victim.State(), tec, victim.FramesDropped.Value,
+		bystander.State(), bystander.FramesSent.Value)
+	fmt.Println("(the error-handling that gives CAN its safety is itself the DoS lever)")
+}
+
+func runDiagnosticAttack(seed uint64) {
+	weak := uds.WeakXOR{Constant: 0x5EC0DE42}
+	v := mustVehicle(seed, nil)
+	d := v.AttachDiagnostics(core.DomainInfotainment, weak)
+
+	var seedBytes, keyBytes []byte
+	v.Buses[core.DomainInfotainment].Sniff(func(_ sim.Time, f *can.Frame, _ *can.Controller, _ bool) {
+		if len(f.Data) >= 7 && f.Data[1] == 0x67 && f.Data[2] == 0x01 {
+			seedBytes = append([]byte(nil), f.Data[3:7]...)
+		}
+		if len(f.Data) >= 7 && f.Data[1] == 0x27 && f.Data[2] == 0x02 {
+			keyBytes = append([]byte(nil), f.Data[3:7]...)
+		}
+	})
+	if _, err := v.RunDiag(d.Tester, []byte{uds.SvcSessionControl, uds.SessionExtended}); err != nil {
+		fatal(err)
+	}
+	if err := v.RunUnlock(d.Tester, 1, weak); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workshop unlock observed: seed=%x key=%x\n", seedBytes, keyBytes)
+	var c uint32
+	for i := 0; i < 4; i++ {
+		c = c<<8 | uint32(seedBytes[i]^keyBytes[i])
+	}
+	derived := uds.WeakXOR{Constant: c - 1}
+	fmt.Printf("attacker derives constant %#08x offline\n", derived.Constant)
+
+	victim := mustVehicle(seed+1, nil)
+	_ = victim.AttachDiagnostics(core.DomainInfotainment, weak)
+	intruder := victim.NewIntruderTester(core.DomainInfotainment)
+	_, _ = victim.RunDiag(intruder, []byte{uds.SvcSessionControl, uds.SessionExtended})
+	if err := victim.RunUnlock(intruder, 1, derived); err == nil {
+		fmt.Println("second vehicle of the model line: UNLOCKED with the derived constant")
+	} else {
+		fmt.Printf("second vehicle resisted: %v\n", err)
+	}
+
+	hardened := mustVehicle(seed+2, nil)
+	var k16 [16]byte
+	copy(k16[:], "per-vehicle-key!")
+	_ = hardened.SHE.ProvisionKey(she.Key4, k16, she.Flags{KeyUsage: true})
+	_ = hardened.AttachDiagnostics(core.DomainInfotainment, uds.SHECMAC{Engine: hardened.SHE, Slot: she.Key4})
+	intruder2 := hardened.NewIntruderTester(core.DomainInfotainment)
+	_, _ = hardened.RunDiag(intruder2, []byte{uds.SvcSessionControl, uds.SessionExtended})
+	if err := hardened.RunUnlock(intruder2, 1, derived); err != nil {
+		fmt.Printf("SHE-CMAC vehicle resisted the same chain: %v\n", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "autosim: %v\n", err)
+	os.Exit(1)
+}

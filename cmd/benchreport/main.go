@@ -1,0 +1,69 @@
+// Command benchreport regenerates the full experiment suite E1–E12 from
+// DESIGN.md and prints each result table, paper claim included.
+//
+// Usage:
+//
+//	benchreport [-seed N] [-only E3,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autosec/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "scenario seed (same seed, same tables)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func(uint64) *experiments.Table
+	}{
+		{"E1", experiments.E1BusDoS},
+		{"E2", experiments.E2SideChannel},
+		{"E3", experiments.E3FleetCompromise},
+		{"E4", experiments.E4Pseudonym},
+		{"E5", experiments.E5Tradeoff},
+		{"E6", experiments.E6Verification},
+		{"E7", experiments.E7AuthenticatedCAN},
+		{"E8", experiments.E8Gateway},
+		{"E9", experiments.E9Relay},
+		{"E10", experiments.E10OTA},
+		{"E11", experiments.E11IDS},
+		{"E12", experiments.E12Lifetime},
+		{"E13", experiments.E13DiagnosticAccess},
+		{"E14", experiments.E14BusOff},
+		{"E15", experiments.E15VerifyScaling},
+		{"A1", experiments.A1MACTruncation},
+		{"A2", experiments.A2BoundingThreshold},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		table := r.run(*seed)
+		fmt.Println(table.String())
+		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no experiments matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+// Diagnostic attack: the entry vector behind the paper's remote
+// exploitation references [15, 16], played out on the composed vehicle.
+// A workshop tester unlocks an ECU with the legacy XOR seed/key scheme
+// while an attacker sniffs the diagnostic bus; the attacker derives the
+// algorithm constant offline and unlocks a *different* vehicle of the
+// same model line, rewriting its calibration data. The same chain is then
+// attempted against a vehicle whose SecurityAccess runs SHE-backed CMAC
+// — and dies at the seed/key step.
+//
+//	go run ./examples/diagnostic-attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autosec/internal/can"
+	"autosec/internal/core"
+	"autosec/internal/she"
+	"autosec/internal/sim"
+	"autosec/internal/uds"
+)
+
+func main() {
+	weak := uds.WeakXOR{Constant: 0x5EC0DE42}
+
+	fmt.Println("== phase 1: the workshop, with an attacker on the bus ==")
+	shopCar, err := core.NewVehicle(core.Config{VIN: "WAUTOSEC-SHOP", Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	diag := shopCar.AttachDiagnostics(core.DomainInfotainment, weak)
+
+	var seed, key []byte
+	shopCar.Buses[core.DomainInfotainment].Sniff(func(_ sim.Time, f *can.Frame, _ *can.Controller, _ bool) {
+		if len(f.Data) >= 7 && f.Data[1] == 0x67 && f.Data[2] == 0x01 {
+			seed = append([]byte(nil), f.Data[3:7]...)
+		}
+		if len(f.Data) >= 7 && f.Data[1] == 0x27 && f.Data[2] == 0x02 {
+			key = append([]byte(nil), f.Data[3:7]...)
+		}
+	})
+
+	if _, err := shopCar.RunDiag(diag.Tester, []byte{uds.SvcSessionControl, uds.SessionExtended}); err != nil {
+		log.Fatal(err)
+	}
+	if err := shopCar.RunUnlock(diag.Tester, 1, weak); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workshop tester unlocked level 1 (algorithm: %s)\n", weak.Name())
+	fmt.Printf("attacker sniffed: seed=%x key=%x\n", seed, key)
+
+	// Offline derivation.
+	var c uint32
+	for i := 0; i < 4; i++ {
+		c = c<<8 | uint32(seed[i]^key[i])
+	}
+	recovered := uds.WeakXOR{Constant: c - 1} // subtract the level offset
+	fmt.Printf("derived constant: %#08x (actual %#08x)\n\n", recovered.Constant, weak.Constant)
+
+	fmt.Println("== phase 2: a parked vehicle of the same model line ==")
+	victim, err := core.NewVehicle(core.Config{VIN: "WAUTOSEC-VICTIM", Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vDiag := victim.AttachDiagnostics(core.DomainInfotainment, weak)
+	intruder := victim.NewIntruderTester(core.DomainInfotainment)
+	if _, err := victim.RunDiag(intruder, []byte{uds.SvcSessionControl, uds.SessionExtended}); err != nil {
+		log.Fatal(err)
+	}
+	if err := victim.RunUnlock(intruder, 1, recovered); err != nil {
+		log.Fatalf("unlock with derived constant failed: %v", err)
+	}
+	fmt.Println("intruder unlocked the victim with the derived constant")
+	// Rewrite the calibration DID.
+	resp, err := victim.RunDiag(intruder, []byte{uds.SvcWriteDataByID, 0xC1, 0x00, 0xDE, 0xAD})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := uds.ParseResponse(uds.SvcWriteDataByID, resp); err != nil {
+		log.Fatalf("calibration write: %v", err)
+	}
+	fmt.Printf("calibration rewritten to % X — vehicle integrity gone\n\n", vDiag.Server.Data(uds.DIDCalibration))
+
+	fmt.Println("== phase 3: the same chain against SHE-backed SecurityAccess ==")
+	hardened, err := core.NewVehicle(core.Config{VIN: "WAUTOSEC-HARD", Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var k16 [16]byte
+	copy(k16[:], "per-vehicle-diag")
+	if err := hardened.SHE.ProvisionKey(she.Key4, k16, she.Flags{KeyUsage: true}); err != nil {
+		log.Fatal(err)
+	}
+	alg := uds.SHECMAC{Engine: hardened.SHE, Slot: she.Key4}
+	_ = hardened.AttachDiagnostics(core.DomainInfotainment, alg)
+	intruder2 := hardened.NewIntruderTester(core.DomainInfotainment)
+	if _, err := hardened.RunDiag(intruder2, []byte{uds.SvcSessionControl, uds.SessionExtended}); err != nil {
+		log.Fatal(err)
+	}
+	// The attacker has no CMAC key; any derived-constant guess is wrong.
+	err = hardened.RunUnlock(intruder2, 1, recovered)
+	fmt.Printf("intruder vs SHE-CMAC: %v\n", err)
+	fmt.Println("\n(lesson per the paper's Secure Processing layer: diagnostic")
+	fmt.Println(" authentication must anchor in per-vehicle hardware keys, not in a")
+	fmt.Println(" model-wide algorithm secret)")
+}

@@ -1,0 +1,118 @@
+// Service backbone: the next-generation architecture the paper's Secure
+// Networks layer anticipates — SOME/IP services on automotive Ethernet
+// with VLAN separation — and the layered defenses it needs. A brake
+// telemetry service publishes events; the dashboard subscribes; then an
+// attacker who owns a node on the backbone tries, in order: subscribing
+// without authorization (stopped by the ACL), spoofing notifications
+// (lands against a naive consumer, stopped by SecOC end-to-end
+// protection), and reaching the service from the infotainment VLAN
+// (stopped by the switch).
+//
+//	go run ./examples/service-backbone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autosec/internal/ethernet"
+	"autosec/internal/secoc"
+	"autosec/internal/sim"
+	"autosec/internal/someip"
+)
+
+const (
+	svcBrake = 0x1001
+	egStatus = 0x8001
+	vlanCtrl = 10
+	vlanIVI  = 20
+)
+
+func main() {
+	k := sim.NewKernel(11)
+	sw := ethernet.NewSwitch(k, "backbone", 5*sim.Microsecond)
+
+	brakeHost := ethernet.NewHost("brake-controller", ethernet.LocalMAC(1))
+	dashHost := ethernet.NewHost("dashboard", ethernet.LocalMAC(2))
+	sw.Connect(brakeHost, vlanCtrl)
+	sw.Connect(dashHost, vlanCtrl)
+
+	server := someip.NewServer(k, brakeHost, svcBrake)
+	server.SubscriberACL = func(src ethernet.MAC, _ uint16) bool {
+		return src == ethernet.LocalMAC(2) // only the dashboard
+	}
+	stopOffer := server.StartOffering(200 * sim.Millisecond)
+	defer stopOffer()
+
+	// SecOC end-to-end channel for event payloads.
+	var key [16]byte
+	copy(key[:], "brake-e2e-key-01")
+	cfg := secoc.Config{DataID: svcBrake, FreshnessBits: 16, MACBits: 32}
+	sender, err := secoc.NewSender(cfg, secoc.KeyMAC(key))
+	if err != nil {
+		log.Fatal(err)
+	}
+	receiver, err := secoc.NewReceiver(cfg, secoc.KeyMAC(key))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dash := someip.NewClient(dashHost, 0x0100)
+	var naive, secure, forgedSeen int
+	dash.OnNotification(svcBrake, egStatus, func(p []byte) {
+		naive++
+		if plain, err := receiver.Verify(p); err == nil {
+			secure++
+			_ = plain
+		} else {
+			forgedSeen++
+		}
+	})
+	_ = dash.Find(svcBrake)
+	_ = k.RunUntil(k.Now() + 10*sim.Millisecond)
+	_ = dash.Subscribe(svcBrake, egStatus)
+	_ = k.RunUntil(k.Now() + 10*sim.Millisecond)
+	fmt.Printf("dashboard subscribed to brake status (subscribers=%d)\n\n", server.Subscribers(egStatus))
+
+	// Legit telemetry at 10 Hz for one second.
+	stopTelemetry := k.Every(k.Now(), 100*sim.Millisecond, func() {
+		pdu, _ := sender.Protect([]byte{0x01, byte(k.Now() / (100 * sim.Millisecond))})
+		server.Notify(egStatus, pdu)
+	})
+	_ = k.RunUntil(sim.Second)
+	stopTelemetry()
+	fmt.Printf("after 1s of telemetry: received=%d, SecOC-verified=%d\n\n", naive, secure)
+
+	// Attack 1: rogue node on the control VLAN tries to subscribe.
+	rogueHost := ethernet.NewHost("rogue-node", ethernet.LocalMAC(66))
+	sw.Connect(rogueHost, vlanCtrl)
+	rogue := someip.NewClient(rogueHost, 0x0666)
+	_ = rogue.Find(svcBrake)
+	_ = k.RunUntil(k.Now() + 10*sim.Millisecond)
+	var rogueAck, rogueTried bool
+	rogue.OnSubscriptionResult(func(_, _ uint16, ok bool) { rogueAck, rogueTried = ok, true })
+	_ = rogue.Subscribe(svcBrake, egStatus)
+	_ = k.RunUntil(k.Now() + 10*sim.Millisecond)
+	fmt.Printf("attack 1 — unauthorized subscription: tried=%v accepted=%v (ACL)\n", rogueTried, rogueAck)
+
+	// Attack 2: the rogue spoofs a brake event straight at the dashboard.
+	spoofPayload := []byte{0xFF, 0xEE, 0, 0, 0, 0, 0}
+	spoof := &someip.Message{ServiceID: svcBrake, MethodID: egStatus,
+		Type: someip.TypeNotification, Payload: spoofPayload}
+	_ = rogueHost.Send(ethernet.Frame{Dst: ethernet.LocalMAC(2), EtherType: someip.EtherTypeSOMEIP, Payload: spoof.Encode()})
+	_ = k.RunUntil(k.Now() + 10*sim.Millisecond)
+	fmt.Printf("attack 2 — spoofed notification: naive consumer saw it (total=%d), SecOC rejected it (forged=%d)\n",
+		naive, forgedSeen)
+
+	// Attack 3: the same spoof from the infotainment VLAN goes nowhere.
+	iviHost := ethernet.NewHost("pwned-ivi", ethernet.LocalMAC(77))
+	sw.Connect(iviHost, vlanIVI)
+	before := naive
+	_ = iviHost.Send(ethernet.Frame{Dst: ethernet.LocalMAC(2), EtherType: someip.EtherTypeSOMEIP, Payload: spoof.Encode()})
+	_ = k.RunUntil(k.Now() + 10*sim.Millisecond)
+	fmt.Printf("attack 3 — spoof from the IVI VLAN: frames delivered=%d (switch separation)\n\n", naive-before)
+
+	fmt.Println("defense in depth on the backbone: VLANs bound reachability, the ACL")
+	fmt.Println("bounds membership, and SecOC makes the data itself unforgeable —")
+	fmt.Println("each layer catching what the previous one cannot.")
+}

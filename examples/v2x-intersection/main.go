@@ -1,0 +1,113 @@
+// V2X intersection: the paper's §4.2 security and privacy scenario pair,
+// live. Four vehicles and an RSU exchange signed basic safety messages at
+// an intersection; a rogue node without valid credentials tries to inject
+// a fake emergency-brake warning (the security scenario), and a passive
+// tracker with roadside antennas tries to follow one vehicle through its
+// pseudonym rotations (the privacy scenario).
+//
+//	go run ./examples/v2x-intersection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autosec/internal/ieee1609"
+	"autosec/internal/sim"
+	"autosec/internal/v2x"
+)
+
+func main() {
+	k := sim.NewKernel(7)
+
+	// PKI: one root, pseudonym pools per vehicle, a fixed RSU credential.
+	psids := []ieee1609.PSID{ieee1609.PSIDBasicSafety, ieee1609.PSIDInfrastructry}
+	root, err := ieee1609.NewRootAuthority("regional-scms", psids, 0, 1000*sim.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := v2x.NewField(k,
+		v2x.Radio{RangeM: 300, LossProb: 0.05, PropDelayPerM: 4},
+		v2x.DefaultVerifyModel())
+
+	mkVehicle := func(name string, pos v2x.Position, vx, vy float64, rotation sim.Duration) *v2x.Entity {
+		pool, err := ieee1609.NewPseudonymPool(root, 20,
+			[]ieee1609.PSID{ieee1609.PSIDBasicSafety}, 0, 1000*sim.Hour, rotation)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := field.AddVehicle(name, pos, pool, ieee1609.NewStore(root.Cert))
+		e.SetVelocity(vx, vy)
+		return e
+	}
+
+	veh := []*v2x.Entity{
+		mkVehicle("northbound", v2x.Position{X: 0, Y: -400}, 0, 15, 5*sim.Second),
+		mkVehicle("southbound", v2x.Position{X: 10, Y: 400}, 0, -15, 5*sim.Second),
+		mkVehicle("eastbound", v2x.Position{X: -400, Y: 5}, 15, 0, 5*sim.Second),
+		mkVehicle("westbound", v2x.Position{X: 400, Y: -5}, -15, 0, 5*sim.Second),
+	}
+	rsuCred, err := root.Issue("rsu-intersection-12", []ieee1609.PSID{ieee1609.PSIDInfrastructry}, 0, 1000*sim.Hour, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsu := field.AddRSU("rsu-12", v2x.Position{}, rsuCred, ieee1609.NewStore(root.Cert))
+
+	// The security scenario: a rogue node with self-made credentials.
+	rogueRoot, err := ieee1609.NewRootAuthority("rogue", psids, 0, 1000*sim.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	roguePool, err := ieee1609.NewPseudonymPool(rogueRoot, 1,
+		[]ieee1609.PSID{ieee1609.PSIDBasicSafety}, 0, 1000*sim.Hour, sim.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rogue := field.AddVehicle("rogue", v2x.Position{X: 50, Y: 50}, roguePool, ieee1609.NewStore(rogueRoot.Cert))
+
+	// The privacy scenario: a tracker with two antennas near the junction.
+	tracker := &v2x.Tracker{
+		Antennas:   []v2x.Position{{X: -100, Y: 0}, {X: 100, Y: 0}},
+		RangeM:     300,
+		LinkWindow: sim.Second,
+		LinkRadius: 50,
+	}
+	tracker.Attach(field)
+
+	// Everyone beacons at 10 Hz.
+	for _, e := range veh {
+		e.StartBeacon(100 * sim.Millisecond)
+	}
+	rsu.StartBeacon(200 * sim.Millisecond)
+	rogue.StartBeacon(100 * sim.Millisecond)
+
+	if err := k.RunUntil(30 * sim.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- security scenario: can the rogue be trusted? ---")
+	var legitimateAccepted, rogueInjected int64
+	for _, e := range veh {
+		legitimateAccepted += e.VerifiedOK.Value
+		rogueInjected += e.VerifyFailed.Value
+	}
+	fmt.Printf("verified BSMs across the four vehicles: %d\n", legitimateAccepted)
+	fmt.Printf("rejected messages (rogue's untrusted chain): %d\n", rogueInjected)
+	fmt.Printf("rogue broadcasts sent: %d — none achieved trust\n", rogue.Sent.Value)
+
+	fmt.Println("\n--- privacy scenario: can the tracker follow northbound? ---")
+	fmt.Printf("tracker observations: %d\n", tracker.Observations())
+	tracks := tracker.Reconstruct()
+	longest := v2x.Track{}
+	for _, t := range tracks {
+		if t.Duration() > longest.Duration() {
+			longest = t
+		}
+	}
+	fmt.Printf("reconstructed tracks: %d; longest spans %v across %d pseudonyms\n",
+		len(tracks), longest.Duration(), len(longest.Pseudonyms))
+	fmt.Printf("tracking success over the 30s window: %.0f%%\n",
+		100*tracker.TrackingSuccess(30*sim.Second))
+	fmt.Println("(the paper's conundrum: the same certificates that defeat the rogue\n" +
+		" give the tracker a handle; see experiment E4 for the full sweep)")
+}

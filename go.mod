@@ -1,0 +1,3 @@
+module autosec
+
+go 1.22

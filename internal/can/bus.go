@@ -1,0 +1,408 @@
+package can
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autosec/internal/sim"
+)
+
+// Bus is a simulated CAN bus. Controllers attach to it; at every bus-idle
+// instant the pending frame with the lowest arbitration value wins and is
+// transmitted to every other attached controller after the bit-accurate
+// frame time. A Gaussian-free, Bernoulli-per-frame bit error model can be
+// enabled to drive the error-counter state machine.
+type Bus struct {
+	Name string
+
+	kernel      *sim.Kernel
+	bitrate     int64 // nominal bits per second
+	dataBitrate int64 // FD data-phase bits per second (BRS frames)
+
+	controllers []*Controller
+	busy        bool
+	busyUntil   sim.Time
+	kickPending bool
+
+	// BitErrorRate is the probability that any single transmitted bit is
+	// corrupted. Applied per frame as 1-(1-BER)^bits.
+	BitErrorRate float64
+	// TargetedError, when non-nil, lets an adversary destroy selected
+	// frames by forcing bit errors during their transmission — the
+	// primitive behind the Cho & Shin bus-off attack, where a malicious
+	// node transmits dominant bits over a victim's recessive ones. Return
+	// true to corrupt the frame. The transmitter's TEC rises by 8 per hit,
+	// so sustained targeting drives the victim to bus-off.
+	TargetedError func(f *Frame, sender *Controller) bool
+	errStream     *sim.Stream
+
+	// Stats.
+	FramesOK      sim.Counter
+	FramesErrored sim.Counter
+	BitsOnWire    int64
+	busyTime      sim.Duration
+	startedAt     sim.Time
+
+	sniffers []SnifferFunc
+}
+
+// SnifferFunc observes every frame that completes on the bus (whether or
+// not it was corrupted). Sniffers model diagnostic taps: they see traffic
+// but cannot alter it.
+type SnifferFunc func(at sim.Time, f *Frame, sender *Controller, corrupted bool)
+
+// NewBus creates a bus on the kernel at the given nominal bitrate. The FD
+// data-phase bitrate defaults to 4x nominal; override with SetDataBitrate.
+func NewBus(k *sim.Kernel, name string, bitrate int64) *Bus {
+	if bitrate <= 0 {
+		panic("can: bitrate must be positive")
+	}
+	return &Bus{
+		Name:        name,
+		kernel:      k,
+		bitrate:     bitrate,
+		dataBitrate: 4 * bitrate,
+		errStream:   k.Stream("can.bus." + name + ".errors"),
+		startedAt:   k.Now(),
+	}
+}
+
+// SetDataBitrate sets the CAN FD data-phase bitrate used by BRS frames.
+func (b *Bus) SetDataBitrate(rate int64) {
+	if rate <= 0 {
+		panic("can: data bitrate must be positive")
+	}
+	b.dataBitrate = rate
+}
+
+// Bitrate reports the nominal bitrate.
+func (b *Bus) Bitrate() int64 { return b.bitrate }
+
+// Attach connects a controller to the bus.
+func (b *Bus) Attach(c *Controller) {
+	c.bus = b
+	b.controllers = append(b.controllers, c)
+}
+
+// Sniff registers a passive observer of all completed frames.
+func (b *Bus) Sniff(fn SnifferFunc) { b.sniffers = append(b.sniffers, fn) }
+
+// Load reports the fraction of elapsed virtual time the bus was busy.
+func (b *Bus) Load() float64 {
+	elapsed := b.kernel.Now() - b.startedAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(b.busyTime) / float64(elapsed)
+}
+
+// frameTime returns the on-wire duration of a frame at the configured
+// bitrates.
+func (b *Bus) frameTime(f *Frame) (sim.Duration, int, error) {
+	arbBits, dataBits, err := BitLength(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	ns := float64(arbBits)/float64(b.bitrate)*1e9 +
+		float64(dataBits)/float64(b.dataBitrate)*1e9
+	return sim.Duration(math.Ceil(ns)), arbBits + dataBits, nil
+}
+
+// scheduleKick defers an arbitration round to the end of the current
+// virtual instant, so that every frame enqueued at the same time competes —
+// just as all nodes start their SOF together on a real wire.
+func (b *Bus) scheduleKick() {
+	if b.kickPending || b.busy {
+		return
+	}
+	b.kickPending = true
+	b.kernel.After(0, func() {
+		b.kickPending = false
+		b.kick()
+	})
+}
+
+// kick starts an arbitration round if the bus is idle. Called whenever a
+// controller enqueues a frame and whenever a transmission completes.
+func (b *Bus) kick() {
+	if b.busy {
+		return
+	}
+	winner := b.arbitrate()
+	if winner == nil {
+		return
+	}
+	b.transmit(winner)
+}
+
+// arbitrate selects the controller whose head-of-queue frame has the
+// lowest arbitration value. Bus-off controllers do not participate.
+// Ties (two nodes sending the identical arbitration field) go to the
+// earliest-attached controller; on a real bus this would be a bit error,
+// but models that care use distinct IDs per node.
+func (b *Bus) arbitrate() *Controller {
+	var winner *Controller
+	var best uint64 = math.MaxUint64
+	for _, c := range b.controllers {
+		if c.State() == BusOff || len(c.txQueue) == 0 {
+			continue
+		}
+		v := c.txQueue[0].frame.ArbitrationValue()
+		if v < best {
+			best = v
+			winner = c
+		}
+	}
+	return winner
+}
+
+// transmit puts the winner's head frame on the wire.
+func (b *Bus) transmit(c *Controller) {
+	tx := c.txQueue[0]
+	dur, bits, err := b.frameTime(&tx.frame)
+	if err != nil {
+		// Invalid frame slipped past Send validation; drop it.
+		c.txQueue = c.txQueue[1:]
+		b.kernel.After(0, b.kick)
+		return
+	}
+	b.busy = true
+	b.busyUntil = b.kernel.Now() + dur
+	b.kernel.After(dur, func() {
+		b.busy = false
+		b.busyTime += dur
+		b.BitsOnWire += int64(bits)
+		b.complete(c, tx, bits)
+		b.kick()
+	})
+}
+
+// complete finishes a transmission: applies the bit error model, updates
+// error counters, delivers or retransmits.
+func (b *Bus) complete(c *Controller, tx *txRequest, bits int) {
+	corrupted := false
+	if b.BitErrorRate > 0 {
+		pOK := math.Pow(1-b.BitErrorRate, float64(bits))
+		corrupted = !b.errStream.Bool(pOK)
+	}
+	if !corrupted && b.TargetedError != nil && b.TargetedError(&tx.frame, c) {
+		corrupted = true
+	}
+	now := b.kernel.Now()
+	for _, fn := range b.sniffers {
+		fn(now, &tx.frame, c, corrupted)
+	}
+	if corrupted {
+		b.FramesErrored.Inc()
+		// ISO 11898-1 rule 3/1: transmitter TEC += 8; receivers REC += 1.
+		c.bumpTEC(8)
+		for _, rc := range b.controllers {
+			if rc != c {
+				rc.bumpREC(1)
+			}
+		}
+		if c.State() == BusOff {
+			// Frame is lost; queue is flushed by the bus-off transition.
+			return
+		}
+		// Automatic retransmission: frame stays at the head of the queue.
+		return
+	}
+	b.FramesOK.Inc()
+	c.txQueue = c.txQueue[1:]
+	c.decayTEC()
+	c.FramesSent.Inc()
+	if tx.done != nil {
+		tx.done(now)
+	}
+	for _, rc := range b.controllers {
+		if rc == c {
+			continue
+		}
+		rc.deliver(now, &tx.frame, c)
+	}
+}
+
+// ErrBusOff is returned by Controller.Send while the controller is bus-off.
+var ErrBusOff = errors.New("can: controller is bus-off")
+
+// ErrQueueFull is returned by Controller.Send when the TX queue limit is
+// reached.
+var ErrQueueFull = errors.New("can: transmit queue full")
+
+// ControllerState is the fault-confinement state of ISO 11898-1.
+type ControllerState int
+
+const (
+	// ErrorActive nodes participate fully and send active error flags.
+	ErrorActive ControllerState = iota
+	// ErrorPassive nodes may transmit but send passive error flags.
+	ErrorPassive
+	// BusOff nodes are disconnected until reset.
+	BusOff
+)
+
+func (s ControllerState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return fmt.Sprintf("ControllerState(%d)", int(s))
+	}
+}
+
+type txRequest struct {
+	frame Frame
+	done  func(at sim.Time)
+}
+
+// ReceiveFunc handles a frame delivered to a controller.
+type ReceiveFunc func(at sim.Time, f *Frame, sender *Controller)
+
+// AcceptanceFilter decides whether a received frame is passed up to the
+// handlers. A nil filter accepts everything.
+type AcceptanceFilter func(f *Frame) bool
+
+// MaskFilter returns an acceptance filter matching (id & mask) == (match & mask),
+// the classic CAN controller filter model.
+func MaskFilter(match, mask ID) AcceptanceFilter {
+	return func(f *Frame) bool { return f.ID&mask == match&mask }
+}
+
+// Controller is a CAN node: a transmit queue plus receive handlers and the
+// fault-confinement counters.
+type Controller struct {
+	Name string
+
+	bus     *Bus
+	txQueue []*txRequest
+	// MaxQueue bounds the TX queue; 0 means unlimited.
+	MaxQueue int
+
+	filter   AcceptanceFilter
+	handlers []ReceiveFunc
+
+	tec, rec int
+	state    ControllerState
+
+	// Stats.
+	FramesSent     sim.Counter
+	FramesReceived sim.Counter
+	FramesDropped  sim.Counter
+	BusOffEvents   sim.Counter
+}
+
+// NewController creates a detached controller; attach it with Bus.Attach.
+func NewController(name string) *Controller {
+	return &Controller{Name: name}
+}
+
+// SetFilter installs the acceptance filter.
+func (c *Controller) SetFilter(f AcceptanceFilter) { c.filter = f }
+
+// OnReceive registers a handler invoked for every accepted frame.
+func (c *Controller) OnReceive(fn ReceiveFunc) { c.handlers = append(c.handlers, fn) }
+
+// State reports the fault-confinement state.
+func (c *Controller) State() ControllerState { return c.state }
+
+// Counters reports (TEC, REC).
+func (c *Controller) Counters() (tec, rec int) { return c.tec, c.rec }
+
+// QueueLen reports the number of frames waiting to transmit.
+func (c *Controller) QueueLen() int { return len(c.txQueue) }
+
+// Send validates and enqueues a frame for transmission. The optional done
+// callback fires when the frame has been successfully put on the wire.
+func (c *Controller) Send(f Frame, done func(at sim.Time)) error {
+	if c.bus == nil {
+		return errors.New("can: controller not attached to a bus")
+	}
+	if c.state == BusOff {
+		return ErrBusOff
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if c.MaxQueue > 0 && len(c.txQueue) >= c.MaxQueue {
+		c.FramesDropped.Inc()
+		return ErrQueueFull
+	}
+	c.txQueue = append(c.txQueue, &txRequest{frame: f.Clone(), done: done})
+	c.bus.scheduleKick()
+	return nil
+}
+
+// Reset returns a bus-off controller to error-active with cleared
+// counters, modelling the application-commanded recovery sequence.
+func (c *Controller) Reset() {
+	c.tec, c.rec = 0, 0
+	c.state = ErrorActive
+	if c.bus != nil {
+		c.bus.scheduleKick()
+	}
+}
+
+func (c *Controller) deliver(at sim.Time, f *Frame, sender *Controller) {
+	if c.filter != nil && !c.filter(f) {
+		return
+	}
+	c.FramesReceived.Inc()
+	c.decayREC()
+	for _, h := range c.handlers {
+		h(at, f, sender)
+	}
+}
+
+func (c *Controller) bumpTEC(n int) {
+	c.tec += n
+	c.updateState()
+}
+
+func (c *Controller) bumpREC(n int) {
+	c.rec += n
+	if c.rec > 255 {
+		c.rec = 255
+	}
+	c.updateState()
+}
+
+func (c *Controller) decayTEC() {
+	if c.tec > 0 {
+		c.tec--
+	}
+	c.updateState()
+}
+
+func (c *Controller) decayREC() {
+	if c.rec > 0 {
+		c.rec--
+	}
+	c.updateState()
+}
+
+func (c *Controller) updateState() {
+	switch {
+	case c.tec > 255:
+		if c.state != BusOff {
+			c.state = BusOff
+			c.BusOffEvents.Inc()
+			// Pending frames are lost on bus-off.
+			c.FramesDropped.Add(int64(len(c.txQueue)))
+			c.txQueue = nil
+		}
+	case c.tec > 127 || c.rec > 127:
+		if c.state == ErrorActive {
+			c.state = ErrorPassive
+		}
+	default:
+		if c.state == ErrorPassive {
+			c.state = ErrorActive
+		}
+	}
+}

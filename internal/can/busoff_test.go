@@ -1,0 +1,124 @@
+package can
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// The targeted bus-off attack (Cho & Shin, CCS 2016 — the modern form of
+// the paper's availability attack model): an adversary forces bit errors
+// on one victim's frames only, walking the victim's TEC up by 8 per
+// transmission until it disconnects itself, while every other node keeps
+// operating normally.
+
+func TestTargetedBusOffAttack(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "pt", 500_000)
+	victim := NewController("victim")
+	bystander := NewController("bystander")
+	rx := NewController("rx")
+	bus.Attach(victim)
+	bus.Attach(bystander)
+	bus.Attach(rx)
+
+	var victimDelivered, bystanderDelivered int
+	rx.OnReceive(func(_ sim.Time, f *Frame, sender *Controller) {
+		switch sender.Name {
+		case "victim":
+			victimDelivered++
+		case "bystander":
+			bystanderDelivered++
+		}
+	})
+
+	// The attacker destroys every victim frame.
+	bus.TargetedError = func(f *Frame, sender *Controller) bool {
+		return sender.Name == "victim"
+	}
+
+	stopV := PeriodicSender(k, victim, Frame{ID: 0x100, Data: []byte{1}}, 10*sim.Millisecond, 0)
+	stopB := PeriodicSender(k, bystander, Frame{ID: 0x200, Data: []byte{2}}, 10*sim.Millisecond, 0)
+	_ = k.RunUntil(2 * sim.Second)
+	stopV()
+	stopB()
+
+	if victim.State() != BusOff {
+		t.Fatalf("victim state=%v (TEC=%d)", victim.State(), tecOf(victim))
+	}
+	if victimDelivered != 0 {
+		t.Fatalf("victim frames delivered: %d", victimDelivered)
+	}
+	// The bystander is untouched: still error-active, traffic flowing.
+	if bystander.State() != ErrorActive {
+		t.Fatalf("bystander state=%v", bystander.State())
+	}
+	if bystanderDelivered < 150 {
+		t.Fatalf("bystander delivered only %d frames", bystanderDelivered)
+	}
+	// The attack is visible to a bus tap: errored frames from the victim.
+	if bus.FramesErrored.Value < 30 {
+		t.Fatalf("errored frames=%d", bus.FramesErrored.Value)
+	}
+}
+
+func tecOf(c *Controller) int { tec, _ := c.Counters(); return tec }
+
+func TestTargetedBusOffSelectiveByID(t *testing.T) {
+	// Targeting by identifier rather than sender: only the safety-critical
+	// message is suppressed; the victim's other message still flows until
+	// the shared TEC escalates.
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "pt", 500_000)
+	victim := NewController("victim")
+	rx := NewController("rx")
+	bus.Attach(victim)
+	bus.Attach(rx)
+
+	delivered := map[ID]int{}
+	rx.OnReceive(func(_ sim.Time, f *Frame, _ *Controller) { delivered[f.ID]++ })
+
+	bus.TargetedError = func(f *Frame, _ *Controller) bool { return f.ID == 0x100 }
+
+	// Only a handful of targeted transmissions, spaced out so TEC decay
+	// from successful 0x200 sends keeps the victim alive.
+	stop1 := PeriodicSender(k, victim, Frame{ID: 0x100, Data: []byte{1}}, 100*sim.Millisecond, 0)
+	stop2 := PeriodicSender(k, victim, Frame{ID: 0x200, Data: []byte{2}}, 5*sim.Millisecond, 0)
+	_ = k.RunUntil(500 * sim.Millisecond)
+	stop1()
+	stop2()
+
+	if delivered[0x100] != 0 {
+		t.Fatalf("targeted ID delivered %d times", delivered[0x100])
+	}
+	if delivered[0x200] == 0 {
+		t.Fatal("untargeted ID fully suppressed")
+	}
+}
+
+func TestBusOffRecoveryUnderAttackRelapses(t *testing.T) {
+	// Resetting a controller that is still under attack sends it straight
+	// back to bus-off — the reason naive auto-recovery is not a defense.
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "pt", 500_000)
+	victim := NewController("victim")
+	rx := NewController("rx")
+	bus.Attach(victim)
+	bus.Attach(rx)
+	bus.TargetedError = func(_ *Frame, sender *Controller) bool { return sender.Name == "victim" }
+
+	stop := PeriodicSender(k, victim, Frame{ID: 0x100}, 5*sim.Millisecond, 0)
+	_ = k.RunUntil(sim.Second)
+	if victim.State() != BusOff {
+		t.Fatal("precondition: not bus-off")
+	}
+	victim.Reset()
+	_ = k.RunUntil(k.Now() + sim.Second)
+	stop()
+	if victim.State() != BusOff {
+		t.Fatalf("victim state after naive recovery: %v", victim.State())
+	}
+	if victim.BusOffEvents.Value < 2 {
+		t.Fatalf("bus-off events=%d, want relapse", victim.BusOffEvents.Value)
+	}
+}

@@ -1,0 +1,140 @@
+package can
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Frame
+		err  error
+	}{
+		{"ok standard", Frame{ID: 0x7FF, Data: []byte{1}}, nil},
+		{"ok extended", Frame{ID: MaxExtendedID, Extended: true}, nil},
+		{"standard id too big", Frame{ID: 0x800}, ErrIDRange},
+		{"extended id too big", Frame{ID: MaxExtendedID + 1, Extended: true}, ErrIDRange},
+		{"classic too long", Frame{ID: 1, Data: make([]byte, 9)}, ErrDataLength},
+		{"fd remote", Frame{ID: 1, FD: true, Remote: true}, ErrRemoteFD},
+		{"fd too long", Frame{ID: 1, FD: true, Data: make([]byte, 65)}, ErrDataLength},
+		{"fd bad dlc size", Frame{ID: 1, FD: true, Data: make([]byte, 13)}, ErrFDLengthSet},
+		{"fd ok 48", Frame{ID: 1, FD: true, Data: make([]byte, 48)}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.f.Validate()
+			if c.err == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if c.err != nil && !errors.Is(err, c.err) {
+				t.Fatalf("err=%v, want %v", err, c.err)
+			}
+		})
+	}
+}
+
+func TestFDDLCCoding(t *testing.T) {
+	for code, size := range fdSizes {
+		if got := FDSizeForDLC(byte(code)); got != size {
+			t.Errorf("FDSizeForDLC(%d)=%d, want %d", code, got, size)
+		}
+	}
+	f := Frame{ID: 1, FD: true, Data: make([]byte, 32)}
+	if f.DLC() != 13 {
+		t.Errorf("DLC for 32-byte FD payload = %d, want 13", f.DLC())
+	}
+}
+
+func TestPadToFD(t *testing.T) {
+	out, err := PadToFD(make([]byte, 13), 0xCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("padded to %d, want 16", len(out))
+	}
+	if out[15] != 0xCC {
+		t.Fatalf("pad byte %#x", out[15])
+	}
+	if _, err := PadToFD(make([]byte, 65), 0); err == nil {
+		t.Fatal("PadToFD accepted 65 bytes")
+	}
+}
+
+func TestArbitrationOrdering(t *testing.T) {
+	low := Frame{ID: 0x100}
+	high := Frame{ID: 0x200}
+	if low.ArbitrationValue() >= high.ArbitrationValue() {
+		t.Fatal("lower ID must have lower arbitration value")
+	}
+	// Standard 0x100 beats extended 0x100<<18 | x (same base): IDE bit.
+	std := Frame{ID: 0x100}
+	ext := Frame{ID: 0x100 << 18, Extended: true}
+	if std.ArbitrationValue() >= ext.ArbitrationValue() {
+		t.Fatal("standard frame must beat extended frame with same base ID")
+	}
+	// Extended with smaller base ID beats standard with larger base ID.
+	ext2 := Frame{ID: 0x0FF << 18, Extended: true}
+	if ext2.ArbitrationValue() >= std.ArbitrationValue() {
+		t.Fatal("extended frame with smaller base must win")
+	}
+}
+
+// Property: arbitration order among standard frames is exactly ID order.
+func TestArbitrationMatchesIDOrderProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa := Frame{ID: ID(a) & MaxStandardID}
+		fb := Frame{ID: ID(b) & MaxStandardID}
+		if fa.ID == fb.ID {
+			return fa.ArbitrationValue() == fb.ArbitrationValue()
+		}
+		return (fa.ID < fb.ID) == (fa.ArbitrationValue() < fb.ArbitrationValue())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameCloneIsDeep(t *testing.T) {
+	f := Frame{ID: 1, Data: []byte{1, 2, 3}}
+	c := f.Clone()
+	c.Data[0] = 99
+	if f.Data[0] != 1 {
+		t.Fatal("Clone shares the data slice")
+	}
+}
+
+func TestFrameEqual(t *testing.T) {
+	a := Frame{ID: 1, Data: []byte{1, 2}}
+	b := Frame{ID: 1, Data: []byte{1, 2}}
+	if !a.Equal(&b) {
+		t.Fatal("equal frames reported unequal")
+	}
+	b.Data[1] = 3
+	if a.Equal(&b) {
+		t.Fatal("different payloads reported equal")
+	}
+	c := Frame{ID: 1, Data: []byte{1, 2}, FD: true}
+	if a.Equal(&c) {
+		t.Fatal("FD flag ignored by Equal")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{ID: 0x123, Data: []byte{0xAB}}
+	s := f.String()
+	if !strings.HasPrefix(s, "123 ") {
+		t.Errorf("String()=%q", s)
+	}
+	r := Frame{ID: 0x1, Remote: true}
+	if !strings.Contains(r.String(), "RTR") {
+		t.Errorf("remote frame String()=%q", r.String())
+	}
+	fd := Frame{ID: 0x1, FD: true, BRS: true, Data: []byte{1, 2, 3, 4}}
+	if !strings.Contains(fd.String(), "FD/BRS") {
+		t.Errorf("FD frame String()=%q", fd.String())
+	}
+}

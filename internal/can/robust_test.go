@@ -1,0 +1,44 @@
+package can
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: ParseTrace must reject or accept arbitrary text without
+// panicking, and anything it accepts must re-serialize.
+func TestParseTraceSurvivesArbitraryInput(t *testing.T) {
+	f := func(input string) bool {
+		tr, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return true
+		}
+		var sb strings.Builder
+		return WriteTrace(&sb, tr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Robustness: Unmarshal must never panic on arbitrary bit strings, and
+// must never return both a frame and an error.
+func TestUnmarshalSurvivesArbitraryBits(t *testing.T) {
+	f := func(raw []byte) bool {
+		bits := make([]bool, 0, len(raw)*8)
+		for _, b := range raw {
+			for i := 0; i < 8; i++ {
+				bits = append(bits, b>>uint(i)&1 == 1)
+			}
+		}
+		frame, err := Unmarshal(bits)
+		if err != nil {
+			return frame == nil
+		}
+		return frame.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autosec/internal/sim"
+)
+
+// Record is one observed frame with its completion time and sender name.
+type Record struct {
+	At        sim.Time
+	Frame     Frame
+	Sender    string
+	Corrupted bool
+}
+
+// Trace is an in-order log of bus traffic, as captured by a sniffer tap.
+// It is the interchange format between the bus simulation, the intrusion
+// detection package and the canalyze tool.
+type Trace struct {
+	Records []Record
+}
+
+// Recorder attaches a trace-recording sniffer to the bus and returns the
+// trace it fills.
+func Recorder(b *Bus) *Trace {
+	t := &Trace{}
+	b.Sniff(func(at sim.Time, f *Frame, sender *Controller, corrupted bool) {
+		name := ""
+		if sender != nil {
+			name = sender.Name
+		}
+		t.Records = append(t.Records, Record{At: at, Frame: f.Clone(), Sender: name, Corrupted: corrupted})
+	})
+	return t
+}
+
+// Len reports the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// IDs returns the distinct identifiers seen, sorted ascending.
+func (t *Trace) IDs() []ID {
+	set := make(map[ID]bool)
+	for _, r := range t.Records {
+		set[r.Frame.ID] = true
+	}
+	ids := make([]ID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ByID returns the records carrying the given identifier, in time order.
+func (t *Trace) ByID(id ID) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.Frame.ID == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Between returns records with lo <= At < hi.
+func (t *Trace) Between(lo, hi sim.Time) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.At >= lo && r.At < hi {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Intervals returns the successive inter-arrival times of the given
+// identifier — the primary feature used by frequency-based intrusion
+// detection.
+func (t *Trace) Intervals(id ID) []sim.Duration {
+	recs := t.ByID(id)
+	if len(recs) < 2 {
+		return nil
+	}
+	out := make([]sim.Duration, 0, len(recs)-1)
+	for i := 1; i < len(recs); i++ {
+		out = append(out, recs[i].At-recs[i-1].At)
+	}
+	return out
+}
+
+// String renders the trace in a candump-like format.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, r := range t.Records {
+		mark := ""
+		if r.Corrupted {
+			mark = " !ERR"
+		}
+		fmt.Fprintf(&b, "(%v) %s %s%s\n", r.At, r.Sender, r.Frame.String(), mark)
+	}
+	return b.String()
+}
+
+// PeriodicSender schedules frame transmissions with a fixed period and
+// optional uniform jitter, modelling a cyclic application message. It
+// returns a stop function.
+func PeriodicSender(k *sim.Kernel, c *Controller, f Frame, period sim.Duration, jitterFrac float64) (stop func()) {
+	if period <= 0 {
+		panic("can: periodic sender requires positive period")
+	}
+	js := k.Stream("can.periodic." + c.Name + "." + fmt.Sprint(uint32(f.ID)))
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		if stopped {
+			return
+		}
+		_ = c.Send(f, nil) // queue-full / bus-off drops are recorded by the controller
+		next := period
+		if jitterFrac > 0 {
+			next = js.Jitter(period, jitterFrac)
+		}
+		k.After(next, schedule)
+	}
+	k.After(js.Duration(0, period), schedule) // desynchronize start phases
+	return func() { stopped = true }
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's primary contribution as a runnable
+// artifact: the 4+1-layer security assurance architecture of Section 7
+// (secure interfaces, secure gateway, secure networks, secure processing,
+// plus physical access security), composed over the substrate packages,
+// with the in-field extensibility machinery of Sections 5-6 — versioned
+// layer implementations, a signed policy plane that reconfigures layers
+// at runtime, and an upgrade path that keeps a vehicle's security current
+// over a multi-decade field life (experiment E12).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Layer names one of the 4+1 architecture layers.
+type Layer int
+
+// The 4+1 layers of the security assurance architecture.
+const (
+	// SecureInterfaces covers communication with the external world: V2X,
+	// telematics (IEEE 1609.2-style signing, TLS-class link protection).
+	SecureInterfaces Layer = iota
+	// SecureGateway is the firewall between external interfaces and the
+	// safety-critical IVNs.
+	SecureGateway
+	// SecureNetworks covers the IVNs themselves (CAN/LIN/FlexRay/Ethernet
+	// plus compensating controls such as the IDS).
+	SecureNetworks
+	// SecureProcessing covers the MCU/MPU units: SHE, secure boot,
+	// isolation.
+	SecureProcessing
+	// AccessSecurity is the "+1": immobilizer and smart car access.
+	AccessSecurity
+	numLayers
+)
+
+// String names the layer.
+func (l Layer) String() string {
+	switch l {
+	case SecureInterfaces:
+		return "secure-interfaces"
+	case SecureGateway:
+		return "secure-gateway"
+	case SecureNetworks:
+		return "secure-networks"
+	case SecureProcessing:
+		return "secure-processing"
+	case AccessSecurity:
+		return "access-security"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Implementation is one versioned realization of a layer capability.
+type Implementation struct {
+	Name    string
+	Version int
+	// Component is the live subsystem object (gateway, IDS engine, cert
+	// store, ...); layers are heterogeneous so this is deliberately any.
+	Component any
+	// Deprecated marks implementations that must be replaced (e.g. a
+	// cryptographic suite past its assurance horizon — the paper's "5 to
+	// 7 years" point).
+	Deprecated bool
+}
+
+// Architecture is the extensible registry of layer implementations.
+type Architecture struct {
+	layers [numLayers]map[string]*Implementation
+
+	// UpgradeLog records every in-field change, newest last.
+	UpgradeLog []string
+}
+
+// NewArchitecture creates an empty architecture.
+func NewArchitecture() *Architecture {
+	a := &Architecture{}
+	for i := range a.layers {
+		a.layers[i] = make(map[string]*Implementation)
+	}
+	return a
+}
+
+// Errors.
+var (
+	ErrBadLayer     = errors.New("core: layer out of range")
+	ErrNotInstalled = errors.New("core: capability not installed")
+	ErrStaleVersion = errors.New("core: version not newer than installed")
+)
+
+// Install registers or upgrades a capability implementation in a layer.
+// Upgrades must strictly increase the version — the same monotonicity the
+// OTA and policy planes enforce.
+func (a *Architecture) Install(l Layer, impl Implementation) error {
+	if l < 0 || l >= numLayers {
+		return ErrBadLayer
+	}
+	if cur, ok := a.layers[l][impl.Name]; ok && impl.Version <= cur.Version {
+		return fmt.Errorf("%w: %s/%s v%d <= v%d", ErrStaleVersion, l, impl.Name, impl.Version, cur.Version)
+	}
+	cp := impl
+	a.layers[l][impl.Name] = &cp
+	a.UpgradeLog = append(a.UpgradeLog, fmt.Sprintf("%s/%s@v%d", l, impl.Name, impl.Version))
+	return nil
+}
+
+// Get fetches an installed implementation.
+func (a *Architecture) Get(l Layer, name string) (*Implementation, error) {
+	if l < 0 || l >= numLayers {
+		return nil, ErrBadLayer
+	}
+	impl, ok := a.layers[l][name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotInstalled, l, name)
+	}
+	return impl, nil
+}
+
+// Deprecate marks an implementation as past its assurance horizon.
+func (a *Architecture) Deprecate(l Layer, name string) error {
+	impl, err := a.Get(l, name)
+	if err != nil {
+		return err
+	}
+	impl.Deprecated = true
+	a.UpgradeLog = append(a.UpgradeLog, fmt.Sprintf("%s/%s deprecated", l, name))
+	return nil
+}
+
+// Deprecated lists the capabilities awaiting replacement, as "layer/name".
+func (a *Architecture) DeprecatedList() []string {
+	var out []string
+	for l := Layer(0); l < numLayers; l++ {
+		for name, impl := range a.layers[l] {
+			if impl.Deprecated {
+				out = append(out, fmt.Sprintf("%s/%s", l, name))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inventory renders the installed capabilities per layer.
+func (a *Architecture) Inventory() map[string][]string {
+	out := make(map[string][]string)
+	for l := Layer(0); l < numLayers; l++ {
+		var names []string
+		for name, impl := range a.layers[l] {
+			names = append(names, fmt.Sprintf("%s@v%d", name, impl.Version))
+		}
+		sort.Strings(names)
+		out[l.String()] = names
+	}
+	return out
+}
+
+// SecurityCurrent reports whether no installed capability is deprecated —
+// the E12 survival criterion for a vehicle at a point in its field life.
+func (a *Architecture) SecurityCurrent() bool {
+	return len(a.DeprecatedList()) == 0
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLayerString(t *testing.T) {
+	names := map[Layer]string{
+		SecureInterfaces: "secure-interfaces",
+		SecureGateway:    "secure-gateway",
+		SecureNetworks:   "secure-networks",
+		SecureProcessing: "secure-processing",
+		AccessSecurity:   "access-security",
+	}
+	for l, want := range names {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String()=%q", int(l), got)
+		}
+	}
+}
+
+func TestArchitectureInstallAndGet(t *testing.T) {
+	a := NewArchitecture()
+	if err := a.Install(SecureProcessing, Implementation{Name: "she", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	impl, err := a.Get(SecureProcessing, "she")
+	if err != nil || impl.Version != 1 {
+		t.Fatalf("get: %+v %v", impl, err)
+	}
+	if _, err := a.Get(SecureProcessing, "ghost"); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := a.Get(Layer(99), "x"); !errors.Is(err, ErrBadLayer) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := a.Install(Layer(-1), Implementation{}); !errors.Is(err, ErrBadLayer) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestArchitectureUpgradeMonotonic(t *testing.T) {
+	a := NewArchitecture()
+	_ = a.Install(SecureInterfaces, Implementation{Name: "v2x", Version: 2})
+	if err := a.Install(SecureInterfaces, Implementation{Name: "v2x", Version: 2}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("same version: %v", err)
+	}
+	if err := a.Install(SecureInterfaces, Implementation{Name: "v2x", Version: 1}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("downgrade: %v", err)
+	}
+	if err := a.Install(SecureInterfaces, Implementation{Name: "v2x", Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	impl, _ := a.Get(SecureInterfaces, "v2x")
+	if impl.Version != 3 {
+		t.Fatalf("version=%d", impl.Version)
+	}
+	if len(a.UpgradeLog) != 2 {
+		t.Fatalf("log=%v", a.UpgradeLog)
+	}
+}
+
+func TestArchitectureDeprecationLifecycle(t *testing.T) {
+	a := NewArchitecture()
+	_ = a.Install(SecureProcessing, Implementation{Name: "aes128-suite", Version: 1})
+	if !a.SecurityCurrent() {
+		t.Fatal("fresh architecture not current")
+	}
+	if err := a.Deprecate(SecureProcessing, "aes128-suite"); err != nil {
+		t.Fatal(err)
+	}
+	if a.SecurityCurrent() {
+		t.Fatal("deprecated capability not flagged")
+	}
+	dep := a.DeprecatedList()
+	if len(dep) != 1 || dep[0] != "secure-processing/aes128-suite" {
+		t.Fatalf("deprecated=%v", dep)
+	}
+	// Upgrading (installing a newer version) clears the flag.
+	if err := a.Install(SecureProcessing, Implementation{Name: "aes128-suite", Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.SecurityCurrent() {
+		t.Fatal("upgrade did not clear deprecation")
+	}
+	if err := a.Deprecate(SecureProcessing, "ghost"); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestArchitectureInventory(t *testing.T) {
+	a := NewArchitecture()
+	_ = a.Install(SecureGateway, Implementation{Name: "gw", Version: 1})
+	_ = a.Install(SecureGateway, Implementation{Name: "fw", Version: 4})
+	inv := a.Inventory()
+	gws := inv["secure-gateway"]
+	if len(gws) != 2 || gws[0] != "fw@v4" || gws[1] != "gw@v1" {
+		t.Fatalf("inventory=%v", gws)
+	}
+}

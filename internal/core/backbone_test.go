@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"autosec/internal/uds"
+)
+
+func TestBackboneDoIPDiagnostics(t *testing.T) {
+	weak := uds.WeakXOR{Constant: 0xE77E}
+	v := newVehicle(t, Config{})
+	b := v.EnableBackbone(weak, nil)
+
+	tester := b.NewDiagTester("tool", 0x0E01, 0x0E00)
+	var vin string
+	tester.OnIdent(func(got string, _ uint16) { vin = got })
+	if err := tester.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Kernel.Run()
+	if vin != v.VIN {
+		t.Fatalf("discovered VIN %q", vin)
+	}
+
+	var act byte = 0xFF
+	tester.OnActivation(func(code byte) { act = code })
+	_ = tester.Activate(nil)
+	_ = v.Kernel.Run()
+	if act != 0x10 {
+		t.Fatalf("activation=%#x", act)
+	}
+
+	// Read the VIN DID over DoIP: full UDS round trip on Ethernet.
+	var resp []byte
+	tester.OnDiagResponse(func(b []byte) { resp = b })
+	_ = tester.Diag(b.ECUAddress, []byte{uds.SvcReadDataByID, 0xF1, 0x90})
+	_ = v.Kernel.Run()
+	payload, err := uds.ParseResponse(uds.SvcReadDataByID, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload[2:]) != v.VIN {
+		t.Fatalf("DID read returned %q", payload[2:])
+	}
+
+	// Architecture inventory reflects the backbone.
+	if _, err := v.Arch.Get(SecureNetworks, "ethernet-backbone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Arch.Get(SecureNetworks, "doip-edge"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackboneVLANSeparatesAttacker(t *testing.T) {
+	v := newVehicle(t, Config{})
+	b := v.EnableBackbone(uds.WeakXOR{Constant: 1}, nil)
+	attacker := b.NewOffVLANAttacker("pwned-ivi", 0x0E66, 0x0E66)
+	heard := false
+	attacker.OnIdent(func(string, uint16) { heard = true })
+	_ = attacker.Discover()
+	_ = v.Kernel.Run()
+	if heard || b.Entity.IdentRequests.Value != 0 {
+		t.Fatal("IVI-VLAN attacker reached the diagnostics VLAN")
+	}
+}
+
+func TestBackboneAuthenticatedActivation(t *testing.T) {
+	secret := []byte("activation-token")
+	v := newVehicle(t, Config{})
+	b := v.EnableBackbone(uds.WeakXOR{Constant: 1}, func(_ uint16, key []byte) bool {
+		return string(key) == string(secret)
+	})
+	tester := b.NewDiagTester("tool", 0x0E01, 0x0E00)
+	_ = tester.Discover()
+	_ = v.Kernel.Run()
+	var codes []byte
+	tester.OnActivation(func(code byte) { codes = append(codes, code) })
+	_ = tester.Activate([]byte("wrong"))
+	_ = v.Kernel.Run()
+	_ = tester.Activate(secret)
+	_ = v.Kernel.Run()
+	if len(codes) != 2 || codes[0] == 0x10 || codes[1] != 0x10 {
+		t.Fatalf("codes=%v", codes)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"autosec/internal/can"
+	"autosec/internal/isotp"
+	"autosec/internal/uds"
+)
+
+// Diagnostics is a vehicle's UDS endpoint: the ECU-side server plus a
+// tester-side client already wired onto the same domain, as a workshop
+// (or an attacker with OBD access) would see it.
+type Diagnostics struct {
+	Server *uds.Server
+	// Tester is a ready-made client on the same bus (the OBD port).
+	Tester *uds.Client
+
+	serverCtrl *can.Controller
+	testerCtrl *can.Controller
+}
+
+// Standard OBD diagnostic identifiers.
+const (
+	DiagRequestID  can.ID = 0x7E0
+	DiagResponseID can.ID = 0x7E8
+)
+
+// AttachDiagnostics wires a UDS server (and an OBD tester client) onto
+// the named domain. The algorithm decides SecurityAccess strength — the
+// E13 experiment compares uds.WeakXOR against uds.SHECMAC backed by this
+// vehicle's SHE.
+func (v *Vehicle) AttachDiagnostics(domain string, alg uds.SeedKeyAlgorithm) *Diagnostics {
+	bus := v.Buses[domain]
+	serverCtrl := can.NewController("diag-ecu")
+	testerCtrl := can.NewController("obd-tester")
+	bus.Attach(serverCtrl)
+	bus.Attach(testerCtrl)
+
+	serverEP := isotp.New(v.Kernel, serverCtrl, isotp.Config{TxID: DiagResponseID, RxID: DiagRequestID})
+	testerEP := isotp.New(v.Kernel, testerCtrl, isotp.Config{TxID: DiagRequestID, RxID: DiagResponseID})
+
+	srv := uds.NewServer(v.Kernel, serverEP, uds.ServerConfig{
+		Algorithm: alg,
+		Rand:      v.Kernel.Stream("uds." + v.VIN),
+	})
+	srv.SetData(uds.DIDVIN, []byte(v.VIN), 0, 0)
+	srv.SetData(uds.DIDSWVersion, []byte{1, 0, 0}, 0, 0)
+	srv.SetData(uds.DIDCalibration, []byte{0x10, 0x20, 0x30, 0x40}, 0, 1)
+
+	d := &Diagnostics{
+		Server:     srv,
+		Tester:     uds.NewClient(testerEP),
+		serverCtrl: serverCtrl,
+		testerCtrl: testerCtrl,
+	}
+	_ = v.Arch.Install(SecureProcessing, Implementation{Name: "uds-" + alg.Name(), Version: 1, Component: srv})
+	return d
+}
+
+// NewIntruderTester attaches another tester client to the same domain —
+// the attacker's interface once they own any node on the diagnostic bus.
+func (v *Vehicle) NewIntruderTester(domain string) *uds.Client {
+	ctrl := can.NewController("intruder")
+	v.Buses[domain].Attach(ctrl)
+	ep := isotp.New(v.Kernel, ctrl, isotp.Config{TxID: DiagRequestID, RxID: DiagResponseID})
+	return uds.NewClient(ep)
+}
+
+// RunDiag drives a request synchronously for scenario code: it sends,
+// runs the kernel until quiescent, and returns the response.
+func (v *Vehicle) RunDiag(c *uds.Client, req []byte) ([]byte, error) {
+	var resp []byte
+	if err := c.Request(req, func(b []byte) { resp = b }); err != nil {
+		return nil, err
+	}
+	_ = v.Kernel.Run()
+	return resp, nil
+}
+
+// RunUnlock drives the two-step SecurityAccess handshake synchronously.
+func (v *Vehicle) RunUnlock(c *uds.Client, level byte, alg uds.SeedKeyAlgorithm) error {
+	var result error
+	if err := c.Unlock(level, alg, func(err error) { result = err }); err != nil {
+		return err
+	}
+	_ = v.Kernel.Run()
+	return result
+}

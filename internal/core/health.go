@@ -1,0 +1,19 @@
+package core
+
+import (
+	"autosec/internal/reliability"
+)
+
+// EnableHealthMonitoring attaches a device-reliability monitor (the §3
+// "device reliability" robustness pillar) whose warnings and failures
+// land in the vehicle's tamper-evident audit log — early wear-out
+// warnings are maintenance-relevant evidence just as attacks are.
+// tickHours is the operating-hours-per-virtual-minute compression.
+func (v *Vehicle) EnableHealthMonitoring(tickHours float64) *reliability.Monitor {
+	m := reliability.NewMonitor(v.Kernel, tickHours)
+	m.OnEvent(func(kind, component string) {
+		v.Audit.Append(v.Kernel.Now(), "health", kind+": "+component)
+	})
+	_ = v.Arch.Install(SecureProcessing, Implementation{Name: "health-monitor", Version: 1, Component: m})
+	return m
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"autosec/internal/reliability"
+	"autosec/internal/sim"
+)
+
+func TestHealthMonitoringFeedsAuditLog(t *testing.T) {
+	v := newVehicle(t, Config{})
+	mon := v.EnableHealthMonitoring(5) // 5 operating hours per virtual minute
+	if err := mon.Add(&reliability.Component{Name: "fuel-pump", ShapeK: 3, ScaleHours: 500}); err != nil {
+		t.Fatal(err)
+	}
+	stop := mon.Start()
+	_ = v.Kernel.RunUntil(4 * sim.Hour) // 1200 operating hours ≈ 2.4 lives
+	stop()
+
+	if len(mon.Failures) == 0 {
+		t.Fatal("component never failed after 2.4 characteristic lives")
+	}
+	warned, total := mon.WarnedBeforeFailure()
+	if warned != total {
+		t.Fatalf("wear-out failure unwarned: %d/%d", warned, total)
+	}
+	// Both events landed in the audit log, chain intact.
+	var sawWarning, sawFailure bool
+	for _, e := range v.Audit.Entries() {
+		if e.Source != "health" {
+			continue
+		}
+		if strings.HasPrefix(e.Event, "warning") {
+			sawWarning = true
+		}
+		if strings.HasPrefix(e.Event, "failure") {
+			sawFailure = true
+		}
+	}
+	if !sawWarning || !sawFailure {
+		t.Fatalf("audit log missing health events (warning=%v failure=%v)", sawWarning, sawFailure)
+	}
+	if err := v.Audit.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Arch.Get(SecureProcessing, "health-monitor"); err != nil {
+		t.Fatal(err)
+	}
+}

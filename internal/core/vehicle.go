@@ -1,0 +1,382 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"autosec/internal/audit"
+	"autosec/internal/can"
+	"autosec/internal/ecu"
+	"autosec/internal/gateway"
+	"autosec/internal/ids"
+	"autosec/internal/keyless"
+	"autosec/internal/ota"
+	"autosec/internal/policy"
+	"autosec/internal/sensors"
+	"autosec/internal/she"
+	"autosec/internal/sim"
+	"autosec/internal/workload"
+)
+
+// Domain names used by the standard vehicle build.
+const (
+	DomainPowertrain   = "powertrain"
+	DomainChassis      = "chassis"
+	DomainInfotainment = "infotainment"
+)
+
+// Config parameterizes a standard vehicle build.
+type Config struct {
+	VIN  string
+	Seed uint64
+	// MACBits is the truncated-CMAC width for authenticated CAN frames
+	// (0 disables authentication). Reconfigurable in-field through the
+	// "crypto.mac-bits" policy directive.
+	MACBits int
+	// PolicyKey is the trusted policy-authority key; nil disables the
+	// policy plane.
+	PolicyKey []byte
+}
+
+// Vehicle composes the substrate packages into one car under the 4+1
+// architecture. Every subsystem is reachable for scenarios and the
+// experiment harness.
+type Vehicle struct {
+	VIN    string
+	Kernel *sim.Kernel
+	Arch   *Architecture
+
+	Buses   map[string]*can.Bus
+	Gateway *gateway.Gateway
+	IDS     *ids.Engine
+	SHE     *she.Engine
+	CPU     *ecu.CPU
+	Keyless *keyless.Car
+	Policy  *policy.Engine
+	OTA     *ota.Client
+	Fusion  *sensors.Fusion
+	// Audit is the tamper-evident security event log, sealed by the SHE.
+	// Gateway denials/quarantines and IDS alerts are recorded
+	// automatically; subsystems may Append their own events.
+	Audit *audit.Log
+
+	// MACBits is the live authenticated-CAN configuration.
+	MACBits int
+
+	// AuthFailures counts received authenticated frames whose MAC did not
+	// verify.
+	AuthFailures sim.Counter
+
+	trafficStops []func()
+}
+
+// macKeySlot is the SHE slot holding the IVN authentication key.
+const macKeySlot = she.Key1
+
+// NewVehicle builds the standard three-domain vehicle: CAN buses for
+// powertrain, chassis and infotainment joined by a central gateway with a
+// deny-by-default rule set, an IDS tapped into the powertrain domain, a
+// SHE-backed MCU, a PKES unit with distance bounding available, and the
+// policy plane wired to reconfigure all of it.
+func NewVehicle(cfg Config) (*Vehicle, error) {
+	if cfg.VIN == "" {
+		return nil, errors.New("core: vehicle needs a VIN")
+	}
+	k := sim.NewKernel(cfg.Seed)
+	v := &Vehicle{
+		VIN:     cfg.VIN,
+		Kernel:  k,
+		Arch:    NewArchitecture(),
+		Buses:   make(map[string]*can.Bus),
+		MACBits: cfg.MACBits,
+	}
+
+	// Secure Networks: the IVN domains.
+	for _, d := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+		v.Buses[d] = can.NewBus(k, d, 500_000)
+	}
+
+	// Secure Gateway.
+	v.Gateway = gateway.New(k, "central")
+	for name, bus := range v.Buses {
+		if err := v.Gateway.AttachDomain(name, bus); err != nil {
+			return nil, err
+		}
+	}
+
+	// Secure Networks compensating control: IDS on the powertrain.
+	v.IDS = ids.NewEngine(ids.NewFrequencyDetector(), ids.NewIntervalDetector(), ids.NewSpecDetector())
+	v.IDS.AttachToBus(v.Buses[DomainPowertrain])
+
+	// Secure Processing: SHE engine + MCU scheduler.
+	var uid she.UID
+	copy(uid[:], cfg.VIN)
+	v.SHE = she.NewEngine(uid)
+	v.CPU = ecu.NewCPU(k, cfg.VIN+"-mcu")
+
+	// Access Security.
+	var pkesKey [16]byte
+	copy(pkesKey[:], cfg.VIN+"-pkes-key------")
+	v.Keyless = keyless.NewCar(pkesKey)
+
+	// Sensor fusion (feeds Secure Interfaces plausibility checks).
+	v.Fusion = sensors.NewFusion()
+
+	// Audit log, sealed under a dedicated SHE key slot.
+	var auditKey [16]byte
+	copy(auditKey[:], cfg.VIN+"-audit-seal-key-")
+	if err := v.SHE.ProvisionKey(she.Key10, auditKey, she.Flags{KeyUsage: true, WriteProtection: true}); err != nil {
+		return nil, err
+	}
+	v.Audit = audit.New(func(msg []byte) ([]byte, error) {
+		return v.SHE.GenerateMAC(she.Key10, msg)
+	})
+	v.Gateway.Observe(func(at sim.Time, from string, f *can.Frame, verdict string) {
+		// Denials and quarantine drops are security events; routine allows
+		// would swamp the log.
+		if len(verdict) >= 4 && (verdict[:4] == "deny" || verdict == "quarantined" || verdict[:4] == "rate") {
+			v.Audit.Append(at, "gateway", verdict+" id="+f.String()[:3]+" from="+from)
+		}
+	})
+	v.IDS.OnAlert(func(a ids.Alert) {
+		v.Audit.Append(a.At, "ids", a.String())
+	})
+
+	// Policy plane.
+	if cfg.PolicyKey != nil {
+		v.Policy = policy.NewEngine(cfg.PolicyKey)
+		if err := v.registerAppliers(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Record the build in the architecture inventory.
+	installs := []struct {
+		l    Layer
+		name string
+		comp any
+	}{
+		{SecureGateway, "central-gateway", v.Gateway},
+		{SecureNetworks, "ivn-can", v.Buses},
+		{SecureNetworks, "ids", v.IDS},
+		{SecureProcessing, "she", v.SHE},
+		{SecureProcessing, "scheduler", v.CPU},
+		{AccessSecurity, "pkes", v.Keyless},
+		{SecureInterfaces, "sensor-fusion", v.Fusion},
+	}
+	for _, in := range installs {
+		if err := v.Arch.Install(in.l, Implementation{Name: in.name, Version: 1, Component: in.comp}); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// registerAppliers wires the policy directive kinds into the subsystems.
+func (v *Vehicle) registerAppliers() error {
+	appliers := []policy.Applier{
+		policy.ApplierFunc{
+			K: "gateway.rule",
+			V: func(d policy.Directive) error {
+				_, err := parseGatewayRule(d)
+				return err
+			},
+			Ap: func(d policy.Directive) error {
+				r, err := parseGatewayRule(d)
+				if err != nil {
+					return err
+				}
+				v.Gateway.AddRule(r)
+				return nil
+			},
+		},
+		policy.ApplierFunc{
+			K: "gateway.quarantine",
+			Ap: func(d policy.Directive) error {
+				domain := d.Param("domain", "")
+				if d.Param("state", "on") == "on" {
+					return v.Gateway.Quarantine(domain)
+				}
+				return v.Gateway.Release(domain)
+			},
+		},
+		policy.ApplierFunc{
+			K: "ids.detector",
+			V: func(d policy.Directive) error {
+				_, err := buildDetector(d)
+				return err
+			},
+			Ap: func(d policy.Directive) error {
+				det, err := buildDetector(d)
+				if err != nil {
+					return err
+				}
+				v.IDS.Remove(det.Name()) // replace-in-place semantics
+				v.IDS.Add(det)
+				return nil
+			},
+		},
+		policy.ApplierFunc{
+			K: "crypto.mac-bits",
+			V: func(d policy.Directive) error {
+				_, err := parseMACBits(d)
+				return err
+			},
+			Ap: func(d policy.Directive) error {
+				bits, err := parseMACBits(d)
+				if err != nil {
+					return err
+				}
+				v.MACBits = bits
+				return nil
+			},
+		},
+	}
+	for _, a := range appliers {
+		if err := v.Policy.Register(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseMACBits(d policy.Directive) (int, error) {
+	bits, err := strconv.Atoi(d.Param("bits", ""))
+	if err != nil {
+		return 0, fmt.Errorf("core: mac-bits: %v", err)
+	}
+	if bits != 0 && (bits < 8 || bits > 64 || bits%8 != 0) {
+		return 0, fmt.Errorf("core: mac-bits %d not in {0, 8..64 byte-aligned}", bits)
+	}
+	return bits, nil
+}
+
+func parseGatewayRule(d policy.Directive) (*gateway.Rule, error) {
+	lo, err := strconv.ParseUint(d.Param("idlo", "0"), 0, 32)
+	if err != nil {
+		return nil, fmt.Errorf("core: gateway rule idlo: %v", err)
+	}
+	hi, err := strconv.ParseUint(d.Param("idhi", "0x1FFFFFFF"), 0, 32)
+	if err != nil {
+		return nil, fmt.Errorf("core: gateway rule idhi: %v", err)
+	}
+	action := gateway.Deny
+	switch d.Param("action", "deny") {
+	case "allow":
+		action = gateway.Allow
+	case "deny":
+	default:
+		return nil, fmt.Errorf("core: gateway rule action %q", d.Param("action", ""))
+	}
+	rate := 0.0
+	if rs := d.Param("rate", ""); rs != "" {
+		rate, err = strconv.ParseFloat(rs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: gateway rule rate: %v", err)
+		}
+	}
+	r := &gateway.Rule{
+		Name:       d.Param("name", "policy-rule"),
+		From:       d.Param("from", "*"),
+		IDLo:       can.ID(lo),
+		IDHi:       can.ID(hi),
+		Action:     action,
+		RatePerSec: rate,
+	}
+	if to := d.Param("to", ""); to != "" {
+		r.To = []string{to}
+	}
+	return r, nil
+}
+
+func buildDetector(d policy.Directive) (ids.Detector, error) {
+	switch name := d.Param("name", ""); name {
+	case "frequency":
+		return ids.NewFrequencyDetector(), nil
+	case "interval":
+		return ids.NewIntervalDetector(), nil
+	case "entropy":
+		return ids.NewEntropyDetector(), nil
+	case "spec":
+		return ids.NewSpecDetector(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown detector %q", name)
+	}
+}
+
+// StartTraffic launches the standard workload matrices on the powertrain
+// and infotainment domains.
+func (v *Vehicle) StartTraffic() {
+	_, stopPT := workload.StartSenders(v.Kernel, v.Buses[DomainPowertrain], workload.PowertrainMatrix(), 0.01)
+	_, stopBody := workload.StartSenders(v.Kernel, v.Buses[DomainInfotainment], workload.BodyMatrix(), 0.01)
+	v.trafficStops = append(v.trafficStops, stopPT, stopBody)
+}
+
+// StopTraffic halts the workload senders.
+func (v *Vehicle) StopTraffic() {
+	for _, fn := range v.trafficStops {
+		fn()
+	}
+	v.trafficStops = nil
+}
+
+// TrainIDS trains the intrusion detectors on a clean reference trace.
+func (v *Vehicle) TrainIDS(trace *can.Trace) { v.IDS.Train(trace) }
+
+// ArmAutoQuarantine wires IDS alerts on the given domain's traffic to an
+// automatic gateway quarantine of a source domain — the containment
+// reflex the paper assigns to the Secure Gateway layer.
+func (v *Vehicle) ArmAutoQuarantine(sourceDomain string) {
+	v.IDS.OnAlert(func(a ids.Alert) {
+		_ = v.Gateway.Quarantine(sourceDomain)
+	})
+}
+
+// ProvisionMACKey installs the IVN authentication key into the SHE.
+func (v *Vehicle) ProvisionMACKey(key [16]byte) error {
+	return v.SHE.ProvisionKey(macKeySlot, key, she.Flags{KeyUsage: true, BootProtection: true})
+}
+
+// AuthenticatedSend appends a truncated CMAC (MACBits wide) to the
+// payload and sends the frame. Payload length plus MAC bytes must fit the
+// 8-byte classic CAN frame.
+func (v *Vehicle) AuthenticatedSend(c *can.Controller, id can.ID, payload []byte) error {
+	macLen := v.MACBits / 8
+	if len(payload)+macLen > 8 {
+		return fmt.Errorf("core: payload %dB + MAC %dB exceeds frame", len(payload), macLen)
+	}
+	data := append([]byte(nil), payload...)
+	if macLen > 0 {
+		mac, err := v.SHE.GenerateMAC(macKeySlot, payload)
+		if err != nil {
+			return err
+		}
+		data = append(data, mac[:macLen]...)
+	}
+	return c.Send(can.Frame{ID: id, Data: data}, nil)
+}
+
+// VerifyAuthenticated checks a received frame's trailing MAC under the
+// live MACBits configuration and returns the bare payload.
+func (v *Vehicle) VerifyAuthenticated(f *can.Frame) ([]byte, error) {
+	macLen := v.MACBits / 8
+	if macLen == 0 {
+		return f.Data, nil
+	}
+	if len(f.Data) < macLen {
+		v.AuthFailures.Inc()
+		return nil, errors.New("core: frame too short for MAC")
+	}
+	payload := f.Data[:len(f.Data)-macLen]
+	mac := f.Data[len(f.Data)-macLen:]
+	ok, err := v.SHE.VerifyMAC(macKeySlot, payload, mac, v.MACBits)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		v.AuthFailures.Inc()
+		return nil, errors.New("core: MAC verification failed")
+	}
+	return payload, nil
+}

@@ -1,0 +1,218 @@
+package doip
+
+import (
+	"bytes"
+	"testing"
+
+	"autosec/internal/ethernet"
+	"autosec/internal/sim"
+)
+
+// rig: a switch with the DoIP entity on the diagnostics VLAN and a tester
+// port; optionally an attacker on another VLAN.
+type rig struct {
+	k      *sim.Kernel
+	sw     *ethernet.Switch
+	entity *Entity
+	tester *Tester
+}
+
+const (
+	vlanDiag = 100
+	vlanIVI  = 200
+)
+
+func newRig(t *testing.T, auth func(uint16, []byte) bool) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	sw := ethernet.NewSwitch(k, "sw0", 5*sim.Microsecond)
+	entityHost := ethernet.NewHost("doip-edge", ethernet.LocalMAC(1))
+	testerHost := ethernet.NewHost("tester", ethernet.LocalMAC(2))
+	sw.Connect(entityHost, vlanDiag)
+	sw.Connect(testerHost, vlanDiag)
+
+	e := NewEntity(entityHost, "WAUTOSEC000000042", 0x0010)
+	e.Auth = auth
+	e.RegisterECU(0x0021, func(req []byte) []byte {
+		// A trivial UDS echo ECU: TesterPresent -> positive response.
+		if len(req) == 2 && req[0] == 0x3E {
+			return []byte{0x7E, req[1]}
+		}
+		return []byte{0x7F, req[0], 0x11}
+	})
+	return &rig{k: k, sw: sw, entity: e, tester: NewTester(testerHost, 0x0E00)}
+}
+
+func (r *rig) discover(t *testing.T) {
+	t.Helper()
+	var vin string
+	r.tester.OnIdent(func(v string, logical uint16) { vin = v })
+	if err := r.tester.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if vin != "WAUTOSEC000000042" {
+		t.Fatalf("discovered VIN %q", vin)
+	}
+}
+
+func TestDiscoveryAndDiagRoundTrip(t *testing.T) {
+	r := newRig(t, nil)
+	r.discover(t)
+
+	var actCode byte = 0xFF
+	r.tester.OnActivation(func(code byte) { actCode = code })
+	if err := r.tester.Activate(nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if actCode != ActSuccess {
+		t.Fatalf("activation code %#x", actCode)
+	}
+
+	var resp []byte
+	r.tester.OnDiagResponse(func(b []byte) { resp = b })
+	if err := r.tester.Diag(0x0021, []byte{0x3E, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if !bytes.Equal(resp, []byte{0x7E, 0x00}) {
+		t.Fatalf("diag response %x", resp)
+	}
+	if r.entity.DiagForwarded.Value != 1 {
+		t.Fatalf("forwarded=%d", r.entity.DiagForwarded.Value)
+	}
+}
+
+func TestDiagWithoutActivationNacked(t *testing.T) {
+	r := newRig(t, nil)
+	r.discover(t)
+	var nack byte
+	r.tester.OnNack(func(code byte) { nack = code })
+	if err := r.tester.Diag(0x0021, []byte{0x3E, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if nack != NackRoutingInactive {
+		t.Fatalf("nack=%#x (%s)", nack, NackName(nack))
+	}
+	if r.entity.DiagNacked.Value != 1 {
+		t.Fatalf("nacked=%d", r.entity.DiagNacked.Value)
+	}
+}
+
+func TestUnknownTargetNacked(t *testing.T) {
+	r := newRig(t, nil)
+	r.discover(t)
+	_ = r.tester.Activate(nil)
+	_ = r.k.Run()
+	var nack byte
+	r.tester.OnNack(func(code byte) { nack = code })
+	_ = r.tester.Diag(0x0999, []byte{0x3E, 0x00})
+	_ = r.k.Run()
+	if nack != NackUnknownTarget {
+		t.Fatalf("nack=%#x", nack)
+	}
+}
+
+func TestAuthenticatedActivation(t *testing.T) {
+	secret := []byte("doip-activation-secret")
+	r := newRig(t, func(source uint16, key []byte) bool {
+		return bytes.Equal(key, secret)
+	})
+	r.discover(t)
+
+	var codes []byte
+	r.tester.OnActivation(func(code byte) { codes = append(codes, code) })
+	// Wrong key denied.
+	_ = r.tester.Activate([]byte("guess"))
+	_ = r.k.Run()
+	// Correct key accepted.
+	_ = r.tester.Activate(secret)
+	_ = r.k.Run()
+	if len(codes) != 2 || codes[0] != ActDeniedAuthRequired || codes[1] != ActSuccess {
+		t.Fatalf("codes=%v", codes)
+	}
+	if r.entity.ActDenied.Value != 1 || r.entity.Activations.Value != 1 {
+		t.Fatalf("denied=%d activated=%d", r.entity.ActDenied.Value, r.entity.Activations.Value)
+	}
+	// And diagnostics now work.
+	var resp []byte
+	r.tester.OnDiagResponse(func(b []byte) { resp = b })
+	_ = r.tester.Diag(0x0021, []byte{0x3E, 0x00})
+	_ = r.k.Run()
+	if len(resp) == 0 {
+		t.Fatal("no diag response after authenticated activation")
+	}
+}
+
+// The VLAN claim: an attacker on the infotainment VLAN cannot even
+// discover the DoIP entity, let alone talk to it.
+func TestVLANSeparationBlocksOffVLANAttacker(t *testing.T) {
+	r := newRig(t, nil)
+	attackerHost := ethernet.NewHost("attacker", ethernet.LocalMAC(66))
+	r.sw.Connect(attackerHost, vlanIVI)
+	attacker := NewTester(attackerHost, 0x0E66)
+	heard := false
+	attacker.OnIdent(func(string, uint16) { heard = true })
+	if err := attacker.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if heard {
+		t.Fatal("attacker crossed the VLAN boundary")
+	}
+	if r.entity.IdentRequests.Value != 0 {
+		t.Fatal("identification request leaked across VLANs")
+	}
+	// Blind diag attempts fail for lack of discovery.
+	if err := attacker.Diag(0x0021, []byte{0x3E, 0x00}); err != ErrNoEntity {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMalformedMessagesIgnored(t *testing.T) {
+	r := newRig(t, nil)
+	raw := ethernet.NewHost("raw", ethernet.LocalMAC(9))
+	r.sw.Connect(raw, vlanDiag)
+	// Garbage payloads of every kind: short, bad version, truncated length.
+	for _, p := range [][]byte{
+		{},
+		{0x01},
+		{0x03, 0xFC, 0, 1, 0, 0, 0, 0},        // wrong version
+		{0x02, 0xFD, 0x00, 0x01, 0, 0, 0, 99}, // length beyond frame
+		append(encodeHeader(TypeDiagMessage, 2), 0x0E), // diag too short
+		append(encodeHeader(TypeRoutingActivation, 1), 0x00),
+	} {
+		_ = raw.Send(ethernet.Frame{Dst: ethernet.Broadcast, EtherType: EtherTypeDoIP, Payload: p})
+	}
+	_ = r.k.Run()
+	if r.entity.Activations.Value != 0 || r.entity.DiagForwarded.Value != 0 {
+		t.Fatal("garbage produced actions")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := encodeHeader(TypeDiagMessage, 5)
+	pt, payload, err := parseHeader(append(h, 1, 2, 3, 4, 5))
+	if err != nil || pt != TypeDiagMessage || len(payload) != 5 {
+		t.Fatalf("pt=%#x payload=%v err=%v", pt, payload, err)
+	}
+	if _, _, err := parseHeader([]byte{1, 2, 3}); err != ErrMalformed {
+		t.Fatalf("err=%v", err)
+	}
+	bad := encodeHeader(1, 0)
+	bad[1] = 0x00
+	if _, _, err := parseHeader(bad); err != ErrVersion {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestNackName(t *testing.T) {
+	if NackName(NackRoutingInactive) != "routing activation missing" {
+		t.Fatal("name")
+	}
+	if NackName(0x77) == "" {
+		t.Fatal("unknown name empty")
+	}
+}

@@ -1,0 +1,41 @@
+package doip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/ethernet"
+)
+
+// Robustness: arbitrary Ethernet payloads into the DoIP entity must never
+// panic, activate routing, or forward diagnostics.
+func TestEntitySurvivesArbitraryPayloads(t *testing.T) {
+	r := newRig(t, nil)
+	raw := ethernet.NewHost("fuzzer", ethernet.LocalMAC(99))
+	r.sw.Connect(raw, vlanDiag)
+	f := func(payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		_ = raw.Send(ethernet.Frame{Dst: ethernet.Broadcast, EtherType: EtherTypeDoIP, Payload: payload})
+		_ = r.k.Run()
+		return r.entity.DiagForwarded.Value == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Well-formed-but-random headers likewise never forward diagnostics
+	// (routing was never activated).
+	g := func(pt uint16, body []byte) bool {
+		if len(body) > 1000 {
+			body = body[:1000]
+		}
+		msg := append(encodeHeader(pt, len(body)), body...)
+		_ = raw.Send(ethernet.Frame{Dst: ethernet.Broadcast, EtherType: EtherTypeDoIP, Payload: msg})
+		_ = r.k.Run()
+		return r.entity.DiagForwarded.Value == 0
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package ethernet
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+func newNet(t *testing.T) (*sim.Kernel, *Switch) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	return k, NewSwitch(k, "sw0", 5*sim.Microsecond)
+}
+
+func TestMACString(t *testing.T) {
+	m := LocalMAC(0x0A0B0C0D)
+	if got := m.String(); got != "02:00:0a:0b:0c:0d" {
+		t.Fatalf("String()=%q", got)
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast not recognized")
+	}
+	if m.IsBroadcast() {
+		t.Fatal("unicast recognized as broadcast")
+	}
+}
+
+func TestWireBytesPadding(t *testing.T) {
+	small := Frame{Payload: []byte{1}}
+	if small.WireBytes() != 14+4+46+4+8+12 {
+		t.Fatalf("padded wire bytes=%d", small.WireBytes())
+	}
+	big := Frame{Payload: make([]byte, 1500)}
+	if big.WireBytes() != 14+4+1500+4+8+12 {
+		t.Fatalf("full wire bytes=%d", big.WireBytes())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Frame{Payload: make([]byte, 1501)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+	badVLAN := Frame{VLAN: 4095}
+	if err := badVLAN.Validate(); err == nil {
+		t.Fatal("VLAN 4095 accepted")
+	}
+}
+
+func TestFloodThenLearnedUnicast(t *testing.T) {
+	k, sw := newNet(t)
+	a := NewHost("a", LocalMAC(1))
+	b := NewHost("b", LocalMAC(2))
+	c := NewHost("c", LocalMAC(3))
+	sw.Connect(a, 10)
+	sw.Connect(b, 10)
+	sw.Connect(c, 10)
+
+	var bGot, cGot int
+	b.OnReceive(func(sim.Time, *Frame) { bGot++ })
+	c.OnReceive(func(sim.Time, *Frame) { cGot++ })
+
+	// First frame to b's (unlearned) MAC floods to both.
+	_ = a.Send(Frame{Dst: LocalMAC(2), Payload: []byte("hello")})
+	_ = k.Run()
+	if bGot != 1 || cGot != 1 {
+		t.Fatalf("after flood: b=%d c=%d", bGot, cGot)
+	}
+	// b replies; switch learns both. Next a->b frame is unicast.
+	_ = b.Send(Frame{Dst: LocalMAC(1), Payload: []byte("re")})
+	_ = k.Run()
+	_ = a.Send(Frame{Dst: LocalMAC(2), Payload: []byte("again")})
+	_ = k.Run()
+	if bGot != 2 {
+		t.Fatalf("b did not get unicast: %d", bGot)
+	}
+	if cGot != 1 {
+		t.Fatalf("c saw a learned unicast: %d", cGot)
+	}
+	// Only the first frame flooded; b's reply and a's second frame were
+	// forwarded via the learned table.
+	if sw.FramesFlooded.Value != 1 || sw.FramesForwarded.Value != 2 {
+		t.Fatalf("flooded=%d forwarded=%d", sw.FramesFlooded.Value, sw.FramesForwarded.Value)
+	}
+}
+
+func TestVLANSeparation(t *testing.T) {
+	k, sw := newNet(t)
+	ivi := NewHost("infotainment", LocalMAC(1))
+	pt := NewHost("powertrain", LocalMAC(2))
+	sw.Connect(ivi, 10)
+	sw.Connect(pt, 20)
+
+	got := 0
+	pt.OnReceive(func(sim.Time, *Frame) { got++ })
+	// Broadcast from VLAN 10 must not reach VLAN 20.
+	_ = ivi.Send(Frame{Dst: Broadcast, Payload: []byte("spam")})
+	// Tagged frame claiming VLAN 20 from a VLAN-10 access port is dropped
+	// at ingress.
+	_ = ivi.Send(Frame{Dst: Broadcast, VLAN: 20, Payload: []byte("hop")})
+	_ = k.Run()
+	if got != 0 {
+		t.Fatalf("powertrain received %d frames across VLANs", got)
+	}
+	if sw.VLANViolations.Value != 1 {
+		t.Fatalf("VLANViolations=%d, want 1", sw.VLANViolations.Value)
+	}
+}
+
+func TestTrunkPortCarriesMultipleVLANs(t *testing.T) {
+	k, sw := newNet(t)
+	gw := NewHost("gateway", LocalMAC(9))
+	a := NewHost("a", LocalMAC(1))
+	p := sw.Connect(gw, 1)
+	p.Allowed = map[uint16]bool{10: true, 20: true}
+	sw.Connect(a, 10)
+
+	got := 0
+	gw.OnReceive(func(_ sim.Time, f *Frame) {
+		if f.VLAN == 10 {
+			got++
+		}
+	})
+	_ = a.Send(Frame{Dst: Broadcast, Payload: []byte("x")})
+	_ = k.Run()
+	if got != 1 {
+		t.Fatalf("trunk port got %d frames", got)
+	}
+}
+
+func TestPolicerDropsExcess(t *testing.T) {
+	k, sw := newNet(t)
+	src := NewHost("src", LocalMAC(1))
+	dst := NewHost("dst", LocalMAC(2))
+	p := sw.Connect(src, 10)
+	p.Police = &Policer{RateBps: 10_000, BurstBytes: 200}
+	sw.Connect(dst, 10)
+
+	got := 0
+	dst.OnReceive(func(sim.Time, *Frame) { got++ })
+	// Burst of 10 minimum-size frames (88 wire bytes each) at t=0: bucket
+	// holds 200 bytes -> 2 frames pass.
+	for i := 0; i < 10; i++ {
+		_ = src.Send(Frame{Dst: Broadcast, Payload: []byte{byte(i)}})
+	}
+	_ = k.Run()
+	if got != 2 {
+		t.Fatalf("policer passed %d frames, want 2", got)
+	}
+	if sw.Policed.Value != 8 {
+		t.Fatalf("policed=%d", sw.Policed.Value)
+	}
+	// After a second of refill, more frames pass.
+	k2 := k
+	_ = k2.RunUntil(k.Now() + sim.Second)
+	_ = src.Send(Frame{Dst: Broadcast, Payload: []byte{0xFF}})
+	_ = k.Run()
+	if got != 3 {
+		t.Fatalf("after refill got=%d", got)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	k, sw := newNet(t)
+	a := NewHost("a", LocalMAC(1))
+	b := NewHost("b", LocalMAC(2))
+	sw.Connect(a, 10)
+	sw.Connect(b, 10)
+	var at sim.Time
+	b.OnReceive(func(now sim.Time, _ *Frame) { at = now })
+	f := Frame{Dst: Broadcast, Payload: make([]byte, 100)}
+	wire := f.WireBytes()
+	_ = a.Send(f)
+	_ = k.Run()
+	// 2 serializations at 100Mbps + 5us switch latency.
+	want := 2*sim.Duration(float64(wire*8)/100e6*1e9) + 5*sim.Microsecond
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestSpoofKeepsForgedSource(t *testing.T) {
+	k, sw := newNet(t)
+	atk := NewHost("attacker", LocalMAC(66))
+	vic := NewHost("victim", LocalMAC(2))
+	sw.Connect(atk, 10)
+	sw.Connect(vic, 10)
+	var srcSeen MAC
+	vic.OnReceive(func(_ sim.Time, f *Frame) { srcSeen = f.Src })
+	_ = atk.Spoof(Frame{Src: LocalMAC(1), Dst: Broadcast, Payload: []byte("forged")})
+	_ = k.Run()
+	if srcSeen != LocalMAC(1) {
+		t.Fatalf("spoofed source not preserved: %v", srcSeen)
+	}
+	// Regular Send overwrites the source.
+	_ = atk.Send(Frame{Src: LocalMAC(1), Dst: Broadcast, Payload: []byte("normal")})
+	_ = k.Run()
+	if srcSeen != LocalMAC(66) {
+		t.Fatalf("Send did not force the real source: %v", srcSeen)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	k, sw := newNet(t)
+	a := NewHost("a", LocalMAC(1))
+	b := NewHost("b", LocalMAC(2))
+	sw.Connect(a, 10)
+	sw.Connect(b, 10)
+	seen := 0
+	sw.Observe(func(sim.Time, *Frame, *Port) { seen++ })
+	_ = a.Send(Frame{Dst: Broadcast})
+	_ = b.Send(Frame{Dst: Broadcast})
+	_ = k.Run()
+	if seen != 2 {
+		t.Fatalf("observer saw %d frames", seen)
+	}
+}
+
+func TestDetachedHostSend(t *testing.T) {
+	h := NewHost("x", LocalMAC(1))
+	if err := h.Send(Frame{Dst: Broadcast}); err == nil {
+		t.Fatal("detached Send succeeded")
+	}
+}
+
+func TestPolicerUnconfiguredAdmitsAll(t *testing.T) {
+	p := &Policer{}
+	for i := 0; i < 100; i++ {
+		if !p.Allow(sim.Time(i), 1500) {
+			t.Fatal("unconfigured policer dropped a frame")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"autosec/internal/can"
+	"autosec/internal/core"
+	"autosec/internal/sim"
+	"autosec/internal/uds"
+)
+
+// E13DiagnosticAccess quantifies the diagnostic attack surface behind the
+// paper's remote-exploitation references [15, 16]: UDS SecurityAccess is
+// the only gate in front of reflashing and privileged routines, so its
+// seed/key algorithm and lockout policy decide the cost of entry. The
+// sniffing attack is executed live against the composed vehicle; the
+// brute-force rows are computed from the implementation's lockout
+// parameters.
+func E13DiagnosticAccess(seed uint64) *Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "UDS SecurityAccess: algorithm strength vs attacker effort (refs [15,16])",
+		Claim:   "complex functionalities are gated by diagnostic authentication; weak seed/key schemes void the gate",
+		Columns: []string{"algorithm", "attack", "exchanges observed", "unlocked", "expected effort"},
+	}
+
+	// Live sniffing attack against the weak algorithm.
+	weak := uds.WeakXOR{Constant: 0x5EC0DE00 ^ uint32(seed)}
+	v, err := core.NewVehicle(core.Config{VIN: "E13-VIN-01", Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	d := v.AttachDiagnostics(core.DomainInfotainment, weak)
+
+	var sniffedSeed, sniffedKey []byte
+	v.Buses[core.DomainInfotainment].Sniff(func(_ sim.Time, f *can.Frame, _ *can.Controller, _ bool) {
+		if len(f.Data) >= 7 && f.Data[1] == 0x67 && f.Data[2] == 0x01 {
+			sniffedSeed = append([]byte(nil), f.Data[3:7]...)
+		}
+		if len(f.Data) >= 7 && f.Data[1] == 0x27 && f.Data[2] == 0x02 {
+			sniffedKey = append([]byte(nil), f.Data[3:7]...)
+		}
+	})
+
+	// The workshop unlocks once while the attacker listens.
+	if _, err := v.RunDiag(d.Tester, []byte{uds.SvcSessionControl, uds.SessionExtended}); err != nil {
+		panic(err)
+	}
+	if err := v.RunUnlock(d.Tester, 1, weak); err != nil {
+		panic(err)
+	}
+
+	sniffUnlocked := "no"
+	if sniffedSeed != nil && sniffedKey != nil {
+		var c uint32
+		for i := 0; i < 4; i++ {
+			c = c<<8 | uint32(sniffedSeed[i]^sniffedKey[i])
+		}
+		recovered := uds.WeakXOR{Constant: c - 1} // level-1 offset
+		// Fresh vehicle of the same model line.
+		v2, err := core.NewVehicle(core.Config{VIN: "E13-VIN-02", Seed: seed + 1})
+		if err != nil {
+			panic(err)
+		}
+		_ = v2.AttachDiagnostics(core.DomainInfotainment, weak)
+		intruder := v2.NewIntruderTester(core.DomainInfotainment)
+		if _, err := v2.RunDiag(intruder, []byte{uds.SvcSessionControl, uds.SessionExtended}); err == nil {
+			if err := v2.RunUnlock(intruder, 1, recovered); err == nil {
+				sniffUnlocked = "yes"
+			}
+		}
+	}
+	t.AddRow("weak-xor", "sniff one exchange, derive constant", 1, sniffUnlocked, "offline XOR")
+
+	// Brute force against each algorithm, from the lockout parameters:
+	// 3 attempts per 10s lockout window -> 0.3 guesses/s.
+	guessesPerSecond := 3.0 / 10.0
+	keySpace := math.Pow(2, 32) // 4-byte keys on the wire
+	expected := keySpace / 2 / guessesPerSecond
+	t.AddRow("weak-xor", "online brute force (no sniffing)", 0, "eventually",
+		fmt.Sprintf("%.0f years", expected/3600/24/365))
+	t.AddRow("she-cmac", "sniff any number of exchanges", "n", "no", "CMAC preimage (2^127)")
+	t.AddRow("she-cmac", "online brute force", 0, "eventually",
+		fmt.Sprintf("%.0f years (and per-seed)", expected/3600/24/365))
+	return t
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// E14BusOff quantifies the targeted bus-off attack (the modern, selective
+// form of the paper's §4.1 availability model): an adversary forcing bit
+// errors on a fraction of one victim's transmissions, sweeping the hit
+// probability. The CAN fault-confinement counters (+8 per error, −1 per
+// success) create a sharp threshold: below it the victim recovers faster
+// than it is damaged and survives indefinitely; above it the victim is
+// driven off the bus in a bounded number of transmissions.
+func E14BusOff(seed uint64) *Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Targeted bus-off attack: hit probability vs victim survival (§4.1)",
+		Claim:   "the error handling that gives CAN its robustness is itself a denial-of-service lever against a single ECU",
+		Columns: []string{"hit probability", "victim state @5s", "time to bus-off", "victim frames lost", "bystander frames ok"},
+	}
+	for _, hitProb := range []float64{0, 0.05, 0.2, 0.5, 1.0} {
+		k := sim.NewKernel(seed)
+		bus := can.NewBus(k, "pt", 500_000)
+		victim := can.NewController("victim")
+		bystander := can.NewController("bystander")
+		rx := can.NewController("rx")
+		bus.Attach(victim)
+		bus.Attach(bystander)
+		bus.Attach(rx)
+
+		var victimOK, bystanderOK int
+		rx.OnReceive(func(_ sim.Time, f *can.Frame, sender *can.Controller) {
+			switch sender.Name {
+			case "victim":
+				victimOK++
+			case "bystander":
+				bystanderOK++
+			}
+		})
+		hits := k.Stream("e14.hits")
+		bus.TargetedError = func(_ *can.Frame, sender *can.Controller) bool {
+			return sender.Name == "victim" && hits.Bool(hitProb)
+		}
+
+		var busOffAt sim.Time = -1
+		k.Every(0, sim.Millisecond, func() {
+			if busOffAt < 0 && victim.State() == can.BusOff {
+				busOffAt = k.Now()
+			}
+		})
+		stopV := can.PeriodicSender(k, victim, can.Frame{ID: 0x100, Data: []byte{1}}, 5*sim.Millisecond, 0)
+		stopB := can.PeriodicSender(k, bystander, can.Frame{ID: 0x200, Data: []byte{2}}, 5*sim.Millisecond, 0)
+		_ = k.RunUntil(5 * sim.Second)
+		stopV()
+		stopB()
+
+		sent := 1000 // 5s at 5ms period
+		toBusOff := "survives"
+		if busOffAt >= 0 {
+			toBusOff = busOffAt.String()
+		}
+		t.AddRow(fmt.Sprintf("%.2f", hitProb), victim.State().String(), toBusOff,
+			sent-victimOK, bystanderOK)
+	}
+	return t
+}

@@ -1,0 +1,104 @@
+// Package experiments implements the paper-reproduction harness: one
+// function per experiment E1–E12 from DESIGN.md, each returning a Table
+// whose rows quantify one qualitative claim of the paper. cmd/benchreport
+// prints every table; the root bench_test.go wraps each function in a
+// testing.B benchmark so `go test -bench` regenerates the full evaluation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: an id, the paper claim it
+// quantifies, and a rectangular result grid.
+type Table struct {
+	ID    string
+	Title string
+	// Claim cites the qualitative statement from the paper (with its
+	// section) that the numbers substantiate.
+	Claim   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "  claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString("  ")
+		for i, cell := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// All runs every experiment at the given seed and returns the tables in
+// order. This is the one-call full reproduction.
+func All(seed uint64) []*Table {
+	return []*Table{
+		E1BusDoS(seed),
+		E2SideChannel(seed),
+		E3FleetCompromise(seed),
+		E4Pseudonym(seed),
+		E5Tradeoff(seed),
+		E6Verification(seed),
+		E7AuthenticatedCAN(seed),
+		E8Gateway(seed),
+		E9Relay(seed),
+		E10OTA(seed),
+		E11IDS(seed),
+		E12Lifetime(seed),
+		E13DiagnosticAccess(seed),
+		E14BusOff(seed),
+		E15VerifyScaling(seed),
+		A1MACTruncation(seed),
+		A2BoundingThreshold(seed),
+	}
+}

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"testing"
+
+	"autosec/internal/she"
+)
+
+var master = [16]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6}
+
+func TestSharedKeyFullFleetCompromise(t *testing.T) {
+	f := New(100, 4, SharedKey, master)
+	res := f.AssessCompromise(0)
+	if res.Compromised != 100 {
+		t.Fatalf("shared-key compromise=%d, want 100", res.Compromised)
+	}
+	if res.Fraction() != 1 {
+		t.Fatalf("fraction=%v", res.Fraction())
+	}
+}
+
+func TestPerModelCompromiseLimitedToModel(t *testing.T) {
+	f := New(100, 4, PerModel, master)
+	res := f.AssessCompromise(0) // victim drives model 0
+	// 100 vehicles over 4 models -> 25 per model.
+	if res.Compromised != 25 {
+		t.Fatalf("per-model compromise=%d, want 25", res.Compromised)
+	}
+	// Every compromised vehicle shares the victim's model.
+	stolen := f.Vehicles[0].MasterKey()
+	for _, v := range f.Vehicles {
+		if v.MasterKey() == stolen && v.Model != res.AttackedModel {
+			t.Fatal("key shared across models")
+		}
+	}
+}
+
+func TestPerDeviceCompromiseOnlyVictim(t *testing.T) {
+	f := New(100, 4, PerDevice, master)
+	res := f.AssessCompromise(7)
+	if res.Compromised != 1 {
+		t.Fatalf("per-device compromise=%d, want 1", res.Compromised)
+	}
+	if res.AttackedVIN != "VIN-000008" {
+		t.Fatalf("victim VIN %s", res.AttackedVIN)
+	}
+}
+
+func TestPerDeviceKeysDistinct(t *testing.T) {
+	f := New(50, 1, PerDevice, master)
+	seen := make(map[[16]byte]bool)
+	for _, v := range f.Vehicles {
+		k := v.MasterKey()
+		if seen[k] {
+			t.Fatal("duplicate per-device key")
+		}
+		seen[k] = true
+	}
+}
+
+func TestCompromisedVehicleAcceptsEvilKey(t *testing.T) {
+	// Double-check the compromise is real: after the campaign the evil key
+	// actually works in the victim's Key1 slot.
+	f := New(3, 1, SharedKey, master)
+	res := f.AssessCompromise(1)
+	if res.Compromised != 3 {
+		t.Fatalf("compromise=%d", res.Compromised)
+	}
+	valid, flags, _ := f.Vehicles[2].Engine.KeyState(she.Key1)
+	if !valid || !flags.KeyUsage {
+		t.Fatal("evil key not installed on a fleet peer")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if SharedKey.String() != "shared-key" || PerModel.String() != "per-model" || PerDevice.String() != "per-device" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestModelsFloor(t *testing.T) {
+	f := New(10, 0, PerModel, master)
+	for _, v := range f.Vehicles {
+		if v.Model != 0 {
+			t.Fatal("model index with zero models requested")
+		}
+	}
+}
+
+func TestFractionEmptyFleet(t *testing.T) {
+	r := CompromiseResult{}
+	if r.Fraction() != 0 {
+		t.Fatal("empty fleet fraction not 0")
+	}
+}

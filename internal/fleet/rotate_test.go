@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"testing"
+
+	"autosec/internal/she"
+)
+
+func TestRotateKeysClosesCompromise(t *testing.T) {
+	f := New(50, 2, SharedKey, master)
+	// Attacker extracts the shared key from vehicle 0.
+	stolen := f.Vehicles[0].MasterKey()
+	if res := f.AssessCompromise(0); res.Compromised != 50 {
+		t.Fatalf("precondition: compromise=%d", res.Compromised)
+	}
+
+	// Recovery: rotate the whole fleet to a new master (per-device this
+	// time — the compromise motivates the policy change too).
+	var newMaster [16]byte
+	copy(newMaster[:], "rotated-master-1")
+	rotated, failed := f.RotateKeys(newMaster)
+	if rotated != 50 || len(failed) != 0 {
+		t.Fatalf("rotated=%d failed=%v", rotated, failed)
+	}
+
+	// The stolen key no longer authorizes key loads anywhere: rebuild the
+	// attack with the old key against the rotated fleet.
+	compromised := 0
+	for _, v := range f.Vehicles {
+		if v.MasterKey() == stolen {
+			compromised++
+		}
+	}
+	if compromised != 0 {
+		t.Fatalf("%d vehicles still on the stolen key", compromised)
+	}
+	// And a fresh assessment with the new victim key works as expected
+	// (shared policy still shares the new key).
+	if res := f.AssessCompromise(0); res.Compromised != 50 {
+		t.Fatalf("post-rotation self-check: %d", res.Compromised)
+	}
+}
+
+func TestRotateKeysIsRepeatable(t *testing.T) {
+	f := New(10, 1, PerDevice, master)
+	var m2, m3 [16]byte
+	copy(m2[:], "second-master-xx")
+	copy(m3[:], "third-master-xxx")
+	if n, failed := f.RotateKeys(m2); n != 10 || len(failed) != 0 {
+		t.Fatalf("first rotation: %d %v", n, failed)
+	}
+	if n, failed := f.RotateKeys(m3); n != 10 || len(failed) != 0 {
+		t.Fatalf("second rotation: %d %v", n, failed)
+	}
+	// Keys distinct per device after rotation.
+	seen := make(map[[16]byte]bool)
+	for _, v := range f.Vehicles {
+		if seen[v.MasterKey()] {
+			t.Fatal("duplicate key after rotation")
+		}
+		seen[v.MasterKey()] = true
+	}
+}
+
+func TestRotateKeysFailsForHijackedVehicle(t *testing.T) {
+	f := New(5, 1, SharedKey, master)
+	// The attacker got there first on vehicle 3: they rotated its master
+	// key to one the OEM does not know.
+	var evil [16]byte
+	copy(evil[:], "attacker-owned!!")
+	hijacked := f.Vehicles[3]
+	_, _, counter := hijacked.Engine.KeyState(she.MasterECUKey)
+	req, err := she.BuildUpdate(hijacked.Engine.UID(), she.MasterECUKey, she.MasterECUKey,
+		hijacked.MasterKey(), evil, counter+1, she.Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hijacked.Engine.LoadKey(req); err != nil {
+		t.Fatal(err)
+	}
+
+	var newMaster [16]byte
+	copy(newMaster[:], "oem-recovery-key")
+	rotated, failed := f.RotateKeys(newMaster)
+	if rotated != 4 {
+		t.Fatalf("rotated=%d", rotated)
+	}
+	if len(failed) != 1 || failed[0] != hijacked.VIN {
+		t.Fatalf("failed=%v", failed)
+	}
+}

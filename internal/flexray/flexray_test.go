@@ -1,0 +1,239 @@
+package flexray
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/sim"
+)
+
+func TestConfigCycleLength(t *testing.T) {
+	cfg := DefaultConfig()
+	// 60*50 + 200*5 + 1000 = 5000 macroticks of 1us = 5ms.
+	if got := cfg.CycleLength(); got != 5*sim.Millisecond {
+		t.Fatalf("cycle length %v, want 5ms", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.StaticSlots = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero static slots accepted")
+	}
+}
+
+func TestHeaderCRCDistinguishesSlots(t *testing.T) {
+	a := HeaderCRC(1, 4)
+	b := HeaderCRC(2, 4)
+	if a == b {
+		t.Fatal("header CRC identical for different slots")
+	}
+	if a != HeaderCRC(1, 4) {
+		t.Fatal("header CRC not deterministic")
+	}
+	if a>>11 != 0 {
+		t.Fatalf("header CRC %#x wider than 11 bits", a)
+	}
+}
+
+func TestFrameCRC24DetectsFlipsProperty(t *testing.T) {
+	f := func(payload []byte, idx, bit uint8) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		orig := FrameCRC24(payload)
+		if orig>>24 != 0 {
+			return false
+		}
+		mut := append([]byte(nil), payload...)
+		mut[int(idx)%len(mut)] ^= 1 << (bit % 8)
+		return FrameCRC24(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newCluster(t *testing.T) (*sim.Kernel, *Cluster) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	c, err := NewCluster(k, "chassis", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, c
+}
+
+func TestStaticSlotDelivery(t *testing.T) {
+	k, c := newCluster(t)
+	err := c.AssignStatic(3, "brake-ecu", func(cycle int) []byte {
+		return []byte{byte(cycle), 0xAA}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Frame
+	c.OnReceive(func(_ sim.Time, f Frame) {
+		if !f.NullFrame {
+			got = append(got, f)
+		}
+	})
+	_ = c.Start()
+	_ = k.RunUntil(3 * c.Config().CycleLength())
+	c.Stop()
+	if len(got) != 3 {
+		t.Fatalf("got %d frames, want 3", len(got))
+	}
+	for i, f := range got {
+		if f.Slot != 3 || f.Cycle != i || f.Sender != "brake-ecu" {
+			t.Fatalf("frame %d: %+v", i, f)
+		}
+		if f.Payload[0] != byte(i) {
+			t.Fatalf("cycle counter payload mismatch: %+v", f)
+		}
+	}
+}
+
+func TestStaticSlotTiming(t *testing.T) {
+	k, c := newCluster(t)
+	_ = c.AssignStatic(1, "a", func(int) []byte { return []byte{1, 1} })
+	_ = c.AssignStatic(10, "b", func(int) []byte { return []byte{2, 2} })
+	var times []sim.Time
+	c.OnReceive(func(at sim.Time, f Frame) { times = append(times, at) })
+	_ = c.Start()
+	_ = k.RunUntil(c.Config().CycleLength() - 1)
+	c.Stop()
+	if len(times) != 2 {
+		t.Fatalf("got %d frames", len(times))
+	}
+	// Slot 1 fires at 0, slot 10 at 9 * 50us = 450us.
+	if times[0] != 0 || times[1] != 450*sim.Microsecond {
+		t.Fatalf("slot times %v", times)
+	}
+}
+
+func TestSlotOwnershipExclusive(t *testing.T) {
+	_, c := newCluster(t)
+	_ = c.AssignStatic(5, "a", func(int) []byte { return nil })
+	if err := c.AssignStatic(5, "b", func(int) []byte { return nil }); !errors.Is(err, ErrSlotOwned) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := c.AssignStatic(0, "c", func(int) []byte { return nil }); !errors.Is(err, ErrSlotRange) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := c.AssignStatic(SlotID(c.Config().StaticSlots+1), "c", func(int) []byte { return nil }); !errors.Is(err, ErrSlotRange) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestNullFrames(t *testing.T) {
+	k, c := newCluster(t)
+	_ = c.AssignStatic(2, "idle-ecu", func(int) []byte { return nil })
+	nulls := 0
+	c.OnReceive(func(_ sim.Time, f Frame) {
+		if f.NullFrame {
+			nulls++
+		}
+	})
+	_ = c.Start()
+	_ = k.RunUntil(2 * c.Config().CycleLength())
+	c.Stop()
+	if nulls != 2 || c.NullFrames.Value != 2 {
+		t.Fatalf("nulls=%d counter=%d", nulls, c.NullFrames.Value)
+	}
+}
+
+func TestIntrusionCausesCollision(t *testing.T) {
+	k, c := newCluster(t)
+	_ = c.AssignStatic(7, "victim", func(int) []byte { return []byte{1, 2} })
+	_ = c.Intrude(7, "attacker", func(int) []byte { return []byte{0xBA, 0xD0} })
+	delivered := 0
+	c.OnReceive(func(_ sim.Time, f Frame) {
+		if !f.NullFrame {
+			delivered++
+		}
+	})
+	_ = c.Start()
+	_ = k.RunUntil(5 * c.Config().CycleLength())
+	c.Stop()
+	if delivered != 0 {
+		t.Fatalf("%d frames delivered despite collisions", delivered)
+	}
+	if c.Collisions.Value != 5 {
+		t.Fatalf("collisions=%d, want 5", c.Collisions.Value)
+	}
+}
+
+func TestIntruderAloneInEmptySlot(t *testing.T) {
+	// An intruder transmitting in an unowned slot gets through — slot
+	// ownership is configuration, not enforcement.
+	k, c := newCluster(t)
+	_ = c.Intrude(9, "attacker", func(int) []byte { return []byte{0xBA, 0xD0} })
+	var got []Frame
+	c.OnReceive(func(_ sim.Time, f Frame) { got = append(got, f) })
+	_ = c.Start()
+	_ = k.RunUntil(c.Config().CycleLength())
+	c.Stop()
+	if len(got) != 1 || got[0].Sender != "attacker" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDynamicSegmentPriorityAndStarvation(t *testing.T) {
+	k, c := newCluster(t)
+	// Fill most of the 200 minislots with a high-priority burst, then a
+	// low-priority frame that must starve.
+	big := make([]byte, 254) // needs 131 minislots
+	_ = c.SendDynamic(2, "hi", big)
+	mid := make([]byte, 120) // needs 64 -> total 195
+	_ = c.SendDynamic(3, "mid", mid)
+	_ = c.SendDynamic(4, "lo", make([]byte, 20)) // needs 14 > 5 left -> starved
+	var got []Frame
+	c.OnReceive(func(_ sim.Time, f Frame) { got = append(got, f) })
+	_ = c.Start()
+	_ = k.RunUntil(c.Config().CycleLength())
+	c.Stop()
+	if len(got) != 2 {
+		t.Fatalf("dynamic frames delivered: %d", len(got))
+	}
+	if got[0].Sender != "hi" || got[1].Sender != "mid" {
+		t.Fatalf("priority order wrong: %v, %v", got[0].Sender, got[1].Sender)
+	}
+	if c.DynStarved.Value != 1 {
+		t.Fatalf("starved=%d", c.DynStarved.Value)
+	}
+}
+
+func TestDynamicPayloadValidation(t *testing.T) {
+	_, c := newCluster(t)
+	if err := c.SendDynamic(1, "x", make([]byte, 3)); !errors.Is(err, ErrPayloadRange) {
+		t.Fatalf("odd payload: err=%v", err)
+	}
+	if err := c.SendDynamic(1, "x", make([]byte, 256)); !errors.Is(err, ErrPayloadRange) {
+		t.Fatalf("oversize payload: err=%v", err)
+	}
+}
+
+func TestCycleCounterAdvances(t *testing.T) {
+	k, c := newCluster(t)
+	_ = c.Start()
+	_ = k.RunUntil(10 * c.Config().CycleLength())
+	c.Stop()
+	if c.Cycle() != 10 {
+		t.Fatalf("cycle=%d, want 10", c.Cycle())
+	}
+}
+
+func TestDoubleStart(t *testing.T) {
+	_, c := newCluster(t)
+	_ = c.Start()
+	if err := c.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+}

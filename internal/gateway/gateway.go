@@ -1,0 +1,269 @@
+// Package gateway implements the paper's Secure Gateway layer: a central
+// domain gateway that routes frames between in-vehicle network domains
+// (infotainment, powertrain, chassis, telematics, ...), applies an ordered
+// rule set with allow/deny/rate-limit actions, and can quarantine a
+// compromised domain so an attack does not propagate to the others.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// Action is a routing rule's verdict.
+type Action int
+
+const (
+	// Deny drops the frame.
+	Deny Action = iota
+	// Allow forwards the frame to the rule's destination domains.
+	Allow
+)
+
+func (a Action) String() string {
+	if a == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Rule is one entry of the gateway's ordered rule set. The first matching
+// rule decides; with no match the gateway's default policy applies.
+type Rule struct {
+	// Name labels the rule in logs and stats.
+	Name string
+	// From is the source domain, or "*" for any.
+	From string
+	// IDLo..IDHi is the matched identifier range (inclusive).
+	IDLo, IDHi can.ID
+	// To lists destination domains for Allow rules; empty means "all other
+	// domains".
+	To []string
+	// Action is the verdict.
+	Action Action
+	// RatePerSec, when positive, bounds matched forwarding; excess frames
+	// are dropped even if the rule allows them.
+	RatePerSec float64
+	// BurstFrames is the token-bucket depth (default: RatePerSec).
+	BurstFrames float64
+
+	tokens float64
+	last   sim.Time
+	inited bool
+
+	Matched   sim.Counter
+	RateDrops sim.Counter
+}
+
+// matches reports whether the rule applies to the frame from the domain.
+func (r *Rule) matches(from string, f *can.Frame) bool {
+	if r.From != "*" && r.From != from {
+		return false
+	}
+	return f.ID >= r.IDLo && f.ID <= r.IDHi
+}
+
+// admit applies the rule's rate limit at virtual time now.
+func (r *Rule) admit(now sim.Time) bool {
+	if r.RatePerSec <= 0 {
+		return true
+	}
+	burst := r.BurstFrames
+	if burst <= 0 {
+		burst = r.RatePerSec
+	}
+	if !r.inited {
+		r.inited = true
+		r.tokens = burst
+		r.last = now
+	}
+	r.tokens += (now - r.last).Seconds() * r.RatePerSec
+	if r.tokens > burst {
+		r.tokens = burst
+	}
+	r.last = now
+	if r.tokens < 1 {
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// domain is one attached IVN.
+type domain struct {
+	name        string
+	ctrl        *can.Controller
+	quarantined bool
+}
+
+// Gateway joins CAN domains with an ordered, updatable rule set. Rule-set
+// updates at runtime are the extensibility hook: scenario E8 sweeps rule
+// granularity, and the policy engine installs new rules in-field.
+type Gateway struct {
+	Name   string
+	kernel *sim.Kernel
+
+	domains map[string]*domain
+	rules   []*Rule
+	// DefaultAction applies when no rule matches (Deny is the secure
+	// default; a permissive gateway is the "no gateway" baseline).
+	DefaultAction Action
+	// Latency is the gateway's store-and-forward processing delay per
+	// frame (rule evaluation, routing). 0 means instantaneous.
+	Latency sim.Duration
+
+	Forwarded   sim.Counter
+	Blocked     sim.Counter
+	RateLimited sim.Counter
+	QuarDrops   sim.Counter
+
+	observers []func(at sim.Time, from string, f *can.Frame, verdict string)
+}
+
+// New creates a gateway with a deny-by-default policy.
+func New(k *sim.Kernel, name string) *Gateway {
+	return &Gateway{Name: name, kernel: k, domains: make(map[string]*domain)}
+}
+
+// Errors.
+var (
+	ErrDupDomain     = errors.New("gateway: domain already attached")
+	ErrUnknownDomain = errors.New("gateway: unknown domain")
+)
+
+// AttachDomain connects the gateway to a bus as the given domain name.
+// The gateway joins the bus with its own CAN controller.
+func (g *Gateway) AttachDomain(name string, bus *can.Bus) error {
+	if _, dup := g.domains[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDupDomain, name)
+	}
+	ctrl := can.NewController("gw-" + g.Name + "-" + name)
+	bus.Attach(ctrl)
+	d := &domain{name: name, ctrl: ctrl}
+	g.domains[name] = d
+	ctrl.OnReceive(func(at sim.Time, f *can.Frame, sender *can.Controller) {
+		g.route(at, d, f)
+	})
+	return nil
+}
+
+// AddRule appends a rule to the ordered rule set.
+func (g *Gateway) AddRule(r *Rule) { g.rules = append(g.rules, r) }
+
+// SetRules replaces the entire rule set — the in-field update primitive.
+func (g *Gateway) SetRules(rs []*Rule) { g.rules = rs }
+
+// Rules returns the active rule set (callers must not mutate entries
+// concurrently with simulation).
+func (g *Gateway) Rules() []*Rule { return g.rules }
+
+// Quarantine isolates a domain: nothing routes in or out of it until
+// Release. This is the containment action the paper assigns to the
+// gateway when one IVN is compromised.
+func (g *Gateway) Quarantine(name string) error {
+	d, ok := g.domains[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDomain, name)
+	}
+	d.quarantined = true
+	return nil
+}
+
+// Release lifts a quarantine.
+func (g *Gateway) Release(name string) error {
+	d, ok := g.domains[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDomain, name)
+	}
+	d.quarantined = false
+	return nil
+}
+
+// Quarantined reports a domain's isolation state.
+func (g *Gateway) Quarantined(name string) bool {
+	d, ok := g.domains[name]
+	return ok && d.quarantined
+}
+
+// Observe registers a verdict observer (feeds the IDS and audit logs).
+func (g *Gateway) Observe(fn func(at sim.Time, from string, f *can.Frame, verdict string)) {
+	g.observers = append(g.observers, fn)
+}
+
+func (g *Gateway) notify(at sim.Time, from string, f *can.Frame, verdict string) {
+	for _, fn := range g.observers {
+		fn(at, from, f, verdict)
+	}
+}
+
+// route applies the rule set to a frame received from a domain.
+func (g *Gateway) route(at sim.Time, from *domain, f *can.Frame) {
+	if from.quarantined {
+		g.QuarDrops.Inc()
+		g.notify(at, from.name, f, "quarantined")
+		return
+	}
+	for _, r := range g.rules {
+		if !r.matches(from.name, f) {
+			continue
+		}
+		r.Matched.Inc()
+		if r.Action == Deny {
+			g.Blocked.Inc()
+			g.notify(at, from.name, f, "deny:"+r.Name)
+			return
+		}
+		if !r.admit(at) {
+			r.RateDrops.Inc()
+			g.RateLimited.Inc()
+			g.notify(at, from.name, f, "rate:"+r.Name)
+			return
+		}
+		g.forward(at, from, f, r.To)
+		g.notify(at, from.name, f, "allow:"+r.Name)
+		return
+	}
+	if g.DefaultAction == Allow {
+		g.forward(at, from, f, nil)
+		g.notify(at, from.name, f, "allow:default")
+		return
+	}
+	g.Blocked.Inc()
+	g.notify(at, from.name, f, "deny:default")
+}
+
+// forward relays the frame to the destination domains (all others when
+// dsts is empty), excluding the source and quarantined domains.
+func (g *Gateway) forward(at sim.Time, from *domain, f *can.Frame, dsts []string) {
+	g.Forwarded.Inc()
+	send := func(d *domain) {
+		if d == from || d.quarantined {
+			return
+		}
+		frame := f.Clone()
+		deliver := func() {
+			// Best effort: bus-off or queue-full drops are the destination
+			// controller's problem and show up in its counters.
+			_ = d.ctrl.Send(frame, nil)
+		}
+		if g.Latency > 0 {
+			g.kernel.After(g.Latency, deliver)
+		} else {
+			deliver()
+		}
+	}
+	if len(dsts) == 0 {
+		for _, d := range g.domains {
+			send(d)
+		}
+		return
+	}
+	for _, name := range dsts {
+		if d, ok := g.domains[name]; ok {
+			send(d)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// rig builds two CAN domains joined by a gateway, with one ECU on each.
+type rig struct {
+	k        *sim.Kernel
+	gw       *Gateway
+	infoBus  *can.Bus
+	ptBus    *can.Bus
+	infoECU  *can.Controller
+	ptECU    *can.Controller
+	ptSeen   []can.ID
+	infoSeen []can.ID
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	r := &rig{
+		k:       k,
+		gw:      New(k, "central"),
+		infoBus: can.NewBus(k, "infotainment", 500_000),
+		ptBus:   can.NewBus(k, "powertrain", 500_000),
+		infoECU: can.NewController("head-unit"),
+		ptECU:   can.NewController("engine"),
+	}
+	r.infoBus.Attach(r.infoECU)
+	r.ptBus.Attach(r.ptECU)
+	if err := r.gw.AttachDomain("infotainment", r.infoBus); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.gw.AttachDomain("powertrain", r.ptBus); err != nil {
+		t.Fatal(err)
+	}
+	r.ptECU.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
+		r.ptSeen = append(r.ptSeen, f.ID)
+	})
+	r.infoECU.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
+		r.infoSeen = append(r.infoSeen, f.ID)
+	})
+	return r
+}
+
+func TestDenyByDefault(t *testing.T) {
+	r := newRig(t)
+	_ = r.infoECU.Send(can.Frame{ID: 0x100}, nil)
+	_ = r.k.Run()
+	if len(r.ptSeen) != 0 {
+		t.Fatalf("default-deny forwarded %v", r.ptSeen)
+	}
+	if r.gw.Blocked.Value != 1 {
+		t.Fatalf("blocked=%d", r.gw.Blocked.Value)
+	}
+}
+
+func TestAllowRuleForwards(t *testing.T) {
+	r := newRig(t)
+	r.gw.AddRule(&Rule{Name: "nav-to-pt", From: "infotainment", IDLo: 0x100, IDHi: 0x1FF, To: []string{"powertrain"}, Action: Allow})
+	_ = r.infoECU.Send(can.Frame{ID: 0x150, Data: []byte{1}}, nil)
+	_ = r.infoECU.Send(can.Frame{ID: 0x250}, nil) // outside range
+	_ = r.k.Run()
+	if len(r.ptSeen) != 1 || r.ptSeen[0] != 0x150 {
+		t.Fatalf("powertrain saw %v", r.ptSeen)
+	}
+	if r.gw.Forwarded.Value != 1 || r.gw.Blocked.Value != 1 {
+		t.Fatalf("forwarded=%d blocked=%d", r.gw.Forwarded.Value, r.gw.Blocked.Value)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	r := newRig(t)
+	deny := &Rule{Name: "deny-diag", From: "*", IDLo: 0x700, IDHi: 0x7FF, Action: Deny}
+	allow := &Rule{Name: "allow-all", From: "*", IDLo: 0, IDHi: can.MaxStandardID, Action: Allow}
+	r.gw.SetRules([]*Rule{deny, allow})
+	_ = r.infoECU.Send(can.Frame{ID: 0x7DF}, nil) // OBD broadcast: denied
+	_ = r.infoECU.Send(can.Frame{ID: 0x300}, nil) // allowed
+	_ = r.k.Run()
+	if len(r.ptSeen) != 1 || r.ptSeen[0] != 0x300 {
+		t.Fatalf("powertrain saw %v", r.ptSeen)
+	}
+	if deny.Matched.Value != 1 || allow.Matched.Value != 1 {
+		t.Fatalf("matches: deny=%d allow=%d", deny.Matched.Value, allow.Matched.Value)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	r := newRig(t)
+	rule := &Rule{Name: "limited", From: "infotainment", IDLo: 0, IDHi: can.MaxStandardID,
+		To: []string{"powertrain"}, Action: Allow, RatePerSec: 10, BurstFrames: 5}
+	r.gw.AddRule(rule)
+	// Fire 50 frames in the first 100ms: bucket of 5 + ~1 refill pass.
+	for i := 0; i < 50; i++ {
+		i := i
+		r.k.At(sim.Time(i)*2*sim.Millisecond, func() {
+			_ = r.infoECU.Send(can.Frame{ID: can.ID(0x100 + i)}, nil)
+		})
+	}
+	_ = r.k.Run()
+	if len(r.ptSeen) > 8 {
+		t.Fatalf("rate limiter passed %d frames", len(r.ptSeen))
+	}
+	if rule.RateDrops.Value < 40 {
+		t.Fatalf("rate drops=%d", rule.RateDrops.Value)
+	}
+	if r.gw.RateLimited.Value != rule.RateDrops.Value {
+		t.Fatal("gateway and rule counters disagree")
+	}
+}
+
+func TestQuarantineBlocksBothDirections(t *testing.T) {
+	r := newRig(t)
+	r.gw.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: can.MaxStandardID, Action: Allow})
+	if err := r.gw.Quarantine("infotainment"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.gw.Quarantined("infotainment") {
+		t.Fatal("quarantine flag not set")
+	}
+	_ = r.infoECU.Send(can.Frame{ID: 0x100}, nil) // out of quarantined domain
+	_ = r.ptECU.Send(can.Frame{ID: 0x200}, nil)   // into quarantined domain
+	_ = r.k.Run()
+	if len(r.ptSeen) != 0 {
+		t.Fatalf("frames escaped quarantine: %v", r.ptSeen)
+	}
+	if len(r.infoSeen) != 0 {
+		t.Fatalf("frames entered quarantine: %v", r.infoSeen)
+	}
+	if r.gw.QuarDrops.Value != 1 {
+		t.Fatalf("quarantine drops=%d", r.gw.QuarDrops.Value)
+	}
+
+	// Release restores routing.
+	if err := r.gw.Release("infotainment"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.infoECU.Send(can.Frame{ID: 0x101}, nil)
+	_ = r.k.Run()
+	if len(r.ptSeen) != 1 {
+		t.Fatalf("after release powertrain saw %v", r.ptSeen)
+	}
+}
+
+func TestQuarantineUnknownDomain(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.Quarantine("nope"); !errors.Is(err, ErrUnknownDomain) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := r.gw.Release("nope"); !errors.Is(err, ErrUnknownDomain) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestDuplicateDomain(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AttachDomain("infotainment", r.infoBus); !errors.Is(err, ErrDupDomain) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestAllowToAllOtherDomains(t *testing.T) {
+	r := newRig(t)
+	// Add a third domain.
+	chassisBus := can.NewBus(r.k, "chassis", 500_000)
+	chassisECU := can.NewController("abs")
+	chassisBus.Attach(chassisECU)
+	var chassisSeen []can.ID
+	chassisECU.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
+		chassisSeen = append(chassisSeen, f.ID)
+	})
+	if err := r.gw.AttachDomain("chassis", chassisBus); err != nil {
+		t.Fatal(err)
+	}
+	r.gw.AddRule(&Rule{Name: "bc", From: "powertrain", IDLo: 0x100, IDHi: 0x100, Action: Allow})
+	_ = r.ptECU.Send(can.Frame{ID: 0x100}, nil)
+	_ = r.k.Run()
+	if len(r.infoSeen) != 1 || len(chassisSeen) != 1 {
+		t.Fatalf("info=%v chassis=%v", r.infoSeen, chassisSeen)
+	}
+	if len(r.ptSeen) != 0 {
+		t.Fatal("frame echoed into its source domain")
+	}
+}
+
+func TestObserverVerdicts(t *testing.T) {
+	r := newRig(t)
+	r.gw.AddRule(&Rule{Name: "nav", From: "infotainment", IDLo: 0x100, IDHi: 0x100, To: []string{"powertrain"}, Action: Allow})
+	var verdicts []string
+	r.gw.Observe(func(_ sim.Time, _ string, _ *can.Frame, v string) { verdicts = append(verdicts, v) })
+	_ = r.infoECU.Send(can.Frame{ID: 0x100}, nil)
+	_ = r.infoECU.Send(can.Frame{ID: 0x500}, nil)
+	_ = r.k.Run()
+	if len(verdicts) != 2 || verdicts[0] != "allow:nav" || verdicts[1] != "deny:default" {
+		t.Fatalf("verdicts=%v", verdicts)
+	}
+}
+
+func TestDefaultAllowBaseline(t *testing.T) {
+	// The "no gateway" baseline for E8: default-allow with no rules.
+	r := newRig(t)
+	r.gw.DefaultAction = Allow
+	_ = r.infoECU.Send(can.Frame{ID: 0x6FF}, nil)
+	_ = r.k.Run()
+	if len(r.ptSeen) != 1 {
+		t.Fatalf("default-allow saw %v", r.ptSeen)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" {
+		t.Fatal("Action.String wrong")
+	}
+}
+
+func TestGatewayLatencyDelaysForwarding(t *testing.T) {
+	r := newRig(t)
+	r.gw.Latency = 2 * sim.Millisecond
+	r.gw.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: can.MaxStandardID, Action: Allow})
+	var deliveredAt sim.Time
+	r.ptECU.OnReceive(func(at sim.Time, _ *can.Frame, _ *can.Controller) { deliveredAt = at })
+
+	var crossedInfoAt sim.Time
+	r.infoBus.Sniff(func(at sim.Time, f *can.Frame, _ *can.Controller, _ bool) { crossedInfoAt = at })
+	_ = r.infoECU.Send(can.Frame{ID: 0x100}, nil)
+	_ = r.k.Run()
+	if deliveredAt == 0 || crossedInfoAt == 0 {
+		t.Fatal("frame did not cross")
+	}
+	// The powertrain delivery lags the infotainment completion by at least
+	// the gateway latency (plus the second bus's frame time).
+	if deliveredAt-crossedInfoAt < 2*sim.Millisecond {
+		t.Fatalf("gateway latency not applied: delta=%v", deliveredAt-crossedInfoAt)
+	}
+}

@@ -1,0 +1,181 @@
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// Engine runs a set of detectors over live traffic and aggregates alerts.
+// Detectors can be added and removed at runtime — the in-field upgrade
+// path the extensibility experiments exercise.
+type Engine struct {
+	detectors []Detector
+	Alerts    []Alert
+
+	onAlert []func(Alert)
+}
+
+// NewEngine creates an engine with the given initial detectors.
+func NewEngine(ds ...Detector) *Engine {
+	return &Engine{detectors: ds}
+}
+
+// Add installs a detector at runtime.
+func (e *Engine) Add(d Detector) { e.detectors = append(e.detectors, d) }
+
+// Remove uninstalls a detector by name; it reports whether one was found.
+func (e *Engine) Remove(name string) bool {
+	for i, d := range e.detectors {
+		if d.Name() == name {
+			e.detectors = append(e.detectors[:i], e.detectors[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Detectors lists the installed detector names.
+func (e *Engine) Detectors() []string {
+	out := make([]string, 0, len(e.detectors))
+	for _, d := range e.detectors {
+		out = append(out, d.Name())
+	}
+	return out
+}
+
+// Train trains every installed detector on the clean reference trace.
+func (e *Engine) Train(trace *can.Trace) {
+	for _, d := range e.detectors {
+		d.Train(trace)
+	}
+}
+
+// OnAlert registers an alert subscriber (e.g. the gateway's quarantine
+// trigger).
+func (e *Engine) OnAlert(fn func(Alert)) { e.onAlert = append(e.onAlert, fn) }
+
+// Observe feeds one record to all detectors.
+func (e *Engine) Observe(rec can.Record) []Alert {
+	var out []Alert
+	for _, d := range e.detectors {
+		out = append(out, d.Observe(rec)...)
+	}
+	e.Alerts = append(e.Alerts, out...)
+	for _, a := range out {
+		for _, fn := range e.onAlert {
+			fn(a)
+		}
+	}
+	return out
+}
+
+// AttachToBus taps the engine into live bus traffic.
+func (e *Engine) AttachToBus(b *can.Bus) {
+	b.Sniff(func(at sim.Time, f *can.Frame, sender *can.Controller, corrupted bool) {
+		name := ""
+		if sender != nil {
+			name = sender.Name
+		}
+		e.Observe(can.Record{At: at, Frame: f.Clone(), Sender: name, Corrupted: corrupted})
+	})
+}
+
+// Metrics is a detection confusion summary for one evaluation run.
+type Metrics struct {
+	TruePositives  int // attack windows with ≥1 alert
+	FalseNegatives int // attack windows without alerts
+	FalsePositives int // alerts outside any attack window
+	CleanWindows   int // evaluated clean windows
+}
+
+// DetectionRate is TP / (TP + FN).
+func (m Metrics) DetectionRate() float64 {
+	d := m.TruePositives + m.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// FalsePositiveRate is FP alerts per clean window.
+func (m Metrics) FalsePositiveRate() float64 {
+	if m.CleanWindows == 0 {
+		return 0
+	}
+	return float64(m.FalsePositives) / float64(m.CleanWindows)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("TPR=%.3f (TP=%d FN=%d) FP/window=%.4f (FP=%d over %d windows)",
+		m.DetectionRate(), m.TruePositives, m.FalseNegatives,
+		m.FalsePositiveRate(), m.FalsePositives, m.CleanWindows)
+}
+
+// Window is a labelled time span for evaluation.
+type Window struct {
+	Lo, Hi sim.Time
+	Attack bool
+}
+
+// Evaluate replays a trace through freshly trained detectors and scores
+// alerts against labelled windows. Alerts raised within (or up to grace
+// after) an attack window count as true positives for that window.
+func Evaluate(detectors []Detector, train, live *can.Trace, windows []Window, grace sim.Duration) Metrics {
+	eng := NewEngine(detectors...)
+	eng.Train(train)
+	for _, r := range live.Records {
+		eng.Observe(r)
+	}
+	sort.Slice(eng.Alerts, func(i, j int) bool { return eng.Alerts[i].At < eng.Alerts[j].At })
+
+	var m Metrics
+	matched := make([]bool, len(eng.Alerts))
+	for _, w := range windows {
+		if !w.Attack {
+			m.CleanWindows++
+			continue
+		}
+		hit := false
+		for i, a := range eng.Alerts {
+			if a.At >= w.Lo && a.At <= w.Hi+grace {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			m.TruePositives++
+		} else {
+			m.FalseNegatives++
+		}
+	}
+	for i, a := range eng.Alerts {
+		if !matched[i] {
+			_ = a
+			m.FalsePositives++
+		}
+	}
+	return m
+}
+
+// Summary renders the engine's alerts grouped by detector.
+func (e *Engine) Summary() string {
+	byDet := make(map[string]int)
+	for _, a := range e.Alerts {
+		byDet[a.Detector]++
+	}
+	names := make([]string, 0, len(byDet))
+	for n := range byDet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d alerts", len(e.Alerts))
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s=%d", n, byDet[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,377 @@
+// Package ids implements in-vehicle network intrusion detection — the
+// compensating control the paper's Secure Networks layer relies on for
+// IVN protocols that "lack security mechanisms". Four detector families
+// cover the classic CAN attack classes:
+//
+//   - Frequency: windowed per-ID rate bounds (floods, message suspension)
+//   - Interval: per-frame inter-arrival checks (injection between
+//     legitimate periodic frames)
+//   - Entropy: payload byte-entropy drift (fuzzing)
+//   - Specification: ID whitelist, DLC and signal-range rules (malformed
+//     and out-of-protocol traffic)
+//
+// Detectors are trained on clean traffic and then observe a live stream;
+// they are installable and replaceable at runtime through the policy
+// layer, which is the extensibility story of experiment E11/E12.
+package ids
+
+import (
+	"fmt"
+	"math"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// Alert is one detector finding.
+type Alert struct {
+	At       sim.Time
+	Detector string
+	ID       can.ID
+	Reason   string
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("[%v] %s id=%#x: %s", a.At, a.Detector, uint32(a.ID), a.Reason)
+}
+
+// Detector is a streaming intrusion detector. Train consumes clean
+// reference traffic; Observe consumes one live record and returns any
+// alerts it raises.
+type Detector interface {
+	Name() string
+	Train(trace *can.Trace)
+	Observe(rec can.Record) []Alert
+}
+
+// FrequencyDetector learns each identifier's frame rate over fixed
+// windows and alerts when a live window's count leaves the learned band.
+type FrequencyDetector struct {
+	// Window is the counting window (default 100ms).
+	Window sim.Duration
+	// Slack widens the learned [min,max] count band multiplicatively.
+	Slack float64
+
+	bounds     map[can.ID][2]float64 // learned min/max per window
+	winStart   sim.Time
+	counts     map[can.ID]int
+	suppressed map[can.ID]bool
+}
+
+// NewFrequencyDetector creates a detector with a 100ms window and 50%
+// slack.
+func NewFrequencyDetector() *FrequencyDetector {
+	return &FrequencyDetector{Window: 100 * sim.Millisecond, Slack: 0.5}
+}
+
+// Name implements Detector.
+func (d *FrequencyDetector) Name() string { return "frequency" }
+
+// Train implements Detector.
+func (d *FrequencyDetector) Train(trace *can.Trace) {
+	d.bounds = make(map[can.ID][2]float64)
+	if trace.Len() == 0 {
+		return
+	}
+	counts := make(map[can.ID][]int)
+	// Min/max scan rather than first/last: training traces assembled from
+	// several sources are not necessarily time-sorted.
+	start, end := trace.Records[0].At, trace.Records[0].At
+	for _, r := range trace.Records {
+		if r.At < start {
+			start = r.At
+		}
+		if r.At > end {
+			end = r.At
+		}
+	}
+	nWin := int((end-start)/d.Window) + 1
+	perWin := make(map[can.ID][]int)
+	for id := range countIDs(trace) {
+		perWin[id] = make([]int, nWin)
+	}
+	for _, r := range trace.Records {
+		w := int((r.At - start) / d.Window)
+		perWin[r.Frame.ID][w]++
+	}
+	for id, wins := range perWin {
+		counts[id] = wins
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range wins {
+			fc := float64(c)
+			if fc < lo {
+				lo = fc
+			}
+			if fc > hi {
+				hi = fc
+			}
+		}
+		// The ±1 absolute margin absorbs window-boundary drift: a message
+		// whose period equals the window lands 0 or 2 times in a window
+		// depending on phase, without that being an anomaly.
+		d.bounds[id] = [2]float64{lo*(1-d.Slack) - 1, hi*(1+d.Slack) + 1}
+	}
+	d.counts = make(map[can.ID]int)
+	d.suppressed = make(map[can.ID]bool)
+}
+
+func countIDs(trace *can.Trace) map[can.ID]bool {
+	out := make(map[can.ID]bool)
+	for _, r := range trace.Records {
+		out[r.Frame.ID] = true
+	}
+	return out
+}
+
+// Observe implements Detector.
+func (d *FrequencyDetector) Observe(rec can.Record) []Alert {
+	if d.counts == nil {
+		d.counts = make(map[can.ID]int)
+		d.suppressed = make(map[can.ID]bool)
+	}
+	var alerts []Alert
+	if rec.At-d.winStart >= d.Window {
+		// Close the window: check all learned IDs, including silent ones
+		// (suspension attack shows as counts below the learned minimum).
+		for id, b := range d.bounds {
+			c := float64(d.counts[id])
+			switch {
+			case c > b[1]:
+				alerts = append(alerts, Alert{At: rec.At, Detector: d.Name(), ID: id,
+					Reason: fmt.Sprintf("rate high: %d > %.1f per window", int(c), b[1])})
+			case c < b[0] && !d.suppressed[id]:
+				// Alert once per suppression episode to bound alert volume.
+				d.suppressed[id] = true
+				alerts = append(alerts, Alert{At: rec.At, Detector: d.Name(), ID: id,
+					Reason: fmt.Sprintf("rate low: %d < %.1f per window", int(c), b[0])})
+			default:
+				d.suppressed[id] = false
+			}
+		}
+		d.counts = make(map[can.ID]int)
+		d.winStart = rec.At
+	}
+	d.counts[rec.Frame.ID]++
+	return alerts
+}
+
+// IntervalDetector learns each periodic identifier's minimum inter-arrival
+// time and alerts on frames arriving much earlier than the learned period
+// — the signature of injected frames racing the legitimate sender.
+type IntervalDetector struct {
+	// MinFraction of the learned period below which a frame is anomalous.
+	MinFraction float64
+
+	period map[can.ID]sim.Duration
+	lastAt map[can.ID]sim.Time
+}
+
+// NewIntervalDetector creates a detector alerting below half the learned
+// period.
+func NewIntervalDetector() *IntervalDetector {
+	return &IntervalDetector{MinFraction: 0.5}
+}
+
+// Name implements Detector.
+func (d *IntervalDetector) Name() string { return "interval" }
+
+// Train implements Detector.
+func (d *IntervalDetector) Train(trace *can.Trace) {
+	d.period = make(map[can.ID]sim.Duration)
+	d.lastAt = make(map[can.ID]sim.Time)
+	for id := range countIDs(trace) {
+		ivs := trace.Intervals(id)
+		if len(ivs) < 3 {
+			continue // aperiodic or too rare to model
+		}
+		// Use the median as the period estimate.
+		var s sim.Summary
+		for _, iv := range ivs {
+			s.Observe(float64(iv))
+		}
+		d.period[id] = sim.Duration(s.Quantile(0.5))
+	}
+}
+
+// Observe implements Detector.
+func (d *IntervalDetector) Observe(rec can.Record) []Alert {
+	if d.lastAt == nil {
+		d.lastAt = make(map[can.ID]sim.Time)
+	}
+	id := rec.Frame.ID
+	defer func() { d.lastAt[id] = rec.At }()
+	p, modelled := d.period[id]
+	last, seen := d.lastAt[id]
+	if !modelled || !seen {
+		return nil
+	}
+	iv := rec.At - last
+	if float64(iv) < d.MinFraction*float64(p) {
+		return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
+			Reason: fmt.Sprintf("interval %v < %.0f%% of period %v", iv, d.MinFraction*100, p)}}
+	}
+	return nil
+}
+
+// EntropyDetector tracks per-ID payload byte entropy over sliding batches
+// and alerts when a batch's entropy departs the trained band. Fuzzing
+// (random payloads) drives entropy up; stuck/replayed payloads drive it
+// to zero.
+type EntropyDetector struct {
+	// BatchSize is the number of frames per entropy estimate.
+	BatchSize int
+	// Tolerance is the allowed absolute deviation in bits.
+	Tolerance float64
+
+	trained map[can.ID]float64
+	buf     map[can.ID][][]byte
+}
+
+// NewEntropyDetector creates a detector with batch 32, tolerance 1.2 bits.
+func NewEntropyDetector() *EntropyDetector {
+	return &EntropyDetector{BatchSize: 32, Tolerance: 1.2}
+}
+
+// Name implements Detector.
+func (d *EntropyDetector) Name() string { return "entropy" }
+
+// payloadEntropy is the byte-level Shannon entropy of the payloads.
+func payloadEntropy(payloads [][]byte) float64 {
+	var hist [256]int
+	total := 0
+	for _, p := range payloads {
+		for _, b := range p {
+			hist[b]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Train implements Detector.
+func (d *EntropyDetector) Train(trace *can.Trace) {
+	d.trained = make(map[can.ID]float64)
+	d.buf = make(map[can.ID][][]byte)
+	byID := make(map[can.ID][][]byte)
+	for _, r := range trace.Records {
+		byID[r.Frame.ID] = append(byID[r.Frame.ID], r.Frame.Data)
+	}
+	for id, ps := range byID {
+		if len(ps) < d.BatchSize {
+			continue
+		}
+		// Train on the same statistic Observe computes: the mean entropy
+		// of BatchSize-frame batches. Whole-trace entropy would run higher
+		// than any batch (counters sweep more of their range over a long
+		// trace) and make every clean batch look anomalous.
+		sum, n := 0.0, 0
+		for i := 0; i+d.BatchSize <= len(ps); i += d.BatchSize {
+			sum += payloadEntropy(ps[i : i+d.BatchSize])
+			n++
+		}
+		d.trained[id] = sum / float64(n)
+	}
+}
+
+// Observe implements Detector.
+func (d *EntropyDetector) Observe(rec can.Record) []Alert {
+	if d.buf == nil {
+		d.buf = make(map[can.ID][][]byte)
+	}
+	id := rec.Frame.ID
+	ref, modelled := d.trained[id]
+	if !modelled {
+		return nil
+	}
+	d.buf[id] = append(d.buf[id], rec.Frame.Data)
+	if len(d.buf[id]) < d.BatchSize {
+		return nil
+	}
+	h := payloadEntropy(d.buf[id])
+	d.buf[id] = nil
+	if math.Abs(h-ref) > d.Tolerance {
+		return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
+			Reason: fmt.Sprintf("entropy %.2f vs trained %.2f bits", h, ref)}}
+	}
+	return nil
+}
+
+// SignalRange constrains one payload byte of an identifier.
+type SignalRange struct {
+	Byte   int
+	Lo, Hi byte
+}
+
+// SpecDetector enforces an explicit communication-matrix specification:
+// known identifiers, expected DLC, and per-byte signal ranges. Unlike the
+// statistical detectors it needs no training and has (by construction)
+// no false positives on conforming traffic.
+type SpecDetector struct {
+	// DLC maps each permitted ID to its expected payload length (-1: any).
+	DLC map[can.ID]int
+	// Ranges lists signal constraints per ID.
+	Ranges map[can.ID][]SignalRange
+	// AlertUnknownID controls whether unlisted identifiers alert.
+	AlertUnknownID bool
+}
+
+// NewSpecDetector creates an empty specification.
+func NewSpecDetector() *SpecDetector {
+	return &SpecDetector{DLC: make(map[can.ID]int), Ranges: make(map[can.ID][]SignalRange), AlertUnknownID: true}
+}
+
+// Name implements Detector.
+func (d *SpecDetector) Name() string { return "spec" }
+
+// Train implements Detector. SpecDetector derives the ID whitelist and
+// DLCs from clean traffic when they were not configured explicitly.
+func (d *SpecDetector) Train(trace *can.Trace) {
+	if len(d.DLC) > 0 {
+		return // explicitly configured: training is a no-op
+	}
+	for _, r := range trace.Records {
+		if cur, ok := d.DLC[r.Frame.ID]; !ok {
+			d.DLC[r.Frame.ID] = len(r.Frame.Data)
+		} else if cur != len(r.Frame.Data) {
+			d.DLC[r.Frame.ID] = -1
+		}
+	}
+}
+
+// Observe implements Detector.
+func (d *SpecDetector) Observe(rec can.Record) []Alert {
+	id := rec.Frame.ID
+	want, known := d.DLC[id]
+	if !known {
+		if d.AlertUnknownID {
+			return []Alert{{At: rec.At, Detector: d.Name(), ID: id, Reason: "unknown identifier"}}
+		}
+		return nil
+	}
+	if want >= 0 && len(rec.Frame.Data) != want {
+		return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
+			Reason: fmt.Sprintf("DLC %d, expected %d", len(rec.Frame.Data), want)}}
+	}
+	for _, sr := range d.Ranges[id] {
+		if sr.Byte >= len(rec.Frame.Data) {
+			continue
+		}
+		v := rec.Frame.Data[sr.Byte]
+		if v < sr.Lo || v > sr.Hi {
+			return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
+				Reason: fmt.Sprintf("byte %d value %#x outside [%#x,%#x]", sr.Byte, v, sr.Lo, sr.Hi)}}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package ids
+
+import (
+	"strings"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// syntheticTrace builds a trace of periodic IDs over the duration. Each
+// spec is (id, period, payload generator).
+type txSpec struct {
+	id      can.ID
+	period  sim.Duration
+	payload func(i int) []byte
+}
+
+func makeTrace(dur sim.Duration, specs []txSpec) *can.Trace {
+	tr := &can.Trace{}
+	for _, s := range specs {
+		i := 0
+		for at := sim.Time(0); at < dur; at += s.period {
+			tr.Records = append(tr.Records, can.Record{
+				At:    at,
+				Frame: can.Frame{ID: s.id, Data: s.payload(i)},
+			})
+			i++
+		}
+	}
+	// Sort by time (stable merge of the periodic streams).
+	for i := 1; i < len(tr.Records); i++ {
+		for j := i; j > 0 && tr.Records[j].At < tr.Records[j-1].At; j-- {
+			tr.Records[j], tr.Records[j-1] = tr.Records[j-1], tr.Records[j]
+		}
+	}
+	return tr
+}
+
+func counterPayload(i int) []byte { return []byte{byte(i), byte(i >> 8), 0x10, 0x20} }
+func constPayload(i int) []byte   { return []byte{0x01, 0x02, 0x03, 0x04} }
+
+func cleanSpecs() []txSpec {
+	return []txSpec{
+		{0x100, 10 * sim.Millisecond, counterPayload},
+		{0x200, 20 * sim.Millisecond, constPayload},
+		{0x300, 100 * sim.Millisecond, counterPayload},
+	}
+}
+
+func replay(t *testing.T, d Detector, train, live *can.Trace) []Alert {
+	t.Helper()
+	d.Train(train)
+	var alerts []Alert
+	for _, r := range live.Records {
+		alerts = append(alerts, d.Observe(r)...)
+	}
+	return alerts
+}
+
+func TestFrequencyDetectorCleanTrafficQuiet(t *testing.T) {
+	train := makeTrace(5*sim.Second, cleanSpecs())
+	live := makeTrace(5*sim.Second, cleanSpecs())
+	alerts := replay(t, NewFrequencyDetector(), train, live)
+	if len(alerts) != 0 {
+		t.Fatalf("false positives on clean traffic: %v", alerts[0])
+	}
+}
+
+func TestFrequencyDetectorFlood(t *testing.T) {
+	train := makeTrace(5*sim.Second, cleanSpecs())
+	// Live: same plus a flood of 0x100 at 1ms period (10x rate).
+	specs := append(cleanSpecs(), txSpec{0x100, sim.Millisecond, constPayload})
+	live := makeTrace(5*sim.Second, specs)
+	alerts := replay(t, NewFrequencyDetector(), train, live)
+	if len(alerts) == 0 {
+		t.Fatal("flood not detected")
+	}
+	for _, a := range alerts {
+		if a.ID != 0x100 {
+			t.Fatalf("alert on wrong ID: %v", a)
+		}
+		if !strings.Contains(a.Reason, "rate high") {
+			t.Fatalf("unexpected reason: %v", a)
+		}
+	}
+}
+
+func TestFrequencyDetectorSuspension(t *testing.T) {
+	train := makeTrace(5*sim.Second, cleanSpecs())
+	// Live: 0x200 disappears entirely.
+	live := makeTrace(5*sim.Second, []txSpec{
+		{0x100, 10 * sim.Millisecond, counterPayload},
+		{0x300, 100 * sim.Millisecond, counterPayload},
+	})
+	alerts := replay(t, NewFrequencyDetector(), train, live)
+	found := false
+	for _, a := range alerts {
+		if a.ID == 0x200 && strings.Contains(a.Reason, "rate low") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suspension of 0x200 not detected (%d alerts)", len(alerts))
+	}
+}
+
+func TestIntervalDetectorInjection(t *testing.T) {
+	train := makeTrace(5*sim.Second, cleanSpecs())
+	live := makeTrace(5*sim.Second, cleanSpecs())
+	// Inject 20 frames of 0x100 offset 1ms after legitimate ones.
+	for i := 0; i < 20; i++ {
+		live.Records = append(live.Records, can.Record{
+			At:    sim.Time(i)*100*sim.Millisecond + sim.Millisecond,
+			Frame: can.Frame{ID: 0x100, Data: []byte{0xBA, 0xD0, 0, 0}},
+		})
+	}
+	// Re-sort.
+	for i := 1; i < len(live.Records); i++ {
+		for j := i; j > 0 && live.Records[j].At < live.Records[j-1].At; j-- {
+			live.Records[j], live.Records[j-1] = live.Records[j-1], live.Records[j]
+		}
+	}
+	alerts := replay(t, NewIntervalDetector(), train, live)
+	if len(alerts) < 15 {
+		t.Fatalf("interval detector caught %d/20 injections", len(alerts))
+	}
+	clean := replay(t, NewIntervalDetector(), train, makeTrace(5*sim.Second, cleanSpecs()))
+	if len(clean) != 0 {
+		t.Fatalf("interval false positives: %d", len(clean))
+	}
+}
+
+func TestIntervalDetectorIgnoresAperiodicIDs(t *testing.T) {
+	// An ID with <3 training occurrences is not modelled.
+	train := &can.Trace{Records: []can.Record{
+		{At: 0, Frame: can.Frame{ID: 0x50}},
+		{At: sim.Second, Frame: can.Frame{ID: 0x50}},
+	}}
+	d := NewIntervalDetector()
+	d.Train(train)
+	a := d.Observe(can.Record{At: 2 * sim.Second, Frame: can.Frame{ID: 0x50}})
+	b := d.Observe(can.Record{At: 2*sim.Second + 1, Frame: can.Frame{ID: 0x50}})
+	if len(a)+len(b) != 0 {
+		t.Fatal("aperiodic ID raised interval alerts")
+	}
+}
+
+func TestEntropyDetectorFuzzing(t *testing.T) {
+	train := makeTrace(10*sim.Second, cleanSpecs())
+	// Live: 0x200's constant payload replaced by random bytes.
+	rnd := sim.NewStream(1, "fuzz")
+	live := makeTrace(10*sim.Second, []txSpec{
+		{0x100, 10 * sim.Millisecond, counterPayload},
+		{0x200, 20 * sim.Millisecond, func(i int) []byte {
+			b := make([]byte, 4)
+			rnd.Bytes(b)
+			return b
+		}},
+		{0x300, 100 * sim.Millisecond, counterPayload},
+	})
+	alerts := replay(t, NewEntropyDetector(), train, live)
+	if len(alerts) == 0 {
+		t.Fatal("fuzzing not detected")
+	}
+	for _, a := range alerts {
+		if a.ID != 0x200 {
+			t.Fatalf("entropy alert on wrong ID: %v", a)
+		}
+	}
+	clean := replay(t, NewEntropyDetector(), train, makeTrace(10*sim.Second, cleanSpecs()))
+	if len(clean) != 0 {
+		t.Fatalf("entropy false positives: %d", len(clean))
+	}
+}
+
+func TestSpecDetectorUnknownIDAndDLC(t *testing.T) {
+	train := makeTrace(2*sim.Second, cleanSpecs())
+	d := NewSpecDetector()
+	d.Train(train)
+	// Unknown ID.
+	a := d.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x666, Data: []byte{1}}})
+	if len(a) != 1 || !strings.Contains(a[0].Reason, "unknown") {
+		t.Fatalf("unknown ID alerts: %v", a)
+	}
+	// Wrong DLC on a known ID.
+	a = d.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x100, Data: []byte{1}}})
+	if len(a) != 1 || !strings.Contains(a[0].Reason, "DLC") {
+		t.Fatalf("DLC alerts: %v", a)
+	}
+	// Conforming frame is quiet.
+	a = d.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x100, Data: counterPayload(0)}})
+	if len(a) != 0 {
+		t.Fatalf("conforming frame alerted: %v", a)
+	}
+}
+
+func TestSpecDetectorSignalRanges(t *testing.T) {
+	d := NewSpecDetector()
+	d.DLC[0x10] = 2
+	d.Ranges[0x10] = []SignalRange{{Byte: 0, Lo: 0x00, Hi: 0x64}} // 0..100
+	if a := d.Observe(can.Record{Frame: can.Frame{ID: 0x10, Data: []byte{50, 0}}}); len(a) != 0 {
+		t.Fatalf("in-range alerted: %v", a)
+	}
+	a := d.Observe(can.Record{Frame: can.Frame{ID: 0x10, Data: []byte{200, 0}}})
+	if len(a) != 1 || !strings.Contains(a[0].Reason, "outside") {
+		t.Fatalf("out-of-range: %v", a)
+	}
+}
+
+func TestSpecDetectorExplicitConfigSkipsTraining(t *testing.T) {
+	d := NewSpecDetector()
+	d.DLC[0x10] = 2
+	d.Train(makeTrace(sim.Second, cleanSpecs()))
+	if len(d.DLC) != 1 {
+		t.Fatal("explicit config overwritten by training")
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{At: sim.Second, Detector: "spec", ID: 0x1AB, Reason: "x"}
+	s := a.String()
+	if !strings.Contains(s, "spec") || !strings.Contains(s, "0x1ab") {
+		t.Fatalf("String()=%q", s)
+	}
+}

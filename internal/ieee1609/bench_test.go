@@ -1,0 +1,55 @@
+package ieee1609
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+func benchPKI(b *testing.B) (*Credential, *Store) {
+	b.Helper()
+	root, err := NewRootAuthority("root", []PSID{PSIDBasicSafety}, 0, sim.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred, err := root.Issue("obu", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cred, NewStore(root.Cert)
+}
+
+func BenchmarkSignBSM(b *testing.B) {
+	cred, _ := benchPKI(b)
+	payload := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cred.Sign(PSIDBasicSafety, payload, sim.Time(i), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyBSM(b *testing.B) {
+	cred, store := benchPKI(b)
+	msg, err := cred.Sign(PSIDBasicSafety, make([]byte, 32), 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Verify(msg, sim.Millisecond, VerifyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyChain(b *testing.B) {
+	cred, store := benchPKI(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.VerifyChain(cred.Cert, sim.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package ieee1609
+
+import (
+	"errors"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+var allPSIDs = []PSID{PSIDBasicSafety, PSIDMisbehavior, PSIDInfrastructry, PSIDCRL}
+
+func pki(t *testing.T) (*Authority, *Authority, *Store) {
+	t.Helper()
+	root, err := NewRootAuthority("root-ca", allPSIDs, 0, sim.Hour*24*365*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := root.IssueCA("enrollment-ca", []PSID{PSIDBasicSafety, PSIDMisbehavior}, 0, sim.Hour*24*365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(root.Cert)
+	store.AddCert(sub.Cert)
+	return root, sub, store
+}
+
+func TestChainVerification(t *testing.T) {
+	_, sub, store := pki(t)
+	cred, err := sub.Issue("obu-1", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.VerifyChain(cred.Cert, sim.Minute); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+}
+
+func TestChainRejectsExpired(t *testing.T) {
+	_, sub, store := pki(t)
+	cred, _ := sub.Issue("obu-1", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	if err := store.VerifyChain(cred.Cert, 2*sim.Hour); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := store.VerifyChain(cred.Cert, -sim.Second); !errors.Is(err, ErrExpired) {
+		t.Fatalf("before NotBefore: err=%v", err)
+	}
+}
+
+func TestChainRejectsUnknownIssuer(t *testing.T) {
+	other, err := NewRootAuthority("rogue-root", allPSIDs, 0, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, _ := other.Issue("rogue-obu", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	_, _, store := pki(t)
+	if err := store.VerifyChain(cred.Cert, sim.Minute); !errors.Is(err, ErrUnknownIssuer) {
+		t.Fatalf("err=%v", err)
+	}
+	// A foreign self-signed root is equally untrusted.
+	if err := store.VerifyChain(other.Cert, sim.Minute); !errors.Is(err, ErrUnknownIssuer) {
+		t.Fatalf("foreign root: err=%v", err)
+	}
+}
+
+func TestChainRejectsPSIDEscalation(t *testing.T) {
+	_, sub, store := pki(t)
+	// sub may only issue BasicSafety/Misbehavior; a cert claiming
+	// Infrastructure must be rejected even though the signature is valid.
+	cred, err := sub.Issue("greedy-obu", []PSID{PSIDBasicSafety, PSIDInfrastructry}, 0, sim.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.VerifyChain(cred.Cert, sim.Minute); !errors.Is(err, ErrPSIDEscalate) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestChainRejectsNonCAIssuer(t *testing.T) {
+	_, sub, store := pki(t)
+	leaf, _ := sub.Issue("obu-1", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	store.AddCert(leaf.Cert)
+	// Forge a certificate that names the leaf as its issuer. Signature
+	// won't even matter: the CA flag check fires first.
+	fake := &Certificate{
+		Subject:   "forged",
+		IssuerID:  leaf.Cert.ID(),
+		PSIDs:     []PSID{PSIDBasicSafety},
+		NotAfter:  sim.Hour,
+		PublicKey: leaf.Cert.PublicKey,
+		SigR:      leaf.Cert.SigR,
+		SigS:      leaf.Cert.SigS,
+	}
+	if err := store.VerifyChain(fake, sim.Minute); !errors.Is(err, ErrNotCA) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestChainRejectsTamperedCert(t *testing.T) {
+	_, sub, store := pki(t)
+	cred, _ := sub.Issue("obu-1", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	cred.Cert.Subject = "obu-1-promoted" // invalidates issuer signature
+	cred.Cert.idCached = false
+	if err := store.VerifyChain(cred.Cert, sim.Minute); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestCertIDStableAndDistinct(t *testing.T) {
+	_, sub, _ := pki(t)
+	a, _ := sub.Issue("a", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	b, _ := sub.Issue("b", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	if a.Cert.ID() != a.Cert.ID() {
+		t.Fatal("ID not stable")
+	}
+	if a.Cert.ID() == b.Cert.ID() {
+		t.Fatal("distinct certs share an ID")
+	}
+	if a.Cert.ID().String() == "" {
+		t.Fatal("empty ID string")
+	}
+}
+
+func TestPermitsAndValidity(t *testing.T) {
+	c := &Certificate{PSIDs: []PSID{1, 2}, NotBefore: 10, NotAfter: 20}
+	if !c.Permits(1) || c.Permits(3) {
+		t.Fatal("Permits wrong")
+	}
+	if c.ValidAt(9) || !c.ValidAt(10) || !c.ValidAt(20) || c.ValidAt(21) {
+		t.Fatal("ValidAt boundaries wrong")
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	root, sub, store := pki(t)
+	cred, _ := sub.Issue("obu-1", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	if err := store.VerifyChain(cred.Cert, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	crl, err := root.SignCRL(1, []HashedID8{cred.Cert.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetCRL(crl, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.VerifyChain(cred.Cert, sim.Minute); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked cert verified: %v", err)
+	}
+}
+
+func TestCRLStaleSequenceRejected(t *testing.T) {
+	root, _, store := pki(t)
+	crl2, _ := root.SignCRL(2, nil)
+	if err := store.SetCRL(crl2, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	crl1, _ := root.SignCRL(1, nil)
+	if err := store.SetCRL(crl1, sim.Minute); err == nil {
+		t.Fatal("stale CRL accepted")
+	}
+}
+
+func TestCRLSignerMustBeTrustedAndPermitted(t *testing.T) {
+	_, sub, store := pki(t)
+	// sub lacks PSIDCRL.
+	subCRL := &Authority{Cert: sub.Cert, priv: nil}
+	_ = subCRL
+	rogue, _ := NewRootAuthority("rogue", allPSIDs, 0, sim.Hour)
+	crl, _ := rogue.SignCRL(1, nil)
+	if err := store.SetCRL(crl, sim.Minute); err == nil {
+		t.Fatal("CRL from untrusted root accepted")
+	}
+	crlSub, err := sub.SignCRL(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetCRL(crlSub, sim.Minute); !errors.Is(err, ErrPSIDDenied) {
+		t.Fatalf("CRL signer without PSIDCRL accepted: %v", err)
+	}
+}
+
+func TestCRLTamperRejected(t *testing.T) {
+	root, sub, store := pki(t)
+	cred, _ := sub.Issue("obu-1", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	crl, _ := root.SignCRL(1, nil)
+	crl.Revoked = append(crl.Revoked, cred.Cert.ID()) // tamper after signing
+	if err := store.SetCRL(crl, sim.Minute); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered CRL accepted: %v", err)
+	}
+}
+
+func TestChainDepthLimit(t *testing.T) {
+	root, _ := NewRootAuthority("root", allPSIDs, 0, sim.Hour)
+	store := NewStore(root.Cert)
+	store.MaxChainDepth = 2
+	ca := root
+	var leafCA *Authority
+	for i := 0; i < 4; i++ {
+		next, err := ca.IssueCA("ca", allPSIDs, 0, sim.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.AddCert(next.Cert)
+		ca = next
+		leafCA = next
+	}
+	cred, _ := leafCA.Issue("deep", []PSID{PSIDBasicSafety}, 0, sim.Hour, false)
+	if err := store.VerifyChain(cred.Cert, sim.Minute); !errors.Is(err, ErrChainDepth) {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,228 @@
+package ieee1609
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"autosec/internal/sim"
+)
+
+// SignedMessage is the 1609.2 SignedData analogue: a payload bound to an
+// application class, a generation time, and the signer's certificate.
+type SignedMessage struct {
+	PSID    PSID
+	GenTime sim.Time
+	Payload []byte
+	// Cert travels with the message (the "certificate" signer-identifier
+	// option); digest-only referencing is modelled by Store.AddCert plus
+	// CertDigestOnly.
+	Cert *Certificate
+	// CertDigestOnly, when set, means the receiver must already know the
+	// certificate (bandwidth optimisation used every N messages in real
+	// deployments).
+	CertDigestOnly bool
+	Digest         HashedID8
+
+	SigR, SigS *big.Int
+}
+
+// Message verification errors.
+var (
+	ErrStale       = errors.New("ieee1609: message generation time outside freshness window")
+	ErrNoCert      = errors.New("ieee1609: signer certificate unavailable")
+	ErrFuture      = errors.New("ieee1609: message from the future")
+	ErrMsgTampered = errors.New("ieee1609: message signature invalid")
+)
+
+func (m *SignedMessage) signedBytes() []byte {
+	var b []byte
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(m.PSID))
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(m.GenTime))
+	b = append(b, tmp[:]...)
+	b = append(b, m.Payload...)
+	return b
+}
+
+// Sign produces a signed message under the credential at virtual time now.
+func (cr *Credential) Sign(psid PSID, payload []byte, now sim.Time, digestOnly bool) (*SignedMessage, error) {
+	if !cr.Cert.Permits(psid) {
+		return nil, fmt.Errorf("%w: signing %#x", ErrPSIDDenied, psid)
+	}
+	m := &SignedMessage{
+		PSID:           psid,
+		GenTime:        now,
+		Payload:        append([]byte(nil), payload...),
+		CertDigestOnly: digestOnly,
+		Digest:         cr.Cert.ID(),
+	}
+	if !digestOnly {
+		m.Cert = cr.Cert
+	}
+	digest := sha256.Sum256(m.signedBytes())
+	r, s, err := ecdsa.Sign(rand.Reader, cr.priv, digest[:])
+	if err != nil {
+		return nil, err
+	}
+	m.SigR, m.SigS = r, s
+	return m, nil
+}
+
+// WireBytes approximates the over-the-air size of the message: payload +
+// header + signature (64) + certificate (~120) or digest (8).
+func (m *SignedMessage) WireBytes() int {
+	n := len(m.Payload) + 4 + 8 + 64
+	if m.CertDigestOnly {
+		return n + 8
+	}
+	return n + 120
+}
+
+// VerifyOptions tunes message verification.
+type VerifyOptions struct {
+	// Freshness is the maximum accepted message age; 0 disables the check.
+	Freshness sim.Duration
+	// FutureSlack tolerates clock skew for messages timestamped ahead of
+	// the receiver (default 0: any future timestamp is rejected).
+	FutureSlack sim.Duration
+}
+
+// Verify validates a signed message at virtual time now against the store:
+// certificate chain, PSID permission, freshness, revocation, signature.
+// On success it returns the signer's certificate.
+func (s *Store) Verify(m *SignedMessage, now sim.Time, opts VerifyOptions) (*Certificate, error) {
+	cert := m.Cert
+	if cert == nil {
+		var ok bool
+		cert, ok = s.known[m.Digest]
+		if !ok {
+			return nil, fmt.Errorf("%w: digest %s", ErrNoCert, m.Digest)
+		}
+	}
+	if m.GenTime > now+opts.FutureSlack {
+		return nil, ErrFuture
+	}
+	if opts.Freshness > 0 && now-m.GenTime > opts.Freshness {
+		return nil, fmt.Errorf("%w: age %v", ErrStale, now-m.GenTime)
+	}
+	if !cert.Permits(m.PSID) {
+		return nil, fmt.Errorf("%w: %#x", ErrPSIDDenied, m.PSID)
+	}
+	if err := s.VerifyChain(cert, now); err != nil {
+		return nil, err
+	}
+	digest := sha256.Sum256(m.signedBytes())
+	if m.SigR == nil || m.SigS == nil || !ecdsa.Verify(cert.PublicKey, digest[:], m.SigR, m.SigS) {
+		return nil, ErrMsgTampered
+	}
+	// Cache the cert for future digest-only messages from this signer.
+	s.AddCert(cert)
+	return cert, nil
+}
+
+// CRL is a signed certificate revocation list.
+type CRL struct {
+	Sequence uint64
+	Revoked  []HashedID8
+	Signer   *Certificate
+
+	SigR, SigS *big.Int
+}
+
+func (c *CRL) tbs() []byte {
+	var b []byte
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], c.Sequence)
+	b = append(b, tmp[:]...)
+	for _, id := range c.Revoked {
+		b = append(b, id[:]...)
+	}
+	return b
+}
+
+// Contains reports whether the id is revoked.
+func (c *CRL) Contains(id HashedID8) bool {
+	for _, r := range c.Revoked {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *CRL) verify() error {
+	digest := sha256.Sum256(c.tbs())
+	if c.SigR == nil || c.SigS == nil || !ecdsa.Verify(c.Signer.PublicKey, digest[:], c.SigR, c.SigS) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// SignCRL issues a revocation list under the authority. The authority's
+// certificate must carry PSIDCRL for stores to accept it.
+func (a *Authority) SignCRL(sequence uint64, revoked []HashedID8) (*CRL, error) {
+	crl := &CRL{Sequence: sequence, Revoked: append([]HashedID8(nil), revoked...), Signer: a.Cert}
+	digest := sha256.Sum256(crl.tbs())
+	r, s, err := ecdsa.Sign(rand.Reader, a.priv, digest[:])
+	if err != nil {
+		return nil, err
+	}
+	crl.SigR, crl.SigS = r, s
+	return crl, nil
+}
+
+// PseudonymPool is a vehicle's batch of short-lived anonymous credentials,
+// rotated to frustrate location tracking (the paper's privacy scenario).
+type PseudonymPool struct {
+	creds  []*Credential
+	next   int
+	active *Credential
+	// Period is how long one pseudonym is used before rotation.
+	Period sim.Duration
+	// lastRotate is the virtual time of the last rotation.
+	lastRotate sim.Time
+}
+
+// NewPseudonymPool issues n pseudonym credentials from the authority, each
+// valid over the whole window (real systems stagger validity; rotation
+// policy is what the experiment sweeps).
+func NewPseudonymPool(a *Authority, n int, psids []PSID, notBefore, notAfter sim.Time, period sim.Duration) (*PseudonymPool, error) {
+	if n <= 0 {
+		return nil, errors.New("ieee1609: pool size must be positive")
+	}
+	p := &PseudonymPool{Period: period}
+	for i := 0; i < n; i++ {
+		cr, err := a.Issue("", psids, notBefore, notAfter, true)
+		if err != nil {
+			return nil, err
+		}
+		p.creds = append(p.creds, cr)
+	}
+	p.active = p.creds[0]
+	p.next = 1
+	return p, nil
+}
+
+// Active returns the credential to sign with at virtual time now, rotating
+// when the period has elapsed. Rotation wraps around the pool (certificate
+// reuse after exhaustion — a real-world compromise the tracker exploits).
+func (p *PseudonymPool) Active(now sim.Time) *Credential {
+	if p.Period > 0 && now-p.lastRotate >= p.Period {
+		p.active = p.creds[p.next%len(p.creds)]
+		p.next++
+		p.lastRotate = now
+	}
+	return p.active
+}
+
+// Size reports the number of pseudonyms in the pool.
+func (p *PseudonymPool) Size() int { return len(p.creds) }
+
+// Rotations reports how many rotations have occurred.
+func (p *PseudonymPool) Rotations() int { return p.next - 1 }

@@ -1,0 +1,37 @@
+package isotp
+
+import (
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// BenchmarkTransfer4095 measures a full maximum-length ISO-TP transfer
+// over the simulated bus, including every flow-control round-trip.
+func BenchmarkTransfer4095(b *testing.B) {
+	payload := make([]byte, MaxMessage)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(uint64(i))
+		bus := can.NewBus(k, "diag", 500_000)
+		tc := can.NewController("t")
+		ec := can.NewController("e")
+		bus.Attach(tc)
+		bus.Attach(ec)
+		tester := New(k, tc, Config{TxID: 0x7E0, RxID: 0x7E8})
+		ecuEP := New(k, ec, Config{TxID: 0x7E8, RxID: 0x7E0, BlockSize: 8})
+		got := 0
+		ecuEP.OnMessage(func(_ sim.Time, p []byte) { got = len(p) })
+		if err := tester.Send(payload, nil); err != nil {
+			b.Fatal(err)
+		}
+		_ = k.Run()
+		if got != MaxMessage {
+			b.Fatalf("got %d bytes", got)
+		}
+	}
+	b.SetBytes(MaxMessage)
+}

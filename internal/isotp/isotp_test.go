@@ -1,0 +1,266 @@
+package isotp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// pair builds two endpoints on one bus: tester (0x7E0 -> 0x7E8) and ECU.
+func pair(t *testing.T, testerCfg, ecuCfg Config) (*sim.Kernel, *Endpoint, *Endpoint) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	bus := can.NewBus(k, "diag", 500_000)
+	tc := can.NewController("tester")
+	ec := can.NewController("ecu")
+	bus.Attach(tc)
+	bus.Attach(ec)
+	if testerCfg.TxID == 0 {
+		testerCfg = Config{TxID: 0x7E0, RxID: 0x7E8}
+	}
+	if ecuCfg.TxID == 0 {
+		ecuCfg = Config{TxID: 0x7E8, RxID: 0x7E0}
+	}
+	return k, New(k, tc, testerCfg), New(k, ec, ecuCfg)
+}
+
+func TestSingleFrameRoundTrip(t *testing.T) {
+	k, tester, ecuEP := pair(t, Config{}, Config{})
+	var got []byte
+	ecuEP.OnMessage(func(_ sim.Time, p []byte) { got = p })
+	doneErr := errors.New("unset")
+	if err := tester.Send([]byte{0x3E, 0x00}, func(err error) { doneErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+	if doneErr != nil {
+		t.Fatalf("done: %v", doneErr)
+	}
+	if !bytes.Equal(got, []byte{0x3E, 0x00}) {
+		t.Fatalf("got %x", got)
+	}
+	if tester.MessagesSent.Value != 1 || ecuEP.MessagesRecv.Value != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestMultiFrameRoundTrip(t *testing.T) {
+	k, tester, ecuEP := pair(t, Config{}, Config{})
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var got []byte
+	ecuEP.OnMessage(func(_ sim.Time, p []byte) { got = p })
+	var doneErr error = errors.New("unset")
+	if err := tester.Send(payload, func(err error) { doneErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+	if doneErr != nil {
+		t.Fatalf("done: %v", doneErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %d bytes vs %d", len(got), len(payload))
+	}
+}
+
+func TestMaxLengthMessage(t *testing.T) {
+	k, tester, ecuEP := pair(t, Config{}, Config{})
+	payload := make([]byte, MaxMessage)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var got []byte
+	ecuEP.OnMessage(func(_ sim.Time, p []byte) { got = p })
+	if err := tester.Send(payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("4095-byte transfer failed: got %d bytes", len(got))
+	}
+}
+
+func TestTooLongRejected(t *testing.T) {
+	_, tester, _ := pair(t, Config{}, Config{})
+	if err := tester.Send(make([]byte, MaxMessage+1), nil); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestBusyRejected(t *testing.T) {
+	k, tester, _ := pair(t, Config{}, Config{})
+	if err := tester.Send(make([]byte, 50), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tester.Send(make([]byte, 50), nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err=%v", err)
+	}
+	_ = k.Run()
+	// After completion a new transfer is accepted.
+	if err := tester.Send(make([]byte, 50), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+}
+
+func TestBlockSizeFlowControl(t *testing.T) {
+	// Receiver grants 4 frames per FC round.
+	k, tester, ecuEP := pair(t,
+		Config{TxID: 0x7E0, RxID: 0x7E8},
+		Config{TxID: 0x7E8, RxID: 0x7E0, BlockSize: 4})
+	payload := make([]byte, 200)
+	var got []byte
+	ecuEP.OnMessage(func(_ sim.Time, p []byte) { got = p })
+	if err := tester.Send(payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+	if len(got) != 200 {
+		t.Fatalf("got %d bytes with BS=4", len(got))
+	}
+}
+
+func TestSeparationTimePacesFrames(t *testing.T) {
+	// Receiver demands 5ms between consecutive frames; the 100-byte
+	// transfer needs 14 CFs, so it must take ≥ 13*5ms.
+	k, tester, ecuEP := pair(t,
+		Config{TxID: 0x7E0, RxID: 0x7E8},
+		Config{TxID: 0x7E8, RxID: 0x7E0, SeparationTime: 5 * sim.Millisecond})
+	var doneAt sim.Time
+	ecuEP.OnMessage(func(at sim.Time, _ []byte) { doneAt = at })
+	if err := tester.Send(make([]byte, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+	if doneAt < 13*5*sim.Millisecond {
+		t.Fatalf("transfer completed at %v, too fast for STmin", doneAt)
+	}
+}
+
+func TestReceiverOverflow(t *testing.T) {
+	k, tester, ecuEP := pair(t,
+		Config{TxID: 0x7E0, RxID: 0x7E8},
+		Config{TxID: 0x7E8, RxID: 0x7E0, MaxBuffer: 64})
+	var doneErr error
+	if err := tester.Send(make([]byte, 100), func(err error) { doneErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Run()
+	if !errors.Is(doneErr, ErrOverflow) {
+		t.Fatalf("done err=%v", doneErr)
+	}
+	if ecuEP.Overflows.Value != 1 {
+		t.Fatalf("overflows=%d", ecuEP.Overflows.Value)
+	}
+}
+
+func TestSequenceErrorAborts(t *testing.T) {
+	// Inject a forged consecutive frame with the wrong sequence number
+	// mid-transfer; the receiver must abort reassembly.
+	k := sim.NewKernel(1)
+	bus := can.NewBus(k, "diag", 500_000)
+	tc := can.NewController("tester")
+	ec := can.NewController("ecu")
+	atk := can.NewController("attacker")
+	bus.Attach(tc)
+	bus.Attach(ec)
+	bus.Attach(atk)
+	tester := New(k, tc, Config{TxID: 0x7E0, RxID: 0x7E8})
+	ecuEP := New(k, ec, Config{TxID: 0x7E8, RxID: 0x7E0, SeparationTime: 2 * sim.Millisecond})
+	delivered := 0
+	ecuEP.OnMessage(func(sim.Time, []byte) { delivered++ })
+	if err := tester.Send(make([]byte, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker injects a CF with sequence 9 shortly after the start.
+	k.After(sim.Millisecond, func() {
+		_ = atk.Send(can.Frame{ID: 0x7E0, Data: []byte{byte(pciConsecutive<<4) | 9, 1, 2, 3}}, nil)
+	})
+	_ = k.RunUntil(sim.Second)
+	if delivered != 0 {
+		t.Fatal("corrupted transfer delivered")
+	}
+	if ecuEP.SeqErrors.Value != 1 {
+		t.Fatalf("seq errors=%d", ecuEP.SeqErrors.Value)
+	}
+}
+
+func TestStrayFramesIgnored(t *testing.T) {
+	k, _, ecuEP := pair(t, Config{}, Config{})
+	// A stray consecutive frame with no transfer active, malformed single
+	// frames, and a stray flow control must all be ignored quietly.
+	k2, bus := k, can.NewBus(k, "x", 500_000)
+	_ = k2
+	_ = bus
+	ecuEP.handle(0, []byte{byte(pciConsecutive<<4) | 1, 1})
+	ecuEP.handle(0, []byte{byte(pciSingle << 4)})            // length 0
+	ecuEP.handle(0, []byte{byte(pciSingle<<4) | 9, 1})       // length > 7
+	ecuEP.handle(0, []byte{byte(pciFlowControl << 4), 0, 0}) // no tx active
+	ecuEP.handle(0, nil)
+	if ecuEP.MessagesRecv.Value != 0 {
+		t.Fatal("garbage counted as messages")
+	}
+}
+
+func TestSeparationTimeCodec(t *testing.T) {
+	cases := []struct {
+		d    sim.Duration
+		want byte
+	}{
+		{0, 0},
+		{3 * sim.Millisecond, 3},
+		{127 * sim.Millisecond, 127},
+		{500 * sim.Millisecond, 127}, // clamped
+		{300 * sim.Microsecond, 0xF3},
+		{50 * sim.Microsecond, 0xF1}, // floor to 100us
+	}
+	for _, c := range cases {
+		if got := encodeSeparationTime(c.d); got != c.want {
+			t.Errorf("encode(%v)=%#x, want %#x", c.d, got, c.want)
+		}
+	}
+	if decodeSeparationTime(5) != 5*sim.Millisecond {
+		t.Error("decode ms wrong")
+	}
+	if decodeSeparationTime(0xF4) != 400*sim.Microsecond {
+		t.Error("decode us wrong")
+	}
+	if decodeSeparationTime(0xAA) != 127*sim.Millisecond {
+		t.Error("reserved value not conservative")
+	}
+}
+
+// Property: any payload size round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(size uint16, fill byte) bool {
+		n := int(size) % 600
+		payload := bytes.Repeat([]byte{fill}, n)
+		if n == 0 {
+			payload = []byte{fill}
+		}
+		k := sim.NewKernel(uint64(size))
+		bus := can.NewBus(k, "diag", 500_000)
+		tc := can.NewController("t")
+		ec := can.NewController("e")
+		bus.Attach(tc)
+		bus.Attach(ec)
+		tester := New(k, tc, Config{TxID: 0x7E0, RxID: 0x7E8})
+		ecuEP := New(k, ec, Config{TxID: 0x7E8, RxID: 0x7E0, BlockSize: 3})
+		var got []byte
+		ecuEP.OnMessage(func(_ sim.Time, p []byte) { got = p })
+		if err := tester.Send(payload, nil); err != nil {
+			return false
+		}
+		_ = k.Run()
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

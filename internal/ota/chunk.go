@@ -1,0 +1,108 @@
+package ota
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Chunked delivery: large images cross the vehicle's telematics link in
+// pieces, and on CAN-based legs in very small pieces. Each chunk is
+// individually hashed in a chunk manifest so a receiver can verify
+// incrementally and request selective retransmission, rather than
+// discovering corruption only after assembling hundreds of megabytes.
+
+// ChunkManifest lists per-chunk hashes for one payload.
+type ChunkManifest struct {
+	Name      string
+	ChunkSize int
+	Total     int // total payload length
+	Hashes    [][32]byte
+}
+
+// Chunk is one transfer unit.
+type Chunk struct {
+	Name  string
+	Index int
+	Data  []byte
+}
+
+// Split cuts a payload into chunks and builds its manifest.
+func Split(name string, payload []byte, chunkSize int) (ChunkManifest, []Chunk, error) {
+	if chunkSize <= 0 {
+		return ChunkManifest{}, nil, errors.New("ota: chunk size must be positive")
+	}
+	m := ChunkManifest{Name: name, ChunkSize: chunkSize, Total: len(payload)}
+	var chunks []Chunk
+	for i := 0; i < len(payload); i += chunkSize {
+		end := i + chunkSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		data := append([]byte(nil), payload[i:end]...)
+		m.Hashes = append(m.Hashes, HashPayload(data))
+		chunks = append(chunks, Chunk{Name: name, Index: i / chunkSize, Data: data})
+	}
+	return m, chunks, nil
+}
+
+// Assembler verifies chunks against a manifest and reassembles the
+// payload. Chunks may arrive in any order; duplicates are idempotent.
+type Assembler struct {
+	manifest ChunkManifest
+	have     [][]byte
+	count    int
+
+	BadChunks int // chunks rejected for hash/index errors
+}
+
+// NewAssembler starts assembly for a manifest.
+func NewAssembler(m ChunkManifest) *Assembler {
+	return &Assembler{manifest: m, have: make([][]byte, len(m.Hashes))}
+}
+
+// Add verifies and stores one chunk. It reports whether the chunk was
+// accepted.
+func (a *Assembler) Add(c Chunk) bool {
+	if c.Name != a.manifest.Name || c.Index < 0 || c.Index >= len(a.manifest.Hashes) {
+		a.BadChunks++
+		return false
+	}
+	if HashPayload(c.Data) != a.manifest.Hashes[c.Index] {
+		a.BadChunks++
+		return false
+	}
+	if a.have[c.Index] == nil {
+		a.count++
+	}
+	a.have[c.Index] = c.Data
+	return true
+}
+
+// Missing lists the chunk indices still needed.
+func (a *Assembler) Missing() []int {
+	var out []int
+	for i, h := range a.have {
+		if h == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Complete reports whether all chunks arrived.
+func (a *Assembler) Complete() bool { return a.count == len(a.have) }
+
+// Assemble returns the reassembled payload, or ErrIncomplete.
+func (a *Assembler) Assemble() ([]byte, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("%w: %d chunks missing", ErrIncomplete, len(a.have)-a.count)
+	}
+	out := make([]byte, 0, a.manifest.Total)
+	for _, d := range a.have {
+		out = append(out, d...)
+	}
+	if len(out) != a.manifest.Total {
+		return nil, fmt.Errorf("%w: assembled %d bytes, manifest says %d", ErrHashMismatch, len(out), a.manifest.Total)
+	}
+	return out, nil
+}

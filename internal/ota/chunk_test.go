@@ -1,0 +1,155 @@
+package ota
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	m, chunks, err := Split("fw", payload, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 16 { // 15*64=960 + 40
+		t.Fatalf("chunks=%d", len(chunks))
+	}
+	a := NewAssembler(m)
+	// Deliver out of order.
+	for i := len(chunks) - 1; i >= 0; i-- {
+		if !a.Add(chunks[i]) {
+			t.Fatalf("chunk %d rejected", i)
+		}
+	}
+	if !a.Complete() {
+		t.Fatal("not complete")
+	}
+	got, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestAssemblerRejectsCorruptChunk(t *testing.T) {
+	m, chunks, _ := Split("fw", []byte("hello world, this is firmware"), 8)
+	a := NewAssembler(m)
+	bad := chunks[1]
+	bad.Data = append([]byte(nil), bad.Data...)
+	bad.Data[0] ^= 1
+	if a.Add(bad) {
+		t.Fatal("corrupt chunk accepted")
+	}
+	if a.BadChunks != 1 {
+		t.Fatalf("BadChunks=%d", a.BadChunks)
+	}
+	// The slot is still missing; the original fills it.
+	if len(a.Missing()) != len(chunks) {
+		t.Fatal("missing count wrong")
+	}
+	if !a.Add(chunks[1]) {
+		t.Fatal("legit chunk rejected")
+	}
+}
+
+func TestAssemblerRejectsForeignAndOutOfRange(t *testing.T) {
+	m, chunks, _ := Split("fw", []byte("0123456789abcdef"), 4)
+	a := NewAssembler(m)
+	wrongName := chunks[0]
+	wrongName.Name = "other"
+	if a.Add(wrongName) {
+		t.Fatal("foreign chunk accepted")
+	}
+	oob := chunks[0]
+	oob.Index = 99
+	if a.Add(oob) {
+		t.Fatal("out-of-range chunk accepted")
+	}
+}
+
+func TestAssemblerIncomplete(t *testing.T) {
+	m, chunks, _ := Split("fw", []byte("0123456789abcdef"), 4)
+	a := NewAssembler(m)
+	a.Add(chunks[0])
+	a.Add(chunks[2])
+	if a.Complete() {
+		t.Fatal("incomplete assembler claims complete")
+	}
+	missing := a.Missing()
+	if len(missing) != 2 || missing[0] != 1 || missing[1] != 3 {
+		t.Fatalf("missing=%v", missing)
+	}
+	if _, err := a.Assemble(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestAssemblerDuplicateIdempotent(t *testing.T) {
+	m, chunks, _ := Split("fw", []byte("01234567"), 4)
+	a := NewAssembler(m)
+	a.Add(chunks[0])
+	a.Add(chunks[0])
+	if a.Complete() {
+		t.Fatal("duplicates counted twice")
+	}
+	a.Add(chunks[1])
+	if !a.Complete() {
+		t.Fatal("should be complete")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, _, err := Split("fw", []byte("x"), 0); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}
+
+// Property: split/assemble round-trips any payload at any chunk size.
+func TestSplitAssembleProperty(t *testing.T) {
+	f := func(payload []byte, size uint8) bool {
+		cs := int(size%128) + 1
+		m, chunks, err := Split("p", payload, cs)
+		if err != nil {
+			return false
+		}
+		a := NewAssembler(m)
+		for _, c := range chunks {
+			if !a.Add(c) {
+				return false
+			}
+		}
+		got, err := a.Assemble()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEmptyPayload(t *testing.T) {
+	m, chunks, err := Split("empty", nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 0 {
+		t.Fatalf("chunks=%d", len(chunks))
+	}
+	a := NewAssembler(m)
+	if !a.Complete() {
+		t.Fatal("empty payload not complete")
+	}
+	got, err := a.Assemble()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("assemble: %v %v", got, err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package ota implements an over-the-air software update framework in the
+// style the paper calls for ("facilities for in-field OTA updates to
+// software, firmware, or even hardware configurations" whose update flow
+// "itself must be upgradable"). The design is Uptane-flavoured: two
+// independent repositories — a *director* that targets updates at a
+// specific vehicle and an *image* repository that attests what images
+// exist — must agree before an ECU installs anything. Signed metadata
+// carries monotonic version counters (anti-rollback), expiry times,
+// per-image hashes and hardware-compatibility identifiers.
+//
+// The threat experiment E10 drives this package through its attack
+// matrix: forged metadata, replayed old versions, wrong-hardware images,
+// a stolen single-repository key, tampered payloads and truncated
+// bundles must all be rejected; only a fully consistent fresh bundle
+// installs.
+package ota
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"autosec/internal/sim"
+)
+
+// Target describes one installable image.
+type Target struct {
+	Name    string
+	Version uint64
+	// HWID names the ECU hardware the image is compatible with.
+	HWID   string
+	Length int
+	Hash   [32]byte
+}
+
+// Metadata is a signed targets statement from one repository.
+type Metadata struct {
+	Repo    string // "director" or "image"
+	Version uint64 // metadata version counter (anti-rollback)
+	Expires sim.Time
+	// VehicleID scopes director metadata to one vehicle ("" for the image
+	// repository, whose statements are fleet-wide).
+	VehicleID string
+	Targets   []Target
+
+	Sig []byte
+}
+
+// canonical renders the signed portion deterministically.
+func (m *Metadata) canonical() []byte {
+	var b bytes.Buffer
+	b.WriteString(m.Repo)
+	b.WriteByte(0)
+	binary.Write(&b, binary.BigEndian, m.Version)
+	binary.Write(&b, binary.BigEndian, uint64(m.Expires))
+	b.WriteString(m.VehicleID)
+	b.WriteByte(0)
+	ts := append([]Target(nil), m.Targets...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+	for _, t := range ts {
+		b.WriteString(t.Name)
+		b.WriteByte(0)
+		binary.Write(&b, binary.BigEndian, t.Version)
+		b.WriteString(t.HWID)
+		b.WriteByte(0)
+		binary.Write(&b, binary.BigEndian, uint64(t.Length))
+		b.Write(t.Hash[:])
+	}
+	return b.Bytes()
+}
+
+// Repository is a metadata signer (director or image repo).
+type Repository struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+
+	nextVersion uint64
+}
+
+// NewRepository creates a repository with a fresh signing key.
+func NewRepository(name string) (*Repository, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{Name: name, priv: priv, pub: pub, nextVersion: 1}, nil
+}
+
+// PublicKey returns the repository's verification key.
+func (r *Repository) PublicKey() ed25519.PublicKey { return r.pub }
+
+// StealKey returns the private key, modelling the side-channel key
+// extraction of experiment E3/E10. It exists so attacks are explicit in
+// scenario code; a production system would obviously not export this.
+func (r *Repository) StealKey() ed25519.PrivateKey { return r.priv }
+
+// Sign publishes signed metadata with the next version counter.
+func (r *Repository) Sign(vehicleID string, targets []Target, expires sim.Time) *Metadata {
+	m := &Metadata{
+		Repo:      r.Name,
+		Version:   r.nextVersion,
+		Expires:   expires,
+		VehicleID: vehicleID,
+		Targets:   append([]Target(nil), targets...),
+	}
+	r.nextVersion++
+	m.Sig = ed25519.Sign(r.priv, m.canonical())
+	return m
+}
+
+// ForgeMetadata signs arbitrary metadata with a (presumably stolen) key —
+// the attacker-side primitive.
+func ForgeMetadata(key ed25519.PrivateKey, repo, vehicleID string, version uint64, targets []Target, expires sim.Time) *Metadata {
+	m := &Metadata{Repo: repo, Version: version, Expires: expires, VehicleID: vehicleID, Targets: targets}
+	m.Sig = ed25519.Sign(key, m.canonical())
+	return m
+}
+
+// HashPayload computes a target payload hash.
+func HashPayload(p []byte) [32]byte { return sha256.Sum256(p) }
+
+// MakeTarget builds a Target from an image payload.
+func MakeTarget(name string, version uint64, hwid string, payload []byte) Target {
+	return Target{Name: name, Version: version, HWID: hwid, Length: len(payload), Hash: HashPayload(payload)}
+}
+
+// Bundle is what a vehicle receives in one update campaign: both
+// repositories' metadata plus the image payloads.
+type Bundle struct {
+	Director *Metadata
+	Image    *Metadata
+	Payloads map[string][]byte
+}
+
+// Verification errors — one per row of the E10 attack matrix.
+var (
+	ErrBadSignature = errors.New("ota: metadata signature invalid")
+	ErrRollback     = errors.New("ota: metadata or target version rollback")
+	ErrExpiredMeta  = errors.New("ota: metadata expired")
+	ErrWrongVehicle = errors.New("ota: director metadata for a different vehicle")
+	ErrMixAndMatch  = errors.New("ota: director and image repositories disagree")
+	ErrWrongHW      = errors.New("ota: image hardware ID does not match ECU")
+	ErrHashMismatch = errors.New("ota: payload hash mismatch")
+	ErrIncomplete   = errors.New("ota: bundle is missing payloads")
+	ErrUnknownECU   = errors.New("ota: no ECU with that hardware ID")
+)
+
+// ECUState is the client-side record for one ECU.
+type ECUState struct {
+	HWID             string
+	InstalledName    string
+	InstalledVersion uint64
+}
+
+// Client is the vehicle-side update verifier (the "primary" in Uptane
+// terms).
+type Client struct {
+	VehicleID string
+
+	directorKey ed25519.PublicKey
+	imageKey    ed25519.PublicKey
+
+	lastDirectorVersion uint64
+	lastImageVersion    uint64
+
+	ecus map[string]*ECUState // by HWID
+
+	Installed sim.Counter
+	Rejected  sim.Counter
+}
+
+// NewClient creates a client trusting the two repository keys.
+func NewClient(vehicleID string, directorKey, imageKey ed25519.PublicKey) *Client {
+	return &Client{
+		VehicleID:   vehicleID,
+		directorKey: directorKey,
+		imageKey:    imageKey,
+		ecus:        make(map[string]*ECUState),
+	}
+}
+
+// AddECU registers an ECU by hardware ID with its factory firmware version.
+func (c *Client) AddECU(hwid string, installedVersion uint64) {
+	c.ecus[hwid] = &ECUState{HWID: hwid, InstalledVersion: installedVersion}
+}
+
+// ECU returns the state for a hardware ID.
+func (c *Client) ECU(hwid string) (*ECUState, bool) {
+	e, ok := c.ecus[hwid]
+	return e, ok
+}
+
+// verifyMeta checks one repository's signature, freshness and counters.
+func (c *Client) verifyMeta(m *Metadata, key ed25519.PublicKey, lastVersion uint64, now sim.Time) error {
+	if !ed25519.Verify(key, m.canonical(), m.Sig) {
+		return fmt.Errorf("%w: repo %s", ErrBadSignature, m.Repo)
+	}
+	if m.Expires != 0 && now > m.Expires {
+		return fmt.Errorf("%w: repo %s at %v", ErrExpiredMeta, m.Repo, now)
+	}
+	if m.Version <= lastVersion {
+		return fmt.Errorf("%w: repo %s version %d <= %d", ErrRollback, m.Repo, m.Version, lastVersion)
+	}
+	return nil
+}
+
+// Apply verifies a bundle at virtual time now and, if everything checks
+// out, installs the targets into the matching ECUs. It is all-or-nothing:
+// any failure leaves every ECU untouched.
+func (c *Client) Apply(b *Bundle, now sim.Time) error {
+	if err := c.apply(b, now); err != nil {
+		c.Rejected.Inc()
+		return err
+	}
+	c.Installed.Inc()
+	return nil
+}
+
+func (c *Client) apply(b *Bundle, now sim.Time) error {
+	if b.Director == nil || b.Image == nil {
+		return ErrIncomplete
+	}
+	if err := c.verifyMeta(b.Director, c.directorKey, c.lastDirectorVersion, now); err != nil {
+		return err
+	}
+	if err := c.verifyMeta(b.Image, c.imageKey, c.lastImageVersion, now); err != nil {
+		return err
+	}
+	if b.Director.VehicleID != c.VehicleID {
+		return fmt.Errorf("%w: %q", ErrWrongVehicle, b.Director.VehicleID)
+	}
+
+	// Every director target must be attested, byte for byte, by the image
+	// repository: this is the two-party control that makes a single stolen
+	// key insufficient.
+	imageByName := make(map[string]Target, len(b.Image.Targets))
+	for _, t := range b.Image.Targets {
+		imageByName[t.Name] = t
+	}
+	type pendingInstall struct {
+		ecu *ECUState
+		t   Target
+	}
+	var plan []pendingInstall
+	for _, t := range b.Director.Targets {
+		it, ok := imageByName[t.Name]
+		if !ok || it != t {
+			return fmt.Errorf("%w: target %q", ErrMixAndMatch, t.Name)
+		}
+		ecu, ok := c.ecus[t.HWID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrWrongHW, t.HWID)
+		}
+		if t.Version <= ecu.InstalledVersion {
+			return fmt.Errorf("%w: target %q version %d <= installed %d",
+				ErrRollback, t.Name, t.Version, ecu.InstalledVersion)
+		}
+		payload, ok := b.Payloads[t.Name]
+		if !ok {
+			return fmt.Errorf("%w: payload %q", ErrIncomplete, t.Name)
+		}
+		if len(payload) != t.Length || HashPayload(payload) != t.Hash {
+			return fmt.Errorf("%w: target %q", ErrHashMismatch, t.Name)
+		}
+		plan = append(plan, pendingInstall{ecu: ecu, t: t})
+	}
+
+	// Commit.
+	for _, p := range plan {
+		p.ecu.InstalledName = p.t.Name
+		p.ecu.InstalledVersion = p.t.Version
+	}
+	c.lastDirectorVersion = b.Director.Version
+	c.lastImageVersion = b.Image.Version
+	return nil
+}

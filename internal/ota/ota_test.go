@@ -1,0 +1,244 @@
+package ota
+
+import (
+	"errors"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// fixture wires a director, an image repo and a one-ECU client.
+type fixture struct {
+	director *Repository
+	image    *Repository
+	client   *Client
+	payload  []byte
+	target   Target
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	d, err := NewRepository("director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewRepository("image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("VIN-0001", d.PublicKey(), im.PublicKey())
+	c.AddECU("brake-mcu-r2", 1)
+	payload := []byte("brake firmware v2 image bytes ........")
+	return &fixture{
+		director: d,
+		image:    im,
+		client:   c,
+		payload:  payload,
+		target:   MakeTarget("brake-fw", 2, "brake-mcu-r2", payload),
+	}
+}
+
+func (f *fixture) bundle(expires sim.Time) *Bundle {
+	return &Bundle{
+		Director: f.director.Sign("VIN-0001", []Target{f.target}, expires),
+		Image:    f.image.Sign("", []Target{f.target}, expires),
+		Payloads: map[string][]byte{"brake-fw": f.payload},
+	}
+}
+
+func TestApplyHappyPath(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Apply(f.bundle(sim.Hour), sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ecu, _ := f.client.ECU("brake-mcu-r2")
+	if ecu.InstalledVersion != 2 || ecu.InstalledName != "brake-fw" {
+		t.Fatalf("ecu state: %+v", ecu)
+	}
+	if f.client.Installed.Value != 1 || f.client.Rejected.Value != 0 {
+		t.Fatalf("counters: %d/%d", f.client.Installed.Value, f.client.Rejected.Value)
+	}
+}
+
+func TestApplyRejectsForgedDirector(t *testing.T) {
+	f := newFixture(t)
+	rogue, _ := NewRepository("director")
+	b := f.bundle(sim.Hour)
+	b.Director = rogue.Sign("VIN-0001", []Target{f.target}, sim.Hour)
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err=%v", err)
+	}
+	if ecu, _ := f.client.ECU("brake-mcu-r2"); ecu.InstalledVersion != 1 {
+		t.Fatal("ECU mutated by rejected bundle")
+	}
+}
+
+func TestApplyRejectsMetadataReplay(t *testing.T) {
+	f := newFixture(t)
+	b1 := f.bundle(sim.Hour)
+	if err := f.client.Apply(b1, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the very same (old metadata version) bundle fails.
+	if err := f.client.Apply(b1, 2*sim.Minute); !errors.Is(err, ErrRollback) {
+		t.Fatalf("replay: err=%v", err)
+	}
+}
+
+func TestApplyRejectsTargetVersionRollback(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Apply(f.bundle(sim.Hour), sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh metadata (new counters) but an older image version.
+	old := MakeTarget("brake-fw", 1, "brake-mcu-r2", []byte("old image"))
+	b := &Bundle{
+		Director: f.director.Sign("VIN-0001", []Target{old}, sim.Hour),
+		Image:    f.image.Sign("", []Target{old}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": []byte("old image")},
+	}
+	if err := f.client.Apply(b, 2*sim.Minute); !errors.Is(err, ErrRollback) {
+		t.Fatalf("downgrade: err=%v", err)
+	}
+}
+
+func TestApplyRejectsExpiredMetadata(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Apply(f.bundle(sim.Minute), sim.Hour); !errors.Is(err, ErrExpiredMeta) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestApplyRejectsWrongVehicle(t *testing.T) {
+	f := newFixture(t)
+	b := f.bundle(sim.Hour)
+	b.Director = f.director.Sign("VIN-9999", []Target{f.target}, sim.Hour)
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrWrongVehicle) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestApplyRejectsMixAndMatch(t *testing.T) {
+	// A stolen *director* key alone cannot push an image the image repo
+	// never attested — the core Uptane property.
+	f := newFixture(t)
+	stolen := f.director.StealKey()
+	evilPayload := []byte("malicious firmware")
+	evil := MakeTarget("brake-fw", 3, "brake-mcu-r2", evilPayload)
+	b := &Bundle{
+		Director: ForgeMetadata(stolen, "director", "VIN-0001", 10, []Target{evil}, sim.Hour),
+		Image:    f.image.Sign("", []Target{f.target}, sim.Hour), // legit image metadata
+		Payloads: map[string][]byte{"brake-fw": evilPayload},
+	}
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrMixAndMatch) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestApplyBothKeysStolenSucceeds(t *testing.T) {
+	// With BOTH repository keys an attacker wins — the model's honest
+	// boundary, and the reason key extraction (E2/E3) matters so much.
+	f := newFixture(t)
+	evilPayload := []byte("malicious firmware")
+	evil := MakeTarget("brake-fw", 3, "brake-mcu-r2", evilPayload)
+	b := &Bundle{
+		Director: ForgeMetadata(f.director.StealKey(), "director", "VIN-0001", 10, []Target{evil}, sim.Hour),
+		Image:    ForgeMetadata(f.image.StealKey(), "image", "", 10, []Target{evil}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": evilPayload},
+	}
+	if err := f.client.Apply(b, sim.Minute); err != nil {
+		t.Fatalf("two-key compromise should succeed in the model: %v", err)
+	}
+}
+
+func TestApplyRejectsWrongHW(t *testing.T) {
+	f := newFixture(t)
+	wrong := MakeTarget("brake-fw", 2, "steering-mcu-r1", f.payload)
+	b := &Bundle{
+		Director: f.director.Sign("VIN-0001", []Target{wrong}, sim.Hour),
+		Image:    f.image.Sign("", []Target{wrong}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": f.payload},
+	}
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrWrongHW) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestApplyRejectsTamperedPayload(t *testing.T) {
+	f := newFixture(t)
+	b := f.bundle(sim.Hour)
+	b.Payloads["brake-fw"] = append([]byte(nil), f.payload...)
+	b.Payloads["brake-fw"][3] ^= 0xFF
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestApplyRejectsMissingPayload(t *testing.T) {
+	f := newFixture(t)
+	b := f.bundle(sim.Hour)
+	delete(b.Payloads, "brake-fw")
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := f.client.Apply(&Bundle{}, sim.Minute); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("empty bundle: err=%v", err)
+	}
+}
+
+func TestApplyAllOrNothing(t *testing.T) {
+	// Two targets, one broken: neither installs.
+	f := newFixture(t)
+	f.client.AddECU("ivi-soc-r1", 1)
+	good := f.target
+	badPayload := []byte("ivi image")
+	bad := MakeTarget("ivi-fw", 2, "ivi-soc-r1", badPayload)
+	b := &Bundle{
+		Director: f.director.Sign("VIN-0001", []Target{good, bad}, sim.Hour),
+		Image:    f.image.Sign("", []Target{good, bad}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": f.payload, "ivi-fw": []byte("WRONG")},
+	}
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("err=%v", err)
+	}
+	brake, _ := f.client.ECU("brake-mcu-r2")
+	ivi, _ := f.client.ECU("ivi-soc-r1")
+	if brake.InstalledVersion != 1 || ivi.InstalledVersion != 1 {
+		t.Fatal("partial install happened")
+	}
+}
+
+func TestApplySequentialCampaigns(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Apply(f.bundle(sim.Hour), sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	p3 := []byte("brake firmware v3")
+	t3 := MakeTarget("brake-fw", 3, "brake-mcu-r2", p3)
+	b := &Bundle{
+		Director: f.director.Sign("VIN-0001", []Target{t3}, sim.Hour),
+		Image:    f.image.Sign("", []Target{t3}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": p3},
+	}
+	if err := f.client.Apply(b, 2*sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ecu, _ := f.client.ECU("brake-mcu-r2")
+	if ecu.InstalledVersion != 3 {
+		t.Fatalf("version=%d", ecu.InstalledVersion)
+	}
+}
+
+func TestApplyUnknownECU(t *testing.T) {
+	f := newFixture(t)
+	tgt := MakeTarget("x", 2, "nonexistent-hw", f.payload)
+	b := &Bundle{
+		Director: f.director.Sign("VIN-0001", []Target{tgt}, sim.Hour),
+		Image:    f.image.Sign("", []Target{tgt}, sim.Hour),
+		Payloads: map[string][]byte{"x": f.payload},
+	}
+	// Unknown hardware surfaces as ErrWrongHW.
+	if err := f.client.Apply(b, sim.Minute); !errors.Is(err, ErrWrongHW) {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,223 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newEngine(t *testing.T) (*Authority, *Engine) {
+	t.Helper()
+	a, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, NewEngine(a.PublicKey())
+}
+
+type recordingApplier struct {
+	kind    string
+	applied []Directive
+	vErr    error
+	aErr    error
+}
+
+func (r *recordingApplier) Kind() string { return r.kind }
+func (r *recordingApplier) Validate(Directive) error {
+	return r.vErr
+}
+func (r *recordingApplier) Apply(d Directive) error {
+	if r.aErr != nil {
+		return r.aErr
+	}
+	r.applied = append(r.applied, d)
+	return nil
+}
+
+func TestInstallHappyPath(t *testing.T) {
+	a, e := newEngine(t)
+	gw := &recordingApplier{kind: "gateway.rule"}
+	ids := &recordingApplier{kind: "ids.detector"}
+	if err := e.Register(gw); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(ids); err != nil {
+		t.Fatal(err)
+	}
+	p := &Policy{
+		Name:    "baseline",
+		Version: 1,
+		Directives: []Directive{
+			{Kind: "gateway.rule", Params: map[string]string{"from": "infotainment", "action": "deny"}},
+			{Kind: "ids.detector", Params: map[string]string{"name": "frequency"}},
+		},
+	}
+	a.Sign(p)
+	if err := e.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(gw.applied) != 1 || len(ids.applied) != 1 {
+		t.Fatalf("applied %d/%d", len(gw.applied), len(ids.applied))
+	}
+	if e.InstalledVersion("baseline") != 1 {
+		t.Fatalf("version=%d", e.InstalledVersion("baseline"))
+	}
+	if len(e.History) != 1 || e.History[0] != "baseline@v1" {
+		t.Fatalf("history=%v", e.History)
+	}
+}
+
+func TestInstallRejectsUnsigned(t *testing.T) {
+	_, e := newEngine(t)
+	p := &Policy{Name: "x", Version: 1}
+	if err := e.Install(p); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestInstallRejectsForeignAuthority(t *testing.T) {
+	_, e := newEngine(t)
+	rogue, _ := NewAuthority()
+	p := &Policy{Name: "x", Version: 1}
+	rogue.Sign(p)
+	if err := e.Install(p); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestInstallRejectsTamper(t *testing.T) {
+	a, e := newEngine(t)
+	_ = e.Register(&recordingApplier{kind: "k"})
+	p := &Policy{Name: "x", Version: 1, Directives: []Directive{{Kind: "k", Params: map[string]string{"a": "1"}}}}
+	a.Sign(p)
+	p.Directives[0].Params["a"] = "2"
+	if err := e.Install(p); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestInstallVersionMonotonic(t *testing.T) {
+	a, e := newEngine(t)
+	p1 := &Policy{Name: "x", Version: 2}
+	a.Sign(p1)
+	if err := e.Install(p1); err != nil {
+		t.Fatal(err)
+	}
+	replay := &Policy{Name: "x", Version: 2}
+	a.Sign(replay)
+	if err := e.Install(replay); !errors.Is(err, ErrRollback) {
+		t.Fatalf("replay: err=%v", err)
+	}
+	old := &Policy{Name: "x", Version: 1}
+	a.Sign(old)
+	if err := e.Install(old); !errors.Is(err, ErrRollback) {
+		t.Fatalf("downgrade: err=%v", err)
+	}
+	// Distinct names version independently.
+	other := &Policy{Name: "y", Version: 1}
+	a.Sign(other)
+	if err := e.Install(other); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallRequiresApplierCoverage(t *testing.T) {
+	a, e := newEngine(t)
+	p := &Policy{Name: "x", Version: 1, Directives: []Directive{{Kind: "ghost"}}}
+	a.Sign(p)
+	if err := e.Install(p); !errors.Is(err, ErrNoApplier) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestInstallAtomicOnValidationFailure(t *testing.T) {
+	a, e := newEngine(t)
+	good := &recordingApplier{kind: "good"}
+	bad := &recordingApplier{kind: "bad", vErr: fmt.Errorf("nope")}
+	_ = e.Register(good)
+	_ = e.Register(bad)
+	p := &Policy{Name: "x", Version: 1, Directives: []Directive{
+		{Kind: "good"}, {Kind: "bad"},
+	}}
+	a.Sign(p)
+	if err := e.Install(p); !errors.Is(err, ErrValidation) {
+		t.Fatalf("err=%v", err)
+	}
+	if len(good.applied) != 0 {
+		t.Fatal("validation failure still applied directives")
+	}
+	if e.InstalledVersion("x") != 0 {
+		t.Fatal("failed install bumped version")
+	}
+}
+
+func TestInstallApplyFailureSurfaces(t *testing.T) {
+	a, e := newEngine(t)
+	bad := &recordingApplier{kind: "k", aErr: fmt.Errorf("io")}
+	_ = e.Register(bad)
+	p := &Policy{Name: "x", Version: 1, Directives: []Directive{{Kind: "k"}}}
+	a.Sign(p)
+	if err := e.Install(p); !errors.Is(err, ErrApply) {
+		t.Fatalf("err=%v", err)
+	}
+	if e.InstalledVersion("x") != 0 {
+		t.Fatal("failed apply bumped version")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	_, e := newEngine(t)
+	_ = e.Register(&recordingApplier{kind: "k"})
+	if err := e.Register(&recordingApplier{kind: "k"}); !errors.Is(err, ErrDupApplier) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	_, e := newEngine(t)
+	_ = e.Register(&recordingApplier{kind: "b"})
+	_ = e.Register(&recordingApplier{kind: "a"})
+	ks := e.Kinds()
+	if len(ks) != 2 || ks[0] != "a" || ks[1] != "b" {
+		t.Fatalf("kinds=%v", ks)
+	}
+}
+
+func TestApplierFunc(t *testing.T) {
+	applied := false
+	af := ApplierFunc{K: "x", Ap: func(Directive) error { applied = true; return nil }}
+	if af.Kind() != "x" {
+		t.Fatal("kind")
+	}
+	if err := af.Validate(Directive{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Apply(Directive{}); err != nil || !applied {
+		t.Fatal("apply")
+	}
+	empty := ApplierFunc{K: "y"}
+	if err := empty.Apply(Directive{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectiveParam(t *testing.T) {
+	d := Directive{Params: map[string]string{"a": "1"}}
+	if d.Param("a", "z") != "1" || d.Param("b", "z") != "z" {
+		t.Fatal("Param defaults wrong")
+	}
+}
+
+func TestCanonicalOrderIndependent(t *testing.T) {
+	// Two policies with the same params inserted in different orders sign
+	// identically (map iteration order must not leak into the signature).
+	p1 := &Policy{Name: "x", Version: 1, Directives: []Directive{
+		{Kind: "k", Params: map[string]string{"a": "1", "b": "2", "c": "3"}},
+	}}
+	p2 := &Policy{Name: "x", Version: 1, Directives: []Directive{
+		{Kind: "k", Params: map[string]string{"c": "3", "b": "2", "a": "1"}},
+	}}
+	if string(p1.canonical()) != string(p2.canonical()) {
+		t.Fatal("canonical encoding depends on map order")
+	}
+}

@@ -1,0 +1,205 @@
+// Package reliability models the device-reliability pillar of the
+// paper's §3 robustness taxonomy: "sensors and analytics software for
+// providing early warning against component wear-outs, mechanisms to
+// ensure slow and gradual degradation". Components age along a Weibull
+// hazard curve; a health monitor tracks degradation indicators and raises
+// maintenance warnings before the failure probability crosses the service
+// threshold — converting random hardware failures into scheduled
+// maintenance, which is what keeps them out of the safety case.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"autosec/internal/sim"
+)
+
+// Component is one wear-prone part with Weibull lifetime parameters.
+type Component struct {
+	Name string
+	// ShapeK is the Weibull shape parameter: >1 means wear-out behaviour
+	// (hazard rises with age), 1 is memoryless, <1 infant mortality.
+	ShapeK float64
+	// ScaleHours is the characteristic life in operating hours.
+	ScaleHours float64
+
+	ageHours float64
+	failed   bool
+}
+
+// Validate checks the parameters.
+func (c *Component) Validate() error {
+	if c.ShapeK <= 0 || c.ScaleHours <= 0 {
+		return fmt.Errorf("reliability: %s needs positive Weibull parameters", c.Name)
+	}
+	return nil
+}
+
+// AgeHours reports accumulated operating time.
+func (c *Component) AgeHours() float64 { return c.ageHours }
+
+// Failed reports whether the component has failed.
+func (c *Component) Failed() bool { return c.failed }
+
+// FailureProbability is the Weibull CDF at the component's age: the
+// probability it has failed by now.
+func (c *Component) FailureProbability() float64 {
+	if c.ageHours <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(c.ageHours/c.ScaleHours, c.ShapeK))
+}
+
+// HazardRate is the instantaneous failure rate (failures per hour) at the
+// current age.
+func (c *Component) HazardRate() float64 {
+	if c.ageHours <= 0 {
+		return 0
+	}
+	return c.ShapeK / c.ScaleHours * math.Pow(c.ageHours/c.ScaleHours, c.ShapeK-1)
+}
+
+// Monitor ages a set of components on the virtual clock, samples failures
+// stochastically from the hazard curve, and raises early warnings when
+// failure probability crosses the warning threshold — before the
+// component actually dies.
+type Monitor struct {
+	kernel *sim.Kernel
+	rng    *sim.Stream
+
+	// WarnAt is the failure-probability threshold for maintenance
+	// warnings (default 0.10).
+	WarnAt float64
+	// TickHours is the aging step per virtual tick.
+	TickHours float64
+
+	components []*Component
+	warned     map[string]bool
+
+	Warnings []string
+	Failures []string
+	onEvent  []func(kind, component string)
+}
+
+// NewMonitor creates a monitor aging components every virtual minute by
+// tickHours of operation (drive-time compression).
+func NewMonitor(k *sim.Kernel, tickHours float64) *Monitor {
+	return &Monitor{
+		kernel:    k,
+		rng:       k.Stream("reliability"),
+		WarnAt:    0.10,
+		TickHours: tickHours,
+		warned:    make(map[string]bool),
+	}
+}
+
+// ErrDuplicate rejects re-adding a component name.
+var ErrDuplicate = errors.New("reliability: duplicate component")
+
+// Add registers a component.
+func (m *Monitor) Add(c *Component) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for _, existing := range m.components {
+		if existing.Name == c.Name {
+			return fmt.Errorf("%w: %s", ErrDuplicate, c.Name)
+		}
+	}
+	m.components = append(m.components, c)
+	return nil
+}
+
+// OnEvent registers a callback for "warning" and "failure" events.
+func (m *Monitor) OnEvent(fn func(kind, component string)) {
+	m.onEvent = append(m.onEvent, fn)
+}
+
+// Start ages the fleet every virtual minute; returns a stop function.
+func (m *Monitor) Start() (stop func()) {
+	return m.kernel.Every(m.kernel.Now(), sim.Minute, m.tick)
+}
+
+func (m *Monitor) tick() {
+	for _, c := range m.components {
+		if c.failed {
+			continue
+		}
+		// Conditional failure probability over this tick given survival.
+		before := c.FailureProbability()
+		c.ageHours += m.TickHours
+		after := c.FailureProbability()
+		var pTick float64
+		if before < 1 {
+			pTick = (after - before) / (1 - before)
+		}
+		if m.rng.Bool(pTick) {
+			c.failed = true
+			m.Failures = append(m.Failures, c.Name)
+			m.emit("failure", c.Name)
+			continue
+		}
+		if !m.warned[c.Name] && after >= m.WarnAt {
+			m.warned[c.Name] = true
+			m.Warnings = append(m.Warnings, c.Name)
+			m.emit("warning", c.Name)
+		}
+	}
+}
+
+func (m *Monitor) emit(kind, name string) {
+	for _, fn := range m.onEvent {
+		fn(kind, name)
+	}
+}
+
+// Replace resets a component after maintenance (new part, age zero).
+func (m *Monitor) Replace(name string) bool {
+	for _, c := range m.components {
+		if c.Name == name {
+			c.ageHours = 0
+			c.failed = false
+			delete(m.warned, name)
+			return true
+		}
+	}
+	return false
+}
+
+// HealthReport lists components by failure probability, worst first.
+func (m *Monitor) HealthReport() []string {
+	sorted := append([]*Component(nil), m.components...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].FailureProbability() > sorted[j].FailureProbability()
+	})
+	out := make([]string, 0, len(sorted))
+	for _, c := range sorted {
+		state := "ok"
+		if c.failed {
+			state = "FAILED"
+		} else if m.warned[c.Name] {
+			state = "service due"
+		}
+		out = append(out, fmt.Sprintf("%s: p(fail)=%.3f age=%.0fh %s", c.Name, c.FailureProbability(), c.ageHours, state))
+	}
+	return out
+}
+
+// WarnedBeforeFailure reports, for components that have failed, how many
+// had received an early warning first — the monitor's value metric.
+func (m *Monitor) WarnedBeforeFailure() (warned, total int) {
+	warnedSet := make(map[string]bool, len(m.Warnings))
+	for _, w := range m.Warnings {
+		warnedSet[w] = true
+	}
+	for _, f := range m.Failures {
+		total++
+		if warnedSet[f] {
+			warned++
+		}
+	}
+	return warned, total
+}

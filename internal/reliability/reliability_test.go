@@ -1,0 +1,137 @@
+package reliability
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+func TestWeibullMath(t *testing.T) {
+	c := &Component{Name: "pump", ShapeK: 2, ScaleHours: 1000}
+	if c.FailureProbability() != 0 || c.HazardRate() != 0 {
+		t.Fatal("new component not pristine")
+	}
+	c.ageHours = 1000
+	// CDF at the characteristic life is 1 - 1/e ≈ 0.632.
+	if p := c.FailureProbability(); math.Abs(p-0.632) > 0.001 {
+		t.Fatalf("p=%v", p)
+	}
+	// Wear-out shape: hazard rises with age.
+	c.ageHours = 100
+	h1 := c.HazardRate()
+	c.ageHours = 900
+	h2 := c.HazardRate()
+	if h2 <= h1 {
+		t.Fatalf("hazard not rising: %v -> %v", h1, h2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Component{Name: "x", ShapeK: 0, ScaleHours: 100}
+	if bad.Validate() == nil {
+		t.Fatal("zero shape accepted")
+	}
+	k := sim.NewKernel(1)
+	m := NewMonitor(k, 1)
+	if err := m.Add(bad); err == nil {
+		t.Fatal("Add accepted invalid component")
+	}
+	good := &Component{Name: "x", ShapeK: 2, ScaleHours: 100}
+	if err := m.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(&Component{Name: "x", ShapeK: 2, ScaleHours: 100}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestEarlyWarningPrecedesMostFailures(t *testing.T) {
+	k := sim.NewKernel(42)
+	m := NewMonitor(k, 2) // 2 operating hours per virtual minute
+	for i := 0; i < 40; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := m.Add(&Component{Name: name, ShapeK: 3, ScaleHours: 800}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := m.Start()
+	// Age until most of the population has failed.
+	_ = k.RunUntil(12 * sim.Hour) // 720 ticks -> 1440 operating hours
+	stop()
+
+	if len(m.Failures) < 20 {
+		t.Fatalf("only %d failures after 1.8 characteristic lives", len(m.Failures))
+	}
+	warned, total := m.WarnedBeforeFailure()
+	// Wear-out (k=3) failures overwhelmingly come after the 10% CDF point,
+	// so the early-warning rate should be near 1.
+	if float64(warned)/float64(total) < 0.9 {
+		t.Fatalf("early warning before only %d/%d failures", warned, total)
+	}
+}
+
+func TestMemorylessComponentsFailWithoutWarning(t *testing.T) {
+	// With ShapeK=1 (random failures, no wear-out signature) a sizable
+	// share of failures arrive before the warning threshold — the honest
+	// limit of wear-based prognostics.
+	k := sim.NewKernel(7)
+	m := NewMonitor(k, 2)
+	for i := 0; i < 40; i++ {
+		name := "r" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		_ = m.Add(&Component{Name: name, ShapeK: 1, ScaleHours: 800})
+	}
+	stop := m.Start()
+	_ = k.RunUntil(12 * sim.Hour)
+	stop()
+	warned, total := m.WarnedBeforeFailure()
+	if total == 0 {
+		t.Fatal("no failures")
+	}
+	if warned == total {
+		t.Fatalf("memoryless failures all predicted (%d/%d) — too good to be true", warned, total)
+	}
+}
+
+func TestReplaceResetsComponent(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMonitor(k, 10)
+	c := &Component{Name: "battery", ShapeK: 2, ScaleHours: 100}
+	_ = m.Add(c)
+	stop := m.Start()
+	_ = k.RunUntil(90 * sim.Minute)
+	stop()
+	if !m.Replace("battery") {
+		t.Fatal("replace failed")
+	}
+	if c.AgeHours() != 0 || c.Failed() {
+		t.Fatal("replacement not reset")
+	}
+	if m.Replace("nonexistent") {
+		t.Fatal("replaced a ghost")
+	}
+}
+
+func TestHealthReportOrderingAndEvents(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMonitor(k, 1)
+	old := &Component{Name: "old-pump", ShapeK: 2, ScaleHours: 100}
+	old.ageHours = 90
+	fresh := &Component{Name: "fresh-pump", ShapeK: 2, ScaleHours: 100}
+	_ = m.Add(fresh)
+	_ = m.Add(old)
+	report := m.HealthReport()
+	if len(report) != 2 || !strings.HasPrefix(report[0], "old-pump") {
+		t.Fatalf("report=%v", report)
+	}
+	var events []string
+	m.OnEvent(func(kind, name string) { events = append(events, kind+":"+name) })
+	stop := m.Start()
+	_ = k.RunUntil(sim.Hour)
+	stop()
+	if len(events) == 0 {
+		t.Fatal("no events from an aged component")
+	}
+}

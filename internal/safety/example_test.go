@@ -1,0 +1,30 @@
+package safety_test
+
+import (
+	"fmt"
+
+	"autosec/internal/safety"
+)
+
+// ExampleDetermine classifies the paper's motivating hazard — a hacked
+// braking function on a busy road with little the driver can do.
+func ExampleDetermine() {
+	level := safety.Determine(safety.S3, safety.E4, safety.C3)
+	fmt.Println(level)
+	// Output: ASIL D
+}
+
+// ExampleSystem_SinglePointsOfFailure analyses a braking function for the
+// single points of failure the paper calls unacceptable.
+func ExampleSystem_SinglePointsOfFailure() {
+	s := safety.NewSystem()
+	_ = s.AddFunction(safety.Function{
+		Name: "braking",
+		Clauses: [][]string{
+			{"brake-ecu-primary", "brake-ecu-backup"}, // redundant pair
+			{"hydraulics"}, // no backup
+		},
+	})
+	fmt.Println(s.SinglePointsOfFailure())
+	// Output: [hydraulics]
+}

@@ -1,0 +1,275 @@
+// Package safety models the functional-safety quarter of the paper's
+// robustness taxonomy (Section 3): ISO 26262 ASIL determination from
+// severity, exposure and controllability; hazard registers; and a
+// redundancy model that finds single points of failure (SPF) — which the
+// paper calls "unacceptable for automotive E/E systems" — and evaluates
+// fault injections against it.
+package safety
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Severity classifies potential harm (ISO 26262-3).
+type Severity int
+
+// Severity classes.
+const (
+	S0 Severity = iota // no injuries
+	S1                 // light to moderate injuries
+	S2                 // severe, survival probable
+	S3                 // life-threatening, survival uncertain
+)
+
+// Exposure classifies the probability of the operational situation.
+type Exposure int
+
+// Exposure classes.
+const (
+	E0 Exposure = iota // incredible
+	E1                 // very low
+	E2                 // low
+	E3                 // medium
+	E4                 // high
+)
+
+// Controllability classifies how avoidable the harm is.
+type Controllability int
+
+// Controllability classes.
+const (
+	C0 Controllability = iota // controllable in general
+	C1                        // simply controllable
+	C2                        // normally controllable
+	C3                        // difficult or uncontrollable
+)
+
+// ASIL is an Automotive Safety Integrity Level.
+type ASIL int
+
+// ASIL levels from non-hazardous to the highest integrity requirement.
+const (
+	QM ASIL = iota
+	A
+	B
+	C
+	D
+)
+
+// String names the level.
+func (a ASIL) String() string {
+	switch a {
+	case QM:
+		return "QM"
+	case A:
+		return "ASIL A"
+	case B:
+		return "ASIL B"
+	case C:
+		return "ASIL C"
+	case D:
+		return "ASIL D"
+	default:
+		return fmt.Sprintf("ASIL(%d)", int(a))
+	}
+}
+
+// Determine implements the ISO 26262-3 ASIL determination table. Any
+// class at its zero level (S0, E0, C0) yields QM; otherwise the level
+// rises with S+E+C exactly as the standard's table does (sum 10 → D,
+// 9 → C, 8 → B, 7 → A, below → QM).
+func Determine(s Severity, e Exposure, c Controllability) ASIL {
+	if s == S0 || e == E0 || c == C0 {
+		return QM
+	}
+	switch int(s) + int(e) + int(c) {
+	case 10:
+		return D
+	case 9:
+		return C
+	case 8:
+		return B
+	case 7:
+		return A
+	default:
+		return QM
+	}
+}
+
+// Hazard is one entry of a hazard analysis and risk assessment (HARA).
+type Hazard struct {
+	Name            string
+	Description     string
+	Severity        Severity
+	Exposure        Exposure
+	Controllability Controllability
+}
+
+// ASIL computes the hazard's integrity level.
+func (h Hazard) ASIL() ASIL { return Determine(h.Severity, h.Exposure, h.Controllability) }
+
+// Register is a hazard register.
+type Register struct {
+	Hazards []Hazard
+}
+
+// Add appends a hazard.
+func (r *Register) Add(h Hazard) { r.Hazards = append(r.Hazards, h) }
+
+// Highest reports the most demanding ASIL in the register.
+func (r *Register) Highest() ASIL {
+	top := QM
+	for _, h := range r.Hazards {
+		if a := h.ASIL(); a > top {
+			top = a
+		}
+	}
+	return top
+}
+
+// ByASIL groups hazard names per level.
+func (r *Register) ByASIL() map[ASIL][]string {
+	out := make(map[ASIL][]string)
+	for _, h := range r.Hazards {
+		a := h.ASIL()
+		out[a] = append(out[a], h.Name)
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+// Function is a vehicle function expressed as a redundancy structure in
+// conjunctive normal form: the function is available while every clause
+// retains at least one working component. A clause is a redundancy group
+// ("either the primary brake ECU or the fallback path").
+type Function struct {
+	Name    string
+	Clauses [][]string
+}
+
+// System is a set of functions over a component inventory.
+type System struct {
+	functions []Function
+	failed    map[string]bool
+}
+
+// NewSystem creates an empty system.
+func NewSystem() *System {
+	return &System{failed: make(map[string]bool)}
+}
+
+// ErrEmptyClause rejects functions with an empty redundancy group, which
+// would be unconditionally failed.
+var ErrEmptyClause = errors.New("safety: function has an empty redundancy clause")
+
+// AddFunction registers a function.
+func (s *System) AddFunction(f Function) error {
+	for _, cl := range f.Clauses {
+		if len(cl) == 0 {
+			return fmt.Errorf("%w: %s", ErrEmptyClause, f.Name)
+		}
+	}
+	s.functions = append(s.functions, f)
+	return nil
+}
+
+// Fail marks a component failed (fault injection).
+func (s *System) Fail(component string) { s.failed[component] = true }
+
+// Repair clears a component failure.
+func (s *System) Repair(component string) { delete(s.failed, component) }
+
+// Available reports whether the named function currently works.
+func (s *System) Available(name string) bool {
+	for _, f := range s.functions {
+		if f.Name != name {
+			continue
+		}
+		for _, clause := range f.Clauses {
+			ok := false
+			for _, c := range clause {
+				if !s.failed[c] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// FailedFunctions lists the functions currently unavailable.
+func (s *System) FailedFunctions() []string {
+	var out []string
+	for _, f := range s.functions {
+		if !s.Available(f.Name) {
+			out = append(out, f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SinglePointsOfFailure returns the components whose lone failure would
+// take down at least one function, assuming everything else healthy.
+// These are exactly the members of singleton redundancy clauses.
+func (s *System) SinglePointsOfFailure() []string {
+	set := make(map[string]bool)
+	for _, f := range s.functions {
+		for _, clause := range f.Clauses {
+			if len(clause) == 1 {
+				set[clause[0]] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Components lists every component referenced by the system.
+func (s *System) Components() []string {
+	set := make(map[string]bool)
+	for _, f := range s.functions {
+		for _, clause := range f.Clauses {
+			for _, c := range clause {
+				set[c] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultCampaign injects each component failure alone and reports which
+// functions each one breaks — the exhaustive single-fault FMEA.
+func (s *System) FaultCampaign() map[string][]string {
+	out := make(map[string][]string)
+	// Preserve existing failures? A campaign assumes a healthy baseline.
+	saved := s.failed
+	s.failed = make(map[string]bool)
+	defer func() { s.failed = saved }()
+	for _, c := range s.Components() {
+		s.failed[c] = true
+		if broken := s.FailedFunctions(); len(broken) > 0 {
+			out[c] = broken
+		}
+		delete(s.failed, c)
+	}
+	return out
+}

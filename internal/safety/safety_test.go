@@ -1,0 +1,189 @@
+package safety
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDetermineCornerCases(t *testing.T) {
+	cases := []struct {
+		s    Severity
+		e    Exposure
+		c    Controllability
+		want ASIL
+	}{
+		{S3, E4, C3, D},  // worst case
+		{S3, E4, C2, C},  // sum 9
+		{S3, E4, C1, B},  // sum 8
+		{S3, E3, C1, A},  // sum 7
+		{S1, E1, C1, QM}, // sum 3
+		{S2, E2, C2, QM}, // sum 6
+		{S2, E2, C3, A},  // sum 7
+		{S0, E4, C3, QM}, // S0 forces QM
+		{S3, E0, C3, QM}, // E0 forces QM
+		{S3, E4, C0, QM}, // C0 forces QM
+		{S3, E2, C3, B},  // sum 8
+		{S2, E4, C3, C},  // sum 9
+	}
+	for _, tc := range cases {
+		if got := Determine(tc.s, tc.e, tc.c); got != tc.want {
+			t.Errorf("Determine(S%d,E%d,C%d)=%v, want %v", tc.s, tc.e, tc.c, got, tc.want)
+		}
+	}
+}
+
+// Exhaustive property: ASIL is monotone in each of S, E, C (raising any
+// class never lowers the level), per the structure of the ISO table.
+func TestDetermineMonotone(t *testing.T) {
+	for s := S1; s <= S3; s++ {
+		for e := E1; e <= E4; e++ {
+			for c := C1; c <= C3; c++ {
+				base := Determine(s, e, c)
+				if s < S3 && Determine(s+1, e, c) < base {
+					t.Fatalf("raising S lowered ASIL at S%d E%d C%d", s, e, c)
+				}
+				if e < E4 && Determine(s, e+1, c) < base {
+					t.Fatalf("raising E lowered ASIL at S%d E%d C%d", s, e, c)
+				}
+				if c < C3 && Determine(s, e, c+1) < base {
+					t.Fatalf("raising C lowered ASIL at S%d E%d C%d", s, e, c)
+				}
+			}
+		}
+	}
+}
+
+func TestASILString(t *testing.T) {
+	if QM.String() != "QM" || D.String() != "ASIL D" {
+		t.Fatal("ASIL names wrong")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	var r Register
+	r.Add(Hazard{Name: "unintended-braking", Severity: S3, Exposure: E4, Controllability: C3})
+	r.Add(Hazard{Name: "radio-mute", Severity: S0, Exposure: E4, Controllability: C3})
+	r.Add(Hazard{Name: "lane-drift", Severity: S2, Exposure: E3, Controllability: C2})
+	if r.Highest() != D {
+		t.Fatalf("highest=%v", r.Highest())
+	}
+	by := r.ByASIL()
+	if len(by[D]) != 1 || by[D][0] != "unintended-braking" {
+		t.Fatalf("D hazards: %v", by[D])
+	}
+	if len(by[QM]) != 1 {
+		t.Fatalf("QM hazards: %v", by[QM])
+	}
+	// S2+E3+C2 = 7 -> A.
+	if len(by[A]) != 1 || by[A][0] != "lane-drift" {
+		t.Fatalf("A hazards: %v", by[A])
+	}
+}
+
+func brakeSystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	err := s.AddFunction(Function{
+		Name: "braking",
+		Clauses: [][]string{
+			{"brake-ecu-primary", "brake-ecu-backup"},
+			{"hydraulics"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.AddFunction(Function{
+		Name:    "abs",
+		Clauses: [][]string{{"brake-ecu-primary"}, {"wheel-sensors"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSinglePointsOfFailure(t *testing.T) {
+	s := brakeSystem(t)
+	spf := s.SinglePointsOfFailure()
+	want := []string{"brake-ecu-primary", "hydraulics", "wheel-sensors"}
+	if len(spf) != len(want) {
+		t.Fatalf("SPF=%v", spf)
+	}
+	for i := range want {
+		if spf[i] != want[i] {
+			t.Fatalf("SPF=%v, want %v", spf, want)
+		}
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	s := brakeSystem(t)
+	if !s.Available("braking") || !s.Available("abs") {
+		t.Fatal("healthy system unavailable")
+	}
+	// Losing one redundant ECU keeps braking but kills ABS.
+	s.Fail("brake-ecu-primary")
+	if !s.Available("braking") {
+		t.Fatal("redundancy did not cover ECU loss")
+	}
+	if s.Available("abs") {
+		t.Fatal("abs survived its SPF")
+	}
+	// Losing both ECUs kills braking.
+	s.Fail("brake-ecu-backup")
+	if s.Available("braking") {
+		t.Fatal("braking survived double fault")
+	}
+	failed := s.FailedFunctions()
+	if len(failed) != 2 {
+		t.Fatalf("failed=%v", failed)
+	}
+	s.Repair("brake-ecu-primary")
+	if !s.Available("braking") || !s.Available("abs") {
+		t.Fatal("repair did not restore")
+	}
+}
+
+func TestFaultCampaign(t *testing.T) {
+	s := brakeSystem(t)
+	camp := s.FaultCampaign()
+	if broken := camp["hydraulics"]; len(broken) != 1 || broken[0] != "braking" {
+		t.Fatalf("hydraulics breaks %v", broken)
+	}
+	if broken := camp["brake-ecu-primary"]; len(broken) != 1 || broken[0] != "abs" {
+		t.Fatalf("primary breaks %v", broken)
+	}
+	if _, ok := camp["brake-ecu-backup"]; ok {
+		t.Fatal("redundant component listed in campaign")
+	}
+	// Campaign does not disturb live fault state.
+	s.Fail("hydraulics")
+	_ = s.FaultCampaign()
+	if s.Available("braking") {
+		t.Fatal("campaign cleared injected fault")
+	}
+}
+
+func TestAddFunctionValidation(t *testing.T) {
+	s := NewSystem()
+	err := s.AddFunction(Function{Name: "bad", Clauses: [][]string{{}}})
+	if !errors.Is(err, ErrEmptyClause) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestUnknownFunctionUnavailable(t *testing.T) {
+	s := NewSystem()
+	if s.Available("ghost") {
+		t.Fatal("unknown function reported available")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s := brakeSystem(t)
+	cs := s.Components()
+	if len(cs) != 4 {
+		t.Fatalf("components=%v", cs)
+	}
+}

@@ -1,0 +1,42 @@
+package secoc
+
+import (
+	"testing"
+)
+
+func BenchmarkProtect(b *testing.B) {
+	s, err := NewSender(Config{DataID: 1, FreshnessBits: 8, MACBits: 32}, KeyMAC(testKey))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Protect(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtectVerify(b *testing.B) {
+	cfg := Config{DataID: 1, FreshnessBits: 8, MACBits: 32}
+	s, err := NewSender(cfg, KeyMAC(testKey))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewReceiver(cfg, KeyMAC(testKey))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdu, err := s.Protect(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Verify(pdu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

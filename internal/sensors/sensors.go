@@ -1,0 +1,268 @@
+// Package sensors models the ADAS sensing substrate of the paper's
+// Section 2 — GPS, wheel-speed, tire-pressure (TPMS) and LIDAR sensors —
+// together with the spoofing attacks of Section 4.1 (GPS spoofing [9,18],
+// LIDAR spoofing [7], TPMS injection [11]) and a sensor-fusion module
+// that applies cross-sensor plausibility checks to detect them.
+//
+// Every sensor reads a shared ground truth and adds its own noise; a
+// spoofer, when armed, replaces the sensor's view of the world. The
+// fusion module never sees ground truth — only sensor outputs — which is
+// what makes its detections honest.
+package sensors
+
+import (
+	"fmt"
+	"math"
+
+	"autosec/internal/sim"
+)
+
+// Position is a point on the plane, metres.
+type Position struct{ X, Y float64 }
+
+// Dist is the Euclidean distance.
+func (p Position) Dist(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// VehicleState is the ground truth at an instant.
+type VehicleState struct {
+	Pos          Position
+	SpeedMS      float64
+	ObstacleDist float64 // distance to the nearest ahead obstacle; +Inf if none
+}
+
+// TruthFunc supplies ground truth at a virtual time.
+type TruthFunc func(at sim.Time) VehicleState
+
+// GPS is a position/speed sensor with Gaussian noise and an optional
+// spoofing override.
+type GPS struct {
+	NoiseM     float64
+	NoiseSpeed float64
+	// Spoof, when non-nil and returning true, replaces the reading — the
+	// portable civilian GPS spoofer of [9].
+	Spoof func(at sim.Time) (Position, float64, bool)
+
+	rng *sim.Stream
+}
+
+// NewGPS creates a GPS with the given noise, drawing from the stream.
+func NewGPS(noiseM, noiseSpeed float64, rng *sim.Stream) *GPS {
+	return &GPS{NoiseM: noiseM, NoiseSpeed: noiseSpeed, rng: rng}
+}
+
+// Read returns the sensed position and speed.
+func (g *GPS) Read(at sim.Time, truth VehicleState) (Position, float64) {
+	if g.Spoof != nil {
+		if p, s, ok := g.Spoof(at); ok {
+			return p, s
+		}
+	}
+	return Position{
+		X: truth.Pos.X + g.rng.NormSigma(0, g.NoiseM),
+		Y: truth.Pos.Y + g.rng.NormSigma(0, g.NoiseM),
+	}, truth.SpeedMS + g.rng.NormSigma(0, g.NoiseSpeed)
+}
+
+// WheelSpeed is the odometry sensor: hard to spoof remotely, so it is the
+// fusion module's anchor.
+type WheelSpeed struct {
+	Noise float64
+	rng   *sim.Stream
+}
+
+// NewWheelSpeed creates the sensor.
+func NewWheelSpeed(noise float64, rng *sim.Stream) *WheelSpeed {
+	return &WheelSpeed{Noise: noise, rng: rng}
+}
+
+// Read returns the sensed speed.
+func (w *WheelSpeed) Read(at sim.Time, truth VehicleState) float64 {
+	return truth.SpeedMS + w.rng.NormSigma(0, w.Noise)
+}
+
+// TPMSReading is one tire-pressure broadcast. Real TPMS sensors transmit
+// an unauthenticated ID + pressure, which is why injection works [11].
+type TPMSReading struct {
+	SensorID uint32
+	KPa      float64
+}
+
+// Lidar senses the distance to the nearest obstacle ahead; the spoofer of
+// [7] can inject phantom points or blind the sensor.
+type Lidar struct {
+	Noise float64
+	// Spoof, when non-nil and returning true, replaces the reading.
+	Spoof func(at sim.Time) (float64, bool)
+	rng   *sim.Stream
+}
+
+// NewLidar creates the sensor.
+func NewLidar(noise float64, rng *sim.Stream) *Lidar {
+	return &Lidar{Noise: noise, rng: rng}
+}
+
+// Read returns the sensed obstacle distance.
+func (l *Lidar) Read(at sim.Time, truth VehicleState) float64 {
+	if l.Spoof != nil {
+		if d, ok := l.Spoof(at); ok {
+			return d
+		}
+	}
+	if math.IsInf(truth.ObstacleDist, 1) {
+		return truth.ObstacleDist
+	}
+	return truth.ObstacleDist + l.rng.NormSigma(0, l.Noise)
+}
+
+// AnomalyKind classifies fusion findings.
+type AnomalyKind string
+
+// Anomaly kinds raised by the fusion module.
+const (
+	AnomalyGPSSpeedMismatch AnomalyKind = "gps-speed-mismatch"
+	AnomalyGPSJump          AnomalyKind = "gps-position-jump"
+	AnomalyTPMSUnknownID    AnomalyKind = "tpms-unknown-sensor"
+	AnomalyTPMSRange        AnomalyKind = "tpms-pressure-range"
+	AnomalyLidarGhost       AnomalyKind = "lidar-ghost-obstacle"
+)
+
+// Anomaly is one fusion finding.
+type Anomaly struct {
+	At     sim.Time
+	Kind   AnomalyKind
+	Detail string
+}
+
+// Fusion cross-checks sensor streams. It holds only sensor-derived state.
+type Fusion struct {
+	// SpeedTolerance is the accepted |GPS speed - wheel speed| in m/s.
+	SpeedTolerance float64
+	// MaxAccel bounds feasible position change: a GPS fix implying more
+	// than this acceleration from the last fix is a jump.
+	MaxAccel float64
+	// GPSNoiseFloorM is the expected per-fix position uncertainty; the
+	// jump check allows 2×floor of displacement error between fixes, so
+	// short-interval noise does not read as teleportation.
+	GPSNoiseFloorM float64
+	// TPMSMin/Max bound plausible tire pressure in kPa.
+	TPMSMin, TPMSMax float64
+	// LidarClosingMax bounds the feasible closing speed of an obstacle in
+	// m/s; a phantom appearing closer than physics allows is a ghost.
+	LidarClosingMax float64
+
+	registeredTPMS map[uint32]bool
+
+	lastGPSAt   sim.Time
+	lastGPSPos  Position
+	haveGPS     bool
+	lastWheel   float64
+	haveWheel   bool
+	lastLidarAt sim.Time
+	lastLidar   float64
+	haveLidar   bool
+
+	Anomalies []Anomaly
+}
+
+// NewFusion creates a fusion module with production-plausible thresholds.
+func NewFusion() *Fusion {
+	return &Fusion{
+		SpeedTolerance:  5,
+		MaxAccel:        12, // m/s^2, beyond any road car
+		GPSNoiseFloorM:  10,
+		TPMSMin:         100,
+		TPMSMax:         450,
+		LidarClosingMax: 90, // m/s
+		registeredTPMS:  make(map[uint32]bool),
+	}
+}
+
+// RegisterTPMS pairs a wheel sensor ID with the vehicle.
+func (f *Fusion) RegisterTPMS(id uint32) { f.registeredTPMS[id] = true }
+
+func (f *Fusion) flag(at sim.Time, kind AnomalyKind, format string, args ...any) {
+	f.Anomalies = append(f.Anomalies, Anomaly{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// IngestWheel records the odometry anchor.
+func (f *Fusion) IngestWheel(at sim.Time, speed float64) {
+	f.lastWheel = speed
+	f.haveWheel = true
+}
+
+// IngestGPS checks a GPS fix against odometry and kinematics.
+func (f *Fusion) IngestGPS(at sim.Time, pos Position, speed float64) {
+	if f.haveWheel && math.Abs(speed-f.lastWheel) > f.SpeedTolerance {
+		f.flag(at, AnomalyGPSSpeedMismatch, "gps %.1f m/s vs wheel %.1f m/s", speed, f.lastWheel)
+	}
+	if f.haveGPS {
+		dt := (at - f.lastGPSAt).Seconds()
+		if dt > 0 {
+			implied := pos.Dist(f.lastGPSPos) / dt
+			// Max feasible displacement speed from the last fix: the
+			// anchored wheel speed plus accel*dt headroom.
+			base := f.lastWheel
+			if !f.haveWheel {
+				base = speed
+			}
+			if implied > base+f.MaxAccel*dt+f.SpeedTolerance+2*f.GPSNoiseFloorM/dt {
+				f.flag(at, AnomalyGPSJump, "implied %.1f m/s over %.2fs", implied, dt)
+			}
+		}
+	}
+	f.lastGPSAt = at
+	f.lastGPSPos = pos
+	f.haveGPS = true
+}
+
+// IngestTPMS checks a tire-pressure broadcast.
+func (f *Fusion) IngestTPMS(at sim.Time, r TPMSReading) {
+	if !f.registeredTPMS[r.SensorID] {
+		f.flag(at, AnomalyTPMSUnknownID, "sensor %#x not paired", r.SensorID)
+		return
+	}
+	if r.KPa < f.TPMSMin || r.KPa > f.TPMSMax {
+		f.flag(at, AnomalyTPMSRange, "pressure %.0f kPa", r.KPa)
+	}
+}
+
+// IngestLidar checks obstacle-distance continuity.
+func (f *Fusion) IngestLidar(at sim.Time, dist float64) {
+	defer func() {
+		f.lastLidarAt = at
+		f.lastLidar = dist
+		f.haveLidar = true
+	}()
+	if !f.haveLidar || math.IsInf(dist, 1) {
+		return
+	}
+	dt := (at - f.lastLidarAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	prev := f.lastLidar
+	if math.IsInf(prev, 1) {
+		// An obstacle materialising from nothing closer than the horizon
+		// the closing bound allows is a ghost.
+		if dist < f.LidarClosingMax*dt*10 {
+			f.flag(at, AnomalyLidarGhost, "obstacle appeared at %.1fm", dist)
+		}
+		return
+	}
+	closing := (prev - dist) / dt
+	if closing > f.LidarClosingMax {
+		f.flag(at, AnomalyLidarGhost, "closing at %.0f m/s", closing)
+	}
+}
+
+// CountByKind tallies anomalies per kind.
+func (f *Fusion) CountByKind() map[AnomalyKind]int {
+	out := make(map[AnomalyKind]int)
+	for _, a := range f.Anomalies {
+		out[a.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+func linearTruth(speed float64) TruthFunc {
+	return func(at sim.Time) VehicleState {
+		return VehicleState{
+			Pos:          Position{X: speed * at.Seconds()},
+			SpeedMS:      speed,
+			ObstacleDist: math.Inf(1),
+		}
+	}
+}
+
+func TestGPSNoiseAroundTruth(t *testing.T) {
+	rng := sim.NewStream(1, "gps")
+	g := NewGPS(2, 0.5, rng)
+	truth := linearTruth(30)
+	var errSum float64
+	n := 1000
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 100 * sim.Millisecond
+		pos, speed := g.Read(at, truth(at))
+		errSum += pos.Dist(truth(at).Pos)
+		if math.Abs(speed-30) > 3 {
+			t.Fatalf("speed reading %v", speed)
+		}
+	}
+	mean := errSum / float64(n)
+	// Mean 2-D error for sigma=2 per axis is sigma*sqrt(pi/2) ≈ 2.5.
+	if mean < 1.5 || mean > 3.5 {
+		t.Fatalf("mean GPS error %.2f m", mean)
+	}
+}
+
+func TestGPSSpoofOverride(t *testing.T) {
+	rng := sim.NewStream(1, "gps")
+	g := NewGPS(1, 0.1, rng)
+	g.Spoof = func(at sim.Time) (Position, float64, bool) {
+		return Position{9999, 9999}, 1, true
+	}
+	pos, speed := g.Read(0, linearTruth(30)(0))
+	if pos.X != 9999 || speed != 1 {
+		t.Fatalf("spoof not applied: %+v %v", pos, speed)
+	}
+}
+
+func TestFusionQuietOnCleanSensors(t *testing.T) {
+	rng := sim.NewStream(2, "clean")
+	g := NewGPS(2, 0.3, rng)
+	w := NewWheelSpeed(0.2, rng)
+	l := NewLidar(0.5, rng)
+	f := NewFusion()
+	f.RegisterTPMS(0xA1)
+	truth := linearTruth(30)
+	for i := 0; i < 600; i++ {
+		at := sim.Time(i) * 100 * sim.Millisecond
+		st := truth(at)
+		f.IngestWheel(at, w.Read(at, st))
+		pos, sp := g.Read(at, st)
+		f.IngestGPS(at, pos, sp)
+		f.IngestLidar(at, l.Read(at, st))
+		f.IngestTPMS(at, TPMSReading{SensorID: 0xA1, KPa: 240})
+	}
+	if len(f.Anomalies) != 0 {
+		t.Fatalf("false positives on clean drive: %v", f.Anomalies[0])
+	}
+}
+
+func TestFusionDetectsGPSSpeedSpoof(t *testing.T) {
+	rng := sim.NewStream(3, "spoof")
+	g := NewGPS(2, 0.3, rng)
+	w := NewWheelSpeed(0.2, rng)
+	f := NewFusion()
+	truth := linearTruth(30)
+	// Spoofer reports the car nearly stationary (a common hijack pattern:
+	// freeze position so the nav system believes it never moved).
+	g.Spoof = func(at sim.Time) (Position, float64, bool) {
+		return Position{0, 0}, 0.5, at > 10*sim.Second
+	}
+	for i := 0; i < 300; i++ {
+		at := sim.Time(i) * 100 * sim.Millisecond
+		st := truth(at)
+		f.IngestWheel(at, w.Read(at, st))
+		pos, sp := g.Read(at, st)
+		f.IngestGPS(at, pos, sp)
+	}
+	counts := f.CountByKind()
+	if counts[AnomalyGPSSpeedMismatch] == 0 {
+		t.Fatalf("speed spoof undetected: %v", counts)
+	}
+}
+
+func TestFusionDetectsGPSJump(t *testing.T) {
+	f := NewFusion()
+	f.IngestWheel(0, 30)
+	f.IngestGPS(0, Position{0, 0}, 30)
+	f.IngestWheel(sim.Second, 30)
+	// One second later, the fix is 5km away: implied 5000 m/s.
+	f.IngestGPS(sim.Second, Position{5000, 0}, 30)
+	if f.CountByKind()[AnomalyGPSJump] != 1 {
+		t.Fatalf("jump undetected: %v", f.Anomalies)
+	}
+}
+
+func TestFusionDetectsTPMSInjection(t *testing.T) {
+	f := NewFusion()
+	f.RegisterTPMS(0xA1)
+	// Unknown sensor ID (the Rouf et al. injection).
+	f.IngestTPMS(0, TPMSReading{SensorID: 0xBAD, KPa: 240})
+	// Paired sensor with absurd pressure.
+	f.IngestTPMS(0, TPMSReading{SensorID: 0xA1, KPa: 900})
+	counts := f.CountByKind()
+	if counts[AnomalyTPMSUnknownID] != 1 || counts[AnomalyTPMSRange] != 1 {
+		t.Fatalf("counts=%v", counts)
+	}
+}
+
+func TestFusionDetectsLidarGhost(t *testing.T) {
+	f := NewFusion()
+	// Steady 100m obstacle...
+	f.IngestLidar(0, 100)
+	f.IngestLidar(100*sim.Millisecond, 98)
+	// ...then a phantom at 5m: closing speed 930 m/s.
+	f.IngestLidar(200*sim.Millisecond, 5)
+	if f.CountByKind()[AnomalyLidarGhost] != 1 {
+		t.Fatalf("ghost undetected: %v", f.Anomalies)
+	}
+}
+
+func TestFusionLidarObstacleFromInfinity(t *testing.T) {
+	f := NewFusion()
+	f.IngestLidar(0, math.Inf(1))
+	// An object appearing at 3m out of clear air within 100ms is a ghost.
+	f.IngestLidar(100*sim.Millisecond, 3)
+	if f.CountByKind()[AnomalyLidarGhost] != 1 {
+		t.Fatalf("materialising ghost undetected: %v", f.Anomalies)
+	}
+	// A distant object coming over the sensing horizon is normal.
+	f2 := NewFusion()
+	f2.IngestLidar(0, math.Inf(1))
+	f2.IngestLidar(100*sim.Millisecond, 150)
+	if len(f2.Anomalies) != 0 {
+		t.Fatalf("horizon entry flagged: %v", f2.Anomalies)
+	}
+}
+
+func TestLidarReadsTruthAndSpoof(t *testing.T) {
+	rng := sim.NewStream(4, "lidar")
+	l := NewLidar(0.5, rng)
+	st := VehicleState{ObstacleDist: 42}
+	d := l.Read(0, st)
+	if math.Abs(d-42) > 3 {
+		t.Fatalf("lidar read %v", d)
+	}
+	l.Spoof = func(sim.Time) (float64, bool) { return 2, true }
+	if l.Read(0, st) != 2 {
+		t.Fatal("lidar spoof not applied")
+	}
+	// Infinite distance passes through unperturbed.
+	l.Spoof = nil
+	if !math.IsInf(l.Read(0, VehicleState{ObstacleDist: math.Inf(1)}), 1) {
+		t.Fatal("infinite distance got noise")
+	}
+}
+
+func TestWheelSpeed(t *testing.T) {
+	rng := sim.NewStream(5, "wheel")
+	w := NewWheelSpeed(0.1, rng)
+	s := w.Read(0, VehicleState{SpeedMS: 20})
+	if math.Abs(s-20) > 1 {
+		t.Fatalf("wheel speed %v", s)
+	}
+}

@@ -1,0 +1,65 @@
+package she
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCMAC(b *testing.B) {
+	key := make([]byte, 16)
+	for _, size := range []int{8, 64, 1024} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			msg := make([]byte, size)
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := CMAC(key, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKDF(b *testing.B) {
+	var key [16]byte
+	for i := 0; i < b.N; i++ {
+		_ = KDF(key, KeyUpdateEncC)
+	}
+}
+
+func BenchmarkLoadKey(b *testing.B) {
+	var uid UID
+	uid[0] = 1
+	e := NewEngine(uid)
+	master := [16]byte{0xA1}
+	e.ProvisionMasterKey(master)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := BuildUpdate(uid, Key1, MasterECUKey, master, [16]byte{byte(i)}, uint32(i+1), Flags{KeyUsage: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.LoadKey(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecureBoot(b *testing.B) {
+	var uid UID
+	e := NewEngine(uid)
+	_ = e.ProvisionKey(BootMACKey, [16]byte{0xB0}, Flags{})
+	image := make([]byte, 64*1024)
+	if err := e.DefineBootMAC(image); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(image)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ResetSession()
+		ok, err := e.SecureBoot(image)
+		if err != nil || !ok {
+			b.Fatalf("boot: %v %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package she
+
+import (
+	"crypto/subtle"
+	"errors"
+)
+
+// Secure boot (spec §10): at reset, the boot ROM streams the boot image
+// through the SHE, which compares CMAC(BOOT_MAC_KEY, image) against the
+// stored BOOT_MAC slot. On mismatch, keys flagged with BootProtection are
+// disabled for the rest of the session — the device still runs (fail-
+// operational, a functional-safety requirement), but it cannot use its
+// protected secrets, so a tampered ECU cannot authenticate traffic or
+// accept OTA payloads.
+
+// ErrBootMACUnset is returned when secure boot runs without a provisioned
+// BOOT_MAC_KEY or BOOT_MAC slot.
+var ErrBootMACUnset = errors.New("she: BOOT_MAC_KEY or BOOT_MAC not provisioned")
+
+// DefineBootMAC computes and stores the expected boot MAC for an image
+// (CMD_BOOT_DEFINE). Permitted only before the first secure boot of a
+// session, mirroring the spec's one-shot autonomous bootstrap.
+func (e *Engine) DefineBootMAC(image []byte) error {
+	if e.bootDone {
+		return ErrSequence
+	}
+	bk := e.slots[BootMACKey]
+	if !bk.valid {
+		return ErrBootMACUnset
+	}
+	mac, err := CMAC(bk.key[:], image)
+	if err != nil {
+		return err
+	}
+	var m [BlockSize]byte
+	copy(m[:], mac)
+	e.slots[BootMAC] = slot{key: m, valid: true}
+	return nil
+}
+
+// SecureBoot verifies the image against the stored BOOT_MAC
+// (CMD_SECURE_BOOT + CMD_BOOT_OK/CMD_BOOT_FAILURE). It records the result;
+// boot-protected keys become unusable if verification failed.
+func (e *Engine) SecureBoot(image []byte) (bool, error) {
+	bk := e.slots[BootMACKey]
+	bm := e.slots[BootMAC]
+	if !bk.valid || !bm.valid {
+		return false, ErrBootMACUnset
+	}
+	mac, err := CMAC(bk.key[:], image)
+	if err != nil {
+		return false, err
+	}
+	e.bootDone = true
+	e.bootVerified = subtle.ConstantTimeCompare(mac, bm.key[:]) == 1
+	return e.bootVerified, nil
+}
+
+// BootVerified reports the outcome of the last SecureBoot, and whether one
+// has run at all this session.
+func (e *Engine) BootVerified() (verified, ran bool) {
+	return e.bootVerified, e.bootDone
+}
+
+// ResetSession models an ECU reset: the boot state clears (keys protected
+// by BootProtection become usable again until the next failed boot) and
+// the volatile RAM key is lost.
+func (e *Engine) ResetSession() {
+	e.bootDone = false
+	e.bootVerified = false
+	e.slots[RAMKey] = slot{}
+}

@@ -1,0 +1,108 @@
+package she
+
+import (
+	"errors"
+	"testing"
+)
+
+func bootableEngine(t *testing.T) (*Engine, []byte) {
+	t.Helper()
+	e := NewEngine(testUID(0x33))
+	_ = e.ProvisionKey(BootMACKey, key16(0xB0), Flags{})
+	image := []byte("firmware v1.0: brake controller application image")
+	if err := e.DefineBootMAC(image); err != nil {
+		t.Fatal(err)
+	}
+	return e, image
+}
+
+func TestSecureBootSuccess(t *testing.T) {
+	e, image := bootableEngine(t)
+	ok, err := e.SecureBoot(image)
+	if err != nil || !ok {
+		t.Fatalf("boot: ok=%v err=%v", ok, err)
+	}
+	verified, ran := e.BootVerified()
+	if !verified || !ran {
+		t.Fatal("boot state not recorded")
+	}
+}
+
+func TestSecureBootDetectsTamperedImage(t *testing.T) {
+	e, image := bootableEngine(t)
+	tampered := append([]byte(nil), image...)
+	tampered[10] ^= 0xFF
+	ok, err := e.SecureBoot(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tampered image verified")
+	}
+}
+
+func TestBootProtectionDisablesKeysAfterFailedBoot(t *testing.T) {
+	e, image := bootableEngine(t)
+	_ = e.ProvisionKey(Key1, key16(0x01), Flags{KeyUsage: true, BootProtection: true})
+	_ = e.ProvisionKey(Key2, key16(0x02), Flags{KeyUsage: true})
+
+	tampered := append([]byte(nil), image...)
+	tampered[0] ^= 1
+	if ok, _ := e.SecureBoot(tampered); ok {
+		t.Fatal("precondition: tampered boot verified")
+	}
+	if _, err := e.GenerateMAC(Key1, []byte("x")); !errors.Is(err, ErrBootProtected) {
+		t.Fatalf("boot-protected key usable after failed boot: %v", err)
+	}
+	if _, err := e.GenerateMAC(Key2, []byte("x")); err != nil {
+		t.Fatalf("unprotected key blocked: %v", err)
+	}
+
+	// A reset followed by a good boot restores access.
+	e.ResetSession()
+	if ok, _ := e.SecureBoot(image); !ok {
+		t.Fatal("good boot failed after reset")
+	}
+	if _, err := e.GenerateMAC(Key1, []byte("x")); err != nil {
+		t.Fatalf("key blocked after good boot: %v", err)
+	}
+}
+
+func TestBootProtectedKeyUsableBeforeAnyBoot(t *testing.T) {
+	// Until a secure boot runs, boot-protected keys work (the spec gates
+	// them on boot *failure*, not boot completion).
+	e := NewEngine(testUID(1))
+	_ = e.ProvisionKey(Key1, key16(0x01), Flags{KeyUsage: true, BootProtection: true})
+	if _, err := e.GenerateMAC(Key1, []byte("x")); err != nil {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestDefineBootMACRequiresKey(t *testing.T) {
+	e := NewEngine(testUID(1))
+	if err := e.DefineBootMAC([]byte("img")); !errors.Is(err, ErrBootMACUnset) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestDefineBootMACAfterBootRejected(t *testing.T) {
+	e, image := bootableEngine(t)
+	if _, err := e.SecureBoot(image); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefineBootMAC([]byte("new image")); !errors.Is(err, ErrSequence) {
+		t.Fatalf("BOOT_DEFINE after boot: %v", err)
+	}
+	// After a reset the definition window reopens.
+	e.ResetSession()
+	if err := e.DefineBootMAC([]byte("new image")); err != nil {
+		t.Fatalf("BOOT_DEFINE after reset: %v", err)
+	}
+}
+
+func TestSecureBootWithoutProvisioning(t *testing.T) {
+	e := NewEngine(testUID(1))
+	if _, err := e.SecureBoot([]byte("img")); !errors.Is(err, ErrBootMACUnset) {
+		t.Fatalf("err=%v", err)
+	}
+}

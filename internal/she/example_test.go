@@ -1,0 +1,46 @@
+package she_test
+
+import (
+	"fmt"
+
+	"autosec/internal/she"
+)
+
+// ExampleCMAC computes the RFC 4493 test-vector MAC.
+func ExampleCMAC() {
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	mac, _ := she.CMAC(key, nil)
+	fmt.Printf("%x\n", mac)
+	// Output: bb1d6929e95937287fa37d129b756746
+}
+
+// ExampleEngine_LoadKey provisions a key in-field with the M1–M5
+// memory-update protocol: the OEM builds the update, the device verifies
+// and installs it, and the confirmation proves installation.
+func ExampleEngine_LoadKey() {
+	var uid she.UID
+	uid[0] = 0x42
+	engine := she.NewEngine(uid)
+
+	var master, newKey [16]byte
+	copy(master[:], "factory-master-k")
+	copy(newKey[:], "fresh-ivn-mac-ke")
+	engine.ProvisionMasterKey(master)
+
+	req, _ := she.BuildUpdate(uid, she.Key1, she.MasterECUKey, master, newKey, 1,
+		she.Flags{KeyUsage: true})
+	conf, err := engine.LoadKey(req)
+	if err != nil {
+		fmt.Println("load failed:", err)
+		return
+	}
+	fmt.Println("installed:", she.VerifyConfirmation(conf, uid, she.Key1, she.MasterECUKey, newKey, 1) == nil)
+
+	// A replay of the same request is rejected by the update counter.
+	_, err = engine.LoadKey(req)
+	fmt.Println("replay rejected:", err != nil)
+	// Output:
+	// installed: true
+	// replay rejected: true
+}

@@ -1,0 +1,198 @@
+package she
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testUID(n byte) UID {
+	var u UID
+	for i := range u {
+		u[i] = n
+	}
+	return u
+}
+
+func key16(b byte) [BlockSize]byte {
+	var k [BlockSize]byte
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestKeyIDString(t *testing.T) {
+	cases := map[KeyID]string{
+		SecretKey:    "SECRET_KEY",
+		MasterECUKey: "MASTER_ECU_KEY",
+		BootMACKey:   "BOOT_MAC_KEY",
+		BootMAC:      "BOOT_MAC",
+		Key1:         "KEY_1",
+		Key10:        "KEY_10",
+		RAMKey:       "RAM_KEY",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("%d.String()=%q, want %q", int(id), got, want)
+		}
+	}
+}
+
+func TestFlagsPackUnpackRoundTrip(t *testing.T) {
+	f := func(b byte) bool {
+		fl := unpackFlags(b & 0x1F)
+		return fl.pack() == b&0x1F
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionAndMAC(t *testing.T) {
+	e := NewEngine(testUID(1))
+	if err := e.ProvisionKey(Key1, key16(0xAA), Flags{KeyUsage: true}); err != nil {
+		t.Fatal(err)
+	}
+	mac, err := e.GenerateMAC(Key1, []byte("frame payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.VerifyMAC(Key1, []byte("frame payload"), mac, 128)
+	if err != nil || !ok {
+		t.Fatalf("verify: ok=%v err=%v", ok, err)
+	}
+	ok, _ = e.VerifyMAC(Key1, []byte("tampered payload"), mac, 128)
+	if ok {
+		t.Fatal("MAC verified for a different message")
+	}
+}
+
+func TestKeyUsageEnforced(t *testing.T) {
+	e := NewEngine(testUID(1))
+	_ = e.ProvisionKey(Key1, key16(0xAA), Flags{KeyUsage: true})  // MAC key
+	_ = e.ProvisionKey(Key2, key16(0xBB), Flags{KeyUsage: false}) // cipher key
+	if _, err := e.EncryptECB(Key1, make([]byte, 16)); !errors.Is(err, ErrKeyUsage) {
+		t.Fatalf("MAC key used for encryption: %v", err)
+	}
+	if _, err := e.GenerateMAC(Key2, []byte("x")); !errors.Is(err, ErrKeyUsage) {
+		t.Fatalf("cipher key used for MAC: %v", err)
+	}
+	if _, err := e.EncryptECB(Key2, make([]byte, 16)); err != nil {
+		t.Fatalf("cipher key rejected for encryption: %v", err)
+	}
+}
+
+func TestEmptySlotAndInvalidSlot(t *testing.T) {
+	e := NewEngine(testUID(1))
+	if _, err := e.GenerateMAC(Key5, []byte("x")); !errors.Is(err, ErrKeyEmpty) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := e.GenerateMAC(BootMAC, []byte("x")); !errors.Is(err, ErrKeyInvalid) {
+		t.Fatalf("BOOT_MAC usable as key: %v", err)
+	}
+	if _, err := e.GenerateMAC(KeyID(99), []byte("x")); !errors.Is(err, ErrKeyInvalid) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := e.ProvisionKey(SecretKey, key16(1), Flags{}); !errors.Is(err, ErrKeyInvalid) {
+		t.Fatalf("SECRET_KEY provisionable: %v", err)
+	}
+}
+
+func TestDebuggerProtection(t *testing.T) {
+	e := NewEngine(testUID(1))
+	_ = e.ProvisionKey(Key1, key16(0xAA), Flags{KeyUsage: true, DebuggerProtection: true})
+	_ = e.ProvisionKey(Key2, key16(0xBB), Flags{KeyUsage: true})
+	e.DebuggerAttached = true
+	if _, err := e.GenerateMAC(Key1, []byte("x")); !errors.Is(err, ErrDebuggerActive) {
+		t.Fatalf("debugger-protected key usable: %v", err)
+	}
+	if _, err := e.GenerateMAC(Key2, []byte("x")); err != nil {
+		t.Fatalf("unprotected key blocked: %v", err)
+	}
+	e.DebuggerAttached = false
+	if _, err := e.GenerateMAC(Key1, []byte("x")); err != nil {
+		t.Fatalf("key blocked after debugger detached: %v", err)
+	}
+}
+
+func TestRAMKey(t *testing.T) {
+	e := NewEngine(testUID(1))
+	e.LoadPlainKey(key16(0x77))
+	mac, err := e.GenerateMAC(RAMKey, []byte("session"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := CMAC(bytes.Repeat([]byte{0x77}, 16), []byte("session"))
+	if !bytes.Equal(mac, want) {
+		t.Fatal("RAM key MAC mismatch")
+	}
+	// RAM key is volatile: lost on reset.
+	e.ResetSession()
+	if _, err := e.GenerateMAC(RAMKey, []byte("x")); !errors.Is(err, ErrKeyEmpty) {
+		t.Fatalf("RAM key survived reset: %v", err)
+	}
+}
+
+func TestTRNG(t *testing.T) {
+	e := NewEngine(testUID(1))
+	a, err := e.TRNG(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.TRNG(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("TRNG repeated itself")
+	}
+}
+
+func TestKeyStateNeverExposesKey(t *testing.T) {
+	e := NewEngine(testUID(1))
+	_ = e.ProvisionKey(Key1, key16(0xAA), Flags{KeyUsage: true, BootProtection: true})
+	valid, flags, counter := e.KeyState(Key1)
+	if !valid || !flags.BootProtection || counter != 0 {
+		t.Fatalf("state: %v %+v %d", valid, flags, counter)
+	}
+	if v, _, _ := e.KeyState(KeyID(-1)); v {
+		t.Fatal("out-of-range slot reported valid")
+	}
+}
+
+func TestLeakTapObservesKeyUse(t *testing.T) {
+	e := NewEngine(testUID(1))
+	_ = e.ProvisionKey(Key2, key16(0xBB), Flags{})
+	var ops []string
+	e.Leak = func(op string, key, block []byte) {
+		ops = append(ops, op)
+		if len(key) != 16 || len(block) != 16 {
+			t.Errorf("leak tap sizes: key=%d block=%d", len(key), len(block))
+		}
+	}
+	_, _ = e.EncryptECB(Key2, make([]byte, 16))
+	_, _ = e.EncryptCBC(Key2, make([]byte, 16), make([]byte, 16))
+	if len(ops) != 2 || ops[0] != "enc" || ops[1] != "enc" {
+		t.Fatalf("ops=%v", ops)
+	}
+}
+
+func TestEncryptDecryptCBCViaEngine(t *testing.T) {
+	e := NewEngine(testUID(1))
+	_ = e.ProvisionKey(Key3, key16(0x5A), Flags{})
+	iv := make([]byte, 16)
+	plain := bytes.Repeat([]byte{9}, 48)
+	ct, err := e.EncryptCBC(Key3, iv, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.DecryptCBC(Key3, iv, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, plain) {
+		t.Fatal("engine CBC round trip failed")
+	}
+}

@@ -1,0 +1,35 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+func BenchmarkAcquire1kTraces(b *testing.B) {
+	rng := sim.NewStream(1, "bench")
+	for i := 0; i < b.N; i++ {
+		_ = Acquire(testKey, 1000, Config{NoiseSigma: 1}, rng)
+	}
+}
+
+func BenchmarkCPAByte(b *testing.B) {
+	rng := sim.NewStream(1, "bench")
+	ts := Acquire(testKey, 1000, Config{NoiseSigma: 1}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := CPAByte(ts, i%16)
+		_ = g
+	}
+}
+
+func BenchmarkFullKeyCPA(b *testing.B) {
+	rng := sim.NewStream(1, "bench")
+	ts := Acquire(testKey, 500, Config{NoiseSigma: 0.5}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := CPA(ts); got != testKey {
+			b.Fatal("key not recovered")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelDispatch measures raw event throughput: schedule-and-run
+// cycles through the binary heap.
+func BenchmarkKernelDispatch(b *testing.B) {
+	k := NewKernel(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(Microsecond, tick)
+		}
+	}
+	k.After(0, tick)
+	b.ResetTimer()
+	_ = k.Run()
+}
+
+// BenchmarkKernelFanOut measures dispatch with a populated heap: 1000
+// events pending at all times.
+func BenchmarkKernelFanOut(b *testing.B) {
+	k := NewKernel(1)
+	for i := 0; i < 1000; i++ {
+		i := i
+		var reschedule func()
+		reschedule = func() { k.After(Duration(1000+i), reschedule) }
+		k.After(Duration(i), reschedule)
+	}
+	b.ResetTimer()
+	target := k.Now()
+	for i := 0; i < b.N; i++ {
+		target += Microsecond
+		_ = k.RunUntil(target)
+	}
+}
+
+func BenchmarkStreamUint64(b *testing.B) {
+	s := NewStream(1, "bench")
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkStreamNorm(b *testing.B) {
+	s := NewStream(1, "bench")
+	for i := 0; i < b.N; i++ {
+		_ = s.Norm()
+	}
+}

@@ -1,0 +1,289 @@
+// Package sim provides the discrete-event simulation kernel that underlies
+// every timed subsystem in autosec: in-vehicle networks, ECU schedulers,
+// the V2X field model, OTA campaigns and drive cycles.
+//
+// The kernel is deliberately minimal: a virtual clock in nanoseconds, a
+// binary-heap event queue with deterministic tie-breaking, and named
+// deterministic random streams. Nothing in the library reads the wall
+// clock; two runs with the same scenario seed produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration constants but for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Never is a sentinel Time later than any reachable simulation instant.
+const Never Time = math.MaxInt64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == Never:
+		return "never"
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. The callback runs exactly once, at its
+// deadline, unless cancelled first.
+type Event struct {
+	when   Time
+	seq    uint64 // tie-break: FIFO among equal deadlines
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// ErrHalted is returned by Run variants when Halt stopped the simulation.
+var ErrHalted = errors.New("sim: halted")
+
+// Kernel is a discrete-event simulator. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	halted  bool
+	stepped uint64
+	seed    uint64
+	streams map[string]*Stream
+}
+
+// NewKernel returns a kernel at time zero whose named random streams are
+// derived from seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{seed: seed, streams: make(map[string]*Stream)}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps reports how many events have been dispatched so far.
+func (k *Kernel) Steps() uint64 { return k.stepped }
+
+// Pending reports the number of queued (non-cancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it always indicates a model bug.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{when: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting at start, until the
+// returned stop function is called. fn observes the kernel time.
+func (k *Kernel) Every(start Time, period Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var tick func()
+	var ev *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		ev = k.At(k.now+period, tick)
+	}
+	ev = k.At(start, tick)
+	return func() {
+		stopped = true
+		if ev != nil {
+			k.Cancel(ev)
+		}
+	}
+}
+
+// Cancel prevents a scheduled event from running. Safe to call on events
+// that already ran (no-op).
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+}
+
+// Halt stops the current Run/RunUntil after the current event returns.
+func (k *Kernel) Halt() { k.halted = true }
+
+// step dispatches the next event. Reports false when the queue is empty.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.when
+		k.stepped++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains or Halt is called.
+// It returns ErrHalted if halted, nil otherwise.
+func (k *Kernel) Run() error {
+	k.halted = false
+	for !k.halted {
+		if !k.step() {
+			return nil
+		}
+	}
+	return ErrHalted
+}
+
+// RunUntil dispatches events with deadline ≤ t, then sets the clock to t.
+// It returns ErrHalted if halted early, nil otherwise.
+func (k *Kernel) RunUntil(t Time) error {
+	k.halted = false
+	for !k.halted {
+		if len(k.queue) == 0 {
+			break
+		}
+		next := k.peek()
+		if next == nil {
+			break
+		}
+		if next.when > t {
+			break
+		}
+		k.step()
+	}
+	if k.halted {
+		return ErrHalted
+	}
+	if t > k.now {
+		k.now = t
+	}
+	return nil
+}
+
+// peek returns the earliest non-cancelled event without removing it.
+func (k *Kernel) peek() *Event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}
+
+// NextEventTime reports the deadline of the earliest pending event, or
+// Never when the queue is empty.
+func (k *Kernel) NextEventTime() Time {
+	e := k.peek()
+	if e == nil {
+		return Never
+	}
+	return e.when
+}
+
+// Stream returns the named deterministic random stream, creating it on
+// first use. Distinct names yield statistically independent streams, and
+// the same (seed, name) pair always yields the same sequence, so adding a
+// new consumer never perturbs existing ones.
+func (k *Kernel) Stream(name string) *Stream {
+	s, ok := k.streams[name]
+	if !ok {
+		s = NewStream(k.seed, name)
+		k.streams[name] = s
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing named tally.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add adds n to the counter. Negative n panics: counters only go up.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("sim: counter decrement")
+	}
+	c.Value += n
+}
+
+// Summary accumulates scalar observations and reports moments and order
+// statistics. It retains all samples; simulations in this repository
+// observe at most a few million points per summary.
+type Summary struct {
+	samples []float64
+	sum     float64
+	sumSq   float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sumSq += v * v
+	s.sorted = false
+}
+
+// N reports the number of samples.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Var reports the population variance, or 0 with fewer than two samples.
+func (s *Summary) Var() float64 {
+	n := float64(len(s.samples))
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/n - m*m
+	if v < 0 { // numerical noise
+		return 0
+	}
+	return v
+}
+
+// Stddev reports the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest sample, or +Inf with none.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return math.Inf(1)
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max reports the largest sample, or -Inf with none.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return math.Inf(-1)
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) by nearest-rank on the
+// sorted samples, or NaN with no samples.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.samples[idx]
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// String renders a one-line digest.
+func (s *Summary) String() string {
+	if len(s.samples) == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Stddev(), s.Min(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
+}
+
+// Rate is a windowless event-per-second gauge over virtual time.
+type Rate struct {
+	Events int64
+	Since  Time
+}
+
+// PerSecond reports events per virtual second elapsed between Since and now.
+func (r Rate) PerSecond(now Time) float64 {
+	dt := (now - r.Since).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(r.Events) / dt
+}

@@ -1,0 +1,252 @@
+package someip
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/ethernet"
+	"autosec/internal/secoc"
+	"autosec/internal/sim"
+)
+
+const (
+	svcBrakeStatus  = 0x1001
+	methodGetStatus = 0x0001
+	egBrakeEvents   = 0x8001
+)
+
+type rig struct {
+	k      *sim.Kernel
+	sw     *ethernet.Switch
+	server *Server
+	client *Client
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	sw := ethernet.NewSwitch(k, "sw", 5*sim.Microsecond)
+	srvHost := ethernet.NewHost("brake-controller", ethernet.LocalMAC(1))
+	cliHost := ethernet.NewHost("dashboard", ethernet.LocalMAC(2))
+	sw.Connect(srvHost, 10)
+	sw.Connect(cliHost, 10)
+	server := NewServer(k, srvHost, svcBrakeStatus)
+	server.Handle(methodGetStatus, func(payload []byte) ([]byte, byte) {
+		return []byte{0x00}, ReturnOK
+	})
+	return &rig{k: k, sw: sw, server: server, client: NewClient(cliHost, 0x0100)}
+}
+
+func (r *rig) discover(t *testing.T) {
+	t.Helper()
+	if err := r.client.Find(svcBrakeStatus); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if !r.client.Known(svcBrakeStatus) {
+		t.Fatal("service not discovered")
+	}
+}
+
+func TestDiscoveryByFind(t *testing.T) {
+	r := newRig(t)
+	r.discover(t)
+}
+
+func TestDiscoveryByPeriodicOffer(t *testing.T) {
+	r := newRig(t)
+	stop := r.server.StartOffering(100 * sim.Millisecond)
+	found := false
+	r.client.OnOffer(func(svc uint16) { found = svc == svcBrakeStatus })
+	_ = r.k.RunUntil(250 * sim.Millisecond)
+	stop()
+	if !found || !r.client.Known(svcBrakeStatus) {
+		t.Fatal("offer-based discovery failed")
+	}
+	if r.server.OffersSent.Value < 2 {
+		t.Fatalf("offers=%d", r.server.OffersSent.Value)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.server.Handle(0x0002, func(payload []byte) ([]byte, byte) {
+		out := append([]byte(nil), payload...)
+		for i := range out {
+			out[i] ^= 0xFF
+		}
+		return out, ReturnOK
+	})
+	r.discover(t)
+	var resp *Message
+	if err := r.client.Call(svcBrakeStatus, 0x0002, []byte{0x0F, 0xF0}, func(m *Message) { resp = m }); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if resp == nil || resp.Type != TypeResponse {
+		t.Fatalf("resp=%+v", resp)
+	}
+	if !bytes.Equal(resp.Payload, []byte{0xF0, 0x0F}) {
+		t.Fatalf("payload=%x", resp.Payload)
+	}
+}
+
+func TestRPCUnknownMethod(t *testing.T) {
+	r := newRig(t)
+	r.discover(t)
+	var resp *Message
+	_ = r.client.Call(svcBrakeStatus, 0x9999, nil, func(m *Message) { resp = m })
+	_ = r.k.Run()
+	if resp == nil || resp.Type != TypeError || resp.ReturnCode != ReturnUnknownMethod {
+		t.Fatalf("resp=%+v", resp)
+	}
+}
+
+func TestCallBeforeDiscovery(t *testing.T) {
+	r := newRig(t)
+	if err := r.client.Call(svcBrakeStatus, 1, nil, nil); err == nil {
+		t.Fatal("call before discovery succeeded")
+	}
+	if err := r.client.Subscribe(svcBrakeStatus, egBrakeEvents); err == nil {
+		t.Fatal("subscribe before discovery succeeded")
+	}
+}
+
+func TestSubscribeAndNotify(t *testing.T) {
+	r := newRig(t)
+	r.discover(t)
+	var acked bool
+	r.client.OnSubscriptionResult(func(_, _ uint16, ok bool) { acked = ok })
+	var events [][]byte
+	r.client.OnNotification(svcBrakeStatus, egBrakeEvents, func(p []byte) {
+		events = append(events, p)
+	})
+	if err := r.client.Subscribe(svcBrakeStatus, egBrakeEvents); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if !acked || r.server.Subscribers(egBrakeEvents) != 1 {
+		t.Fatalf("acked=%v subs=%d", acked, r.server.Subscribers(egBrakeEvents))
+	}
+	r.server.Notify(egBrakeEvents, []byte{0x01})
+	r.server.Notify(egBrakeEvents, []byte{0x02})
+	_ = r.k.Run()
+	if len(events) != 2 || events[1][0] != 0x02 {
+		t.Fatalf("events=%v", events)
+	}
+}
+
+func TestSubscriberACL(t *testing.T) {
+	r := newRig(t)
+	allowed := ethernet.LocalMAC(2)
+	r.server.SubscriberACL = func(src ethernet.MAC, eg uint16) bool { return src == allowed }
+	r.discover(t)
+	// The dashboard (MAC 2) is allowed.
+	var ok bool
+	r.client.OnSubscriptionResult(func(_, _ uint16, got bool) { ok = got })
+	_ = r.client.Subscribe(svcBrakeStatus, egBrakeEvents)
+	_ = r.k.Run()
+	if !ok {
+		t.Fatal("allowed subscriber rejected")
+	}
+	// An interloper on the same VLAN is NAKed.
+	rogueHost := ethernet.NewHost("rogue", ethernet.LocalMAC(66))
+	r.sw.Connect(rogueHost, 10)
+	rogue := NewClient(rogueHost, 0x0666)
+	_ = rogue.Find(svcBrakeStatus)
+	_ = r.k.Run()
+	var rogueOK, got bool
+	rogue.OnSubscriptionResult(func(_, _ uint16, ok bool) { rogueOK, got = ok, true })
+	_ = rogue.Subscribe(svcBrakeStatus, egBrakeEvents)
+	_ = r.k.Run()
+	if !got || rogueOK {
+		t.Fatalf("rogue subscription: got=%v ok=%v", got, rogueOK)
+	}
+	if r.server.SubsRejected.Value != 1 {
+		t.Fatalf("rejected=%d", r.server.SubsRejected.Value)
+	}
+}
+
+// The protocol's honest weakness: notifications are unauthenticated, so
+// a host on the VLAN can spoof them to any subscriber it can address —
+// and the fix is SecOC end-to-end protection of the payload.
+func TestNotificationSpoofingAndSecOCFix(t *testing.T) {
+	r := newRig(t)
+	r.discover(t)
+	_ = r.client.Subscribe(svcBrakeStatus, egBrakeEvents)
+	_ = r.k.Run()
+
+	// Naive client: trusts any notification.
+	var naiveEvents [][]byte
+	r.client.OnNotification(svcBrakeStatus, egBrakeEvents, func(p []byte) {
+		naiveEvents = append(naiveEvents, p)
+	})
+
+	// SecOC channel between the real producer and the consumer.
+	var key [16]byte
+	copy(key[:], "someip-e2e-key!!")
+	cfg := secoc.Config{DataID: svcBrakeStatus, FreshnessBits: 16, MACBits: 32}
+	sender, err := secoc.NewSender(cfg, secoc.KeyMAC(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := secoc.NewReceiver(cfg, secoc.KeyMAC(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verifiedEvents [][]byte
+	r.client.OnNotification(svcBrakeStatus, egBrakeEvents, func(p []byte) {
+		if plain, err := receiver.Verify(p); err == nil {
+			verifiedEvents = append(verifiedEvents, plain)
+		}
+	})
+
+	// Legit notification (SecOC-wrapped).
+	legit, _ := sender.Protect([]byte{0x01})
+	r.server.Notify(egBrakeEvents, legit)
+	_ = r.k.Run()
+
+	// The attacker spoofs a notification directly to the subscriber's MAC.
+	atkHost := ethernet.NewHost("attacker", ethernet.LocalMAC(66))
+	r.sw.Connect(atkHost, 10)
+	spoof := &Message{ServiceID: svcBrakeStatus, MethodID: egBrakeEvents,
+		Type: TypeNotification, Payload: []byte{0xBA, 0xD0, 0, 0, 0, 0, 0}}
+	_ = atkHost.Send(ethernet.Frame{Dst: ethernet.LocalMAC(2), EtherType: EtherTypeSOMEIP, Payload: spoof.encode()})
+	_ = r.k.Run()
+
+	// The naive view accepted both; the SecOC view only the legit one.
+	if len(naiveEvents) != 2 {
+		t.Fatalf("naive events=%d — spoofing did not land", len(naiveEvents))
+	}
+	if len(verifiedEvents) != 1 || verifiedEvents[0][0] != 0x01 {
+		t.Fatalf("verified events=%v", verifiedEvents)
+	}
+}
+
+func TestDecodeRobustness(t *testing.T) {
+	f := func(b []byte) bool {
+		m, err := decode(b)
+		return (m == nil) == (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(svc, method, client, session uint16, payload []byte) bool {
+		m := &Message{ServiceID: svc, MethodID: method, ClientID: client,
+			SessionID: session, Type: TypeRequest, ReturnCode: 0, Payload: payload}
+		got, err := decode(m.encode())
+		if err != nil {
+			return false
+		}
+		return got.ServiceID == svc && got.MethodID == method &&
+			got.ClientID == client && got.SessionID == session &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

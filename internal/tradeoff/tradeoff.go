@@ -1,0 +1,173 @@
+// Package tradeoff implements the paper's Section 5 "dynamic trade-offs
+// between security, smartness, communication": an operating-mode
+// controller that, per drive-cycle phase, chooses how much sensor
+// analytics to run, how strongly to authenticate IVN traffic, and how
+// much telematics bandwidth to spend — against a fixed ECU compute
+// budget.
+//
+// Two controllers are compared in experiment E5: a static controller
+// (one mode for the whole drive, the non-extensible baseline) and an
+// adaptive controller that re-decides per phase. The adaptive controller
+// is the concrete payoff of "generic interfaces ... and clear definition
+// of various communication, smartness, and security modes".
+package tradeoff
+
+import (
+	"fmt"
+
+	"autosec/internal/sim"
+	"autosec/internal/workload"
+)
+
+// Mode is one operating point.
+type Mode struct {
+	Name string
+	// AnalyticsHz is the sensor-fusion/vision processing rate.
+	AnalyticsHz float64
+	// MACBits is the truncated-CMAC width applied to IVN traffic
+	// (0 disables authentication).
+	MACBits int
+	// CloudKbps is the telematics uplink spend.
+	CloudKbps float64
+}
+
+// Cost model constants (per unit of work, as CPU fractions).
+const (
+	// cpuPerAnalyticsHz is the compute fraction consumed per Hz of
+	// analytics.
+	cpuPerAnalyticsHz = 0.01
+	// cpuPerMACBit is the compute fraction consumed per MAC bit at the
+	// reference frame rate (software crypto; a SHE accelerator divides
+	// this by ~10).
+	cpuPerMACBit = 0.002
+)
+
+// CPULoad is the mode's compute demand as a fraction of one core.
+func (m Mode) CPULoad(accelFactor float64) float64 {
+	if accelFactor < 1 {
+		accelFactor = 1
+	}
+	return m.AnalyticsHz*cpuPerAnalyticsHz + float64(m.MACBits)*cpuPerMACBit/accelFactor
+}
+
+// Controller decides the operating mode for a drive-cycle phase.
+type Controller interface {
+	Decide(p workload.Phase) Mode
+}
+
+// Static always returns one mode — the fixed, optimization-first design
+// the paper contrasts with extensible ones.
+type Static struct{ M Mode }
+
+// Decide implements Controller.
+func (s Static) Decide(workload.Phase) Mode { return s.M }
+
+// Adaptive scales analytics with pedestrian density, authentication with
+// threat level, and sheds cloud bandwidth when analytics needs the CPU.
+type Adaptive struct {
+	// MaxAnalyticsHz caps the analytics rate (default 50).
+	MaxAnalyticsHz float64
+	// BaseCloudKbps is the bandwidth spend at zero analytics pressure.
+	BaseCloudKbps float64
+}
+
+// Decide implements Controller.
+func (a Adaptive) Decide(p workload.Phase) Mode {
+	maxHz := a.MaxAnalyticsHz
+	if maxHz == 0 {
+		maxHz = 50
+	}
+	base := a.BaseCloudKbps
+	if base == 0 {
+		base = 256
+	}
+	hz := 5 + p.PedestrianDensity*(maxHz-5)
+	mac := 0
+	switch {
+	case p.ThreatLevel >= 0.5:
+		mac = 64
+	case p.ThreatLevel >= 0.2:
+		mac = 32
+	}
+	// Shed bandwidth as analytics load rises (the paper's "adjust its
+	// communication bandwidth to the cloud in real time").
+	cloud := base * (1 - 0.8*p.PedestrianDensity)
+	return Mode{
+		Name:        fmt.Sprintf("adaptive(d=%.2f,t=%.2f)", p.PedestrianDensity, p.ThreatLevel),
+		AnalyticsHz: hz,
+		MACBits:     mac,
+		CloudKbps:   cloud,
+	}
+}
+
+// RequiredAnalyticsHz is the analytics rate the environment demands for
+// safe perception.
+func RequiredAnalyticsHz(p workload.Phase) float64 {
+	return 5 + p.PedestrianDensity*45
+}
+
+// Report summarizes a drive-cycle evaluation.
+type Report struct {
+	Controller string
+	// OverloadFrac is the fraction of samples where CPU demand exceeded
+	// the budget (deadline-miss proxy).
+	OverloadFrac float64
+	// CoverageShortfall is the mean unmet analytics demand in Hz.
+	CoverageShortfall float64
+	// ExposedFrac is the fraction of samples driven unauthenticated
+	// (MACBits == 0) while the threat level was ≥ 0.5.
+	ExposedFrac float64
+	// MeanCloudKbps is the average bandwidth spend.
+	MeanCloudKbps float64
+	// ModeSwitches counts distinct mode changes (the adaptivity cost).
+	ModeSwitches int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: overload=%.3f shortfall=%.2fHz exposed=%.3f cloud=%.0fkbps switches=%d",
+		r.Controller, r.OverloadFrac, r.CoverageShortfall, r.ExposedFrac, r.MeanCloudKbps, r.ModeSwitches)
+}
+
+// Evaluate samples the cycle every tick over dur, asks the controller for
+// a mode, and scores it against the CPU budget. accelFactor models crypto
+// acceleration (1 = software, ~10 = SHE).
+func Evaluate(name string, cycle workload.Cycle, dur sim.Duration, tick sim.Duration, ctrl Controller, cpuBudget, accelFactor float64) Report {
+	if tick <= 0 {
+		tick = sim.Second
+	}
+	var r Report
+	r.Controller = name
+	var samples int
+	var shortfall, cloud float64
+	var lastMode Mode
+	first := true
+	for at := sim.Time(0); at < dur; at += tick {
+		p := cycle.At(at)
+		m := ctrl.Decide(p)
+		samples++
+		if m.CPULoad(accelFactor) > cpuBudget {
+			r.OverloadFrac++
+		}
+		if need := RequiredAnalyticsHz(p); m.AnalyticsHz < need {
+			shortfall += need - m.AnalyticsHz
+		}
+		if p.ThreatLevel >= 0.5 && m.MACBits == 0 {
+			r.ExposedFrac++
+		}
+		cloud += m.CloudKbps
+		if first || m != lastMode {
+			if !first {
+				r.ModeSwitches++
+			}
+			lastMode = m
+			first = false
+		}
+	}
+	if samples > 0 {
+		r.OverloadFrac /= float64(samples)
+		r.CoverageShortfall = shortfall / float64(samples)
+		r.ExposedFrac /= float64(samples)
+		r.MeanCloudKbps = cloud / float64(samples)
+	}
+	return r
+}

@@ -1,0 +1,117 @@
+package tradeoff
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+	"autosec/internal/workload"
+)
+
+func TestModeCPULoad(t *testing.T) {
+	m := Mode{AnalyticsHz: 50, MACBits: 64}
+	sw := m.CPULoad(1)
+	hw := m.CPULoad(10)
+	if sw <= hw {
+		t.Fatal("acceleration did not reduce load")
+	}
+	// 50*0.01 + 64*0.002 = 0.628.
+	if sw < 0.62 || sw > 0.64 {
+		t.Fatalf("sw load=%v", sw)
+	}
+	// accelFactor below 1 clamps.
+	if m.CPULoad(0) != sw {
+		t.Fatal("clamp failed")
+	}
+}
+
+func TestAdaptiveDecisionsTrackPhase(t *testing.T) {
+	a := Adaptive{}
+	city := a.Decide(workload.CityCycle().At(0))
+	hwy := a.Decide(workload.HighwayCycle().At(0))
+	if city.AnalyticsHz <= hwy.AnalyticsHz {
+		t.Fatal("city analytics not higher")
+	}
+	if city.MACBits <= hwy.MACBits {
+		t.Fatalf("city MAC %d vs highway %d", city.MACBits, hwy.MACBits)
+	}
+	if city.CloudKbps >= hwy.CloudKbps {
+		t.Fatal("city did not shed bandwidth")
+	}
+}
+
+func TestEvaluateAdaptiveBeatsStaticOnCommute(t *testing.T) {
+	cycle := workload.CommuteCycle()
+	dur := 24 * sim.Minute
+	budget := 0.6
+
+	// Static mode sized for the city is overloaded or wasteful; sized for
+	// the highway it is exposed and blind downtown. Use the city-sized one.
+	staticCity := Evaluate("static-city", cycle, dur, sim.Second,
+		Static{M: Mode{Name: "city", AnalyticsHz: 50, MACBits: 64, CloudKbps: 64}}, budget, 1)
+	staticHwy := Evaluate("static-hwy", cycle, dur, sim.Second,
+		Static{M: Mode{Name: "hwy", AnalyticsHz: 10, MACBits: 0, CloudKbps: 256}}, budget, 1)
+	adaptive := Evaluate("adaptive", cycle, dur, sim.Second, Adaptive{}, budget, 1)
+
+	// The city-sized static mode busts the software-crypto CPU budget.
+	if staticCity.OverloadFrac == 0 {
+		t.Fatalf("static-city never overloads: %s", staticCity)
+	}
+	// The highway-sized static mode leaves downtown unprotected and
+	// under-analyzed.
+	if staticHwy.ExposedFrac == 0 || staticHwy.CoverageShortfall == 0 {
+		t.Fatalf("static-hwy shows no exposure/shortfall: %s", staticHwy)
+	}
+	// The adaptive controller avoids all three pathologies.
+	if adaptive.OverloadFrac > 0 {
+		t.Fatalf("adaptive overloads: %s", adaptive)
+	}
+	if adaptive.ExposedFrac > 0 {
+		t.Fatalf("adaptive exposed: %s", adaptive)
+	}
+	if adaptive.CoverageShortfall > 1 {
+		t.Fatalf("adaptive shortfall: %s", adaptive)
+	}
+	if adaptive.ModeSwitches == 0 {
+		t.Fatal("adaptive never switched modes")
+	}
+}
+
+func TestEvaluateAccelerationRelievesOverload(t *testing.T) {
+	cycle := workload.CityCycle()
+	m := Static{M: Mode{Name: "city", AnalyticsHz: 50, MACBits: 64, CloudKbps: 64}}
+	sw := Evaluate("sw", cycle, 10*sim.Minute, sim.Second, m, 0.6, 1)
+	hw := Evaluate("hw", cycle, 10*sim.Minute, sim.Second, m, 0.6, 10)
+	if sw.OverloadFrac <= hw.OverloadFrac {
+		t.Fatalf("acceleration did not reduce overload: sw=%.3f hw=%.3f", sw.OverloadFrac, hw.OverloadFrac)
+	}
+	if hw.OverloadFrac != 0 {
+		t.Fatalf("accelerated mode still overloads: %.3f", hw.OverloadFrac)
+	}
+}
+
+func TestEvaluateDegenerate(t *testing.T) {
+	r := Evaluate("none", workload.Cycle{}, 0, sim.Second, Static{}, 1, 1)
+	if r.OverloadFrac != 0 || r.MeanCloudKbps != 0 {
+		t.Fatalf("degenerate report: %s", r)
+	}
+	// Zero tick falls back to one second.
+	r = Evaluate("tick", workload.CityCycle(), 5*sim.Second, 0, Static{M: Mode{AnalyticsHz: 1}}, 1, 1)
+	if r.Controller != "tick" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestRequiredAnalyticsHz(t *testing.T) {
+	lo := RequiredAnalyticsHz(workload.Phase{PedestrianDensity: 0})
+	hi := RequiredAnalyticsHz(workload.Phase{PedestrianDensity: 1})
+	if lo != 5 || hi != 50 {
+		t.Fatalf("required range %v..%v", lo, hi)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Controller: "x"}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}

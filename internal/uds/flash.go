@@ -1,0 +1,182 @@
+package uds
+
+import (
+	"encoding/binary"
+)
+
+// Firmware download services (ISO 14229 §14): RequestDownload (0x34),
+// TransferData (0x36), RequestTransferExit (0x37). This is the on-wire
+// half of reflashing — the step the Miller/Valasek chain reached after
+// SecurityAccess. The server stages the image in a download buffer; what
+// happens to it afterwards (hash check, secure-boot anchoring) belongs to
+// the OTA client and SHE layers, which the integration tests wire up.
+
+// Download service identifiers.
+const (
+	SvcRequestDownload     = 0x34
+	SvcTransferData        = 0x36
+	SvcRequestTransferExit = 0x37
+)
+
+// download tracks an in-progress transfer.
+type download struct {
+	total    int
+	received []byte
+	nextSeq  byte
+}
+
+// maxBlockLength is the largest TransferData block the server accepts
+// (fits comfortably in one ISO-TP message).
+const maxBlockLength = 1024
+
+// EnableFlashing activates the download services on the server. The
+// image lands in the flash buffer retrievable with FlashBuffer; flashing
+// requires security level ≥ 1 and the programming session.
+func (s *Server) EnableFlashing() {
+	s.flashEnabled = true
+}
+
+// FlashBuffer returns the last completely transferred image, or nil.
+func (s *Server) FlashBuffer() []byte { return s.flashImage }
+
+func (s *Server) requestDownload(req []byte) {
+	if !s.flashEnabled {
+		s.negative(SvcRequestDownload, NRCServiceNotSupported)
+		return
+	}
+	// Format: [0x34][dataFormat][addrLenFormat][size uint32]; address is
+	// omitted in this profile (single-partition ECU).
+	if len(req) != 7 {
+		s.negative(SvcRequestDownload, NRCIncorrectLength)
+		return
+	}
+	if s.session != SessionProgramming {
+		s.negative(SvcRequestDownload, NRCConditionsNotCorrect)
+		return
+	}
+	if s.unlockedLevel == 0 {
+		s.negative(SvcRequestDownload, NRCSecurityAccessDenied)
+		return
+	}
+	size := int(binary.BigEndian.Uint32(req[3:7]))
+	if size <= 0 || size > 1<<24 {
+		s.negative(SvcRequestDownload, NRCRequestOutOfRange)
+		return
+	}
+	s.dl = &download{total: size, received: make([]byte, 0, size), nextSeq: 1}
+	// Positive response: lengthFormat 0x20 + maxBlockLength uint16.
+	var resp [4]byte
+	resp[0] = SvcRequestDownload + positiveResponseOr
+	resp[1] = 0x20
+	binary.BigEndian.PutUint16(resp[2:], maxBlockLength)
+	s.reply(resp[:])
+}
+
+func (s *Server) transferData(req []byte) {
+	if !s.flashEnabled {
+		s.negative(SvcTransferData, NRCServiceNotSupported)
+		return
+	}
+	if s.dl == nil {
+		s.negative(SvcTransferData, NRCRequestSequenceError)
+		return
+	}
+	if len(req) < 3 {
+		s.negative(SvcTransferData, NRCIncorrectLength)
+		return
+	}
+	seq := req[1]
+	if seq != s.dl.nextSeq {
+		s.dl = nil // abort: the tester must restart the download
+		s.negative(SvcTransferData, NRCRequestSequenceError)
+		return
+	}
+	block := req[2:]
+	if len(block) > maxBlockLength || len(s.dl.received)+len(block) > s.dl.total {
+		s.dl = nil
+		s.negative(SvcTransferData, NRCRequestOutOfRange)
+		return
+	}
+	s.dl.received = append(s.dl.received, block...)
+	s.dl.nextSeq++
+	s.reply([]byte{SvcTransferData + positiveResponseOr, seq})
+}
+
+func (s *Server) requestTransferExit(req []byte) {
+	if !s.flashEnabled {
+		s.negative(SvcRequestTransferExit, NRCServiceNotSupported)
+		return
+	}
+	if s.dl == nil {
+		s.negative(SvcRequestTransferExit, NRCRequestSequenceError)
+		return
+	}
+	if len(s.dl.received) != s.dl.total {
+		s.dl = nil
+		s.negative(SvcRequestTransferExit, NRCRequestSequenceError)
+		return
+	}
+	s.flashImage = s.dl.received
+	s.dl = nil
+	s.Flashes.Inc()
+	s.reply([]byte{SvcRequestTransferExit + positiveResponseOr})
+}
+
+// Flash drives a complete client-side download of an image. done fires
+// with the first error or nil on success.
+func (c *Client) Flash(image []byte, done func(err error)) error {
+	req := make([]byte, 7)
+	req[0] = SvcRequestDownload
+	req[1] = 0x00 // uncompressed, unencrypted
+	req[2] = 0x40 // 4-byte size, no address
+	binary.BigEndian.PutUint32(req[3:], uint32(len(image)))
+	return c.Request(req, func(resp []byte) {
+		payload, err := ParseResponse(SvcRequestDownload, resp)
+		if err != nil {
+			done(err)
+			return
+		}
+		if len(payload) < 3 {
+			done(errParse("requestDownload response too short"))
+			return
+		}
+		block := int(binary.BigEndian.Uint16(payload[1:3]))
+		if block <= 0 {
+			done(errParse("zero block length"))
+			return
+		}
+		c.flashBlocks(image, block, 1, done)
+	})
+}
+
+func (c *Client) flashBlocks(rest []byte, block int, seq byte, done func(error)) {
+	if len(rest) == 0 {
+		err := c.Request([]byte{SvcRequestTransferExit}, func(resp []byte) {
+			_, err := ParseResponse(SvcRequestTransferExit, resp)
+			done(err)
+		})
+		if err != nil {
+			done(err)
+		}
+		return
+	}
+	n := len(rest)
+	if n > block {
+		n = block
+	}
+	req := append([]byte{SvcTransferData, seq}, rest[:n]...)
+	err := c.Request(req, func(resp []byte) {
+		if _, err := ParseResponse(SvcTransferData, resp); err != nil {
+			done(err)
+			return
+		}
+		c.flashBlocks(rest[n:], block, seq+1, done)
+	})
+	if err != nil {
+		done(err)
+	}
+}
+
+type errParse string
+
+func (e errParse) Error() string { return "uds: " + string(e) }

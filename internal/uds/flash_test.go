@@ -1,0 +1,139 @@
+package uds
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// flashRig prepares a rig with flashing enabled, in the programming
+// session, unlocked at level 1.
+func flashRig(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, WeakXOR{Constant: 0xF1A5F1A5})
+	r.server.EnableFlashing()
+	r.mustPositive(t, []byte{SvcSessionControl, SessionProgramming})
+	if err := r.unlock(t, 1, r.alg); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// flash drives Client.Flash synchronously.
+func (r *rig) flash(t *testing.T, image []byte) error {
+	t.Helper()
+	var result error = errors.New("no completion")
+	if err := r.client.Flash(image, func(err error) { result = err }); err != nil {
+		return err
+	}
+	_ = r.k.Run()
+	return result
+}
+
+func TestFlashHappyPath(t *testing.T) {
+	r := flashRig(t)
+	image := bytes.Repeat([]byte("firmware-v2 "), 300) // 3.6 KB, multiple blocks
+	if err := r.flash(t, image); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.server.FlashBuffer(), image) {
+		t.Fatalf("flash buffer %d bytes, want %d", len(r.server.FlashBuffer()), len(image))
+	}
+	if r.server.Flashes.Value != 1 {
+		t.Fatalf("flashes=%d", r.server.Flashes.Value)
+	}
+}
+
+func TestFlashRequiresProgrammingSession(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	r.server.EnableFlashing()
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	if err := r.unlock(t, 1, r.alg); err != nil {
+		t.Fatal(err)
+	}
+	err := r.flash(t, []byte("img"))
+	if err == nil || !strings.Contains(err.Error(), "conditionsNotCorrect") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestFlashRequiresSecurityAccess(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	r.server.EnableFlashing()
+	r.mustPositive(t, []byte{SvcSessionControl, SessionProgramming})
+	err := r.flash(t, []byte("img"))
+	if err == nil || !strings.Contains(err.Error(), "securityAccessDenied") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestFlashDisabledByDefault(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	r.mustPositive(t, []byte{SvcSessionControl, SessionProgramming})
+	_ = r.unlock(t, 1, r.alg)
+	err := r.flash(t, []byte("img"))
+	if err == nil || !strings.Contains(err.Error(), "serviceNotSupported") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTransferDataWithoutDownload(t *testing.T) {
+	r := flashRig(t)
+	r.mustNegative(t, []byte{SvcTransferData, 1, 0xAA}, NRCRequestSequenceError)
+	r.mustNegative(t, []byte{SvcRequestTransferExit}, NRCRequestSequenceError)
+}
+
+func TestTransferDataSequenceEnforced(t *testing.T) {
+	r := flashRig(t)
+	// Start a download of 10 bytes.
+	r.mustPositive(t, []byte{SvcRequestDownload, 0, 0x40, 0, 0, 0, 10})
+	// First block with the wrong sequence counter.
+	r.mustNegative(t, []byte{SvcTransferData, 2, 1, 2, 3}, NRCRequestSequenceError)
+	// The download aborted; a fresh block-1 is also refused now.
+	r.mustNegative(t, []byte{SvcTransferData, 1, 1, 2, 3}, NRCRequestSequenceError)
+}
+
+func TestTransferOverrunRejected(t *testing.T) {
+	r := flashRig(t)
+	r.mustPositive(t, []byte{SvcRequestDownload, 0, 0x40, 0, 0, 0, 4})
+	// 5 bytes into a 4-byte download.
+	r.mustNegative(t, []byte{SvcTransferData, 1, 1, 2, 3, 4, 5}, NRCRequestOutOfRange)
+}
+
+func TestTransferExitIncomplete(t *testing.T) {
+	r := flashRig(t)
+	r.mustPositive(t, []byte{SvcRequestDownload, 0, 0x40, 0, 0, 0, 8})
+	r.mustPositive(t, []byte{SvcTransferData, 1, 1, 2, 3, 4})
+	r.mustNegative(t, []byte{SvcRequestTransferExit}, NRCRequestSequenceError)
+}
+
+func TestRequestDownloadValidation(t *testing.T) {
+	r := flashRig(t)
+	r.mustNegative(t, []byte{SvcRequestDownload, 0, 0x40, 0, 0, 0}, NRCIncorrectLength)
+	r.mustNegative(t, []byte{SvcRequestDownload, 0, 0x40, 0, 0, 0, 0}, NRCRequestOutOfRange)
+	r.mustNegative(t, []byte{SvcRequestDownload, 0, 0x40, 0xFF, 0xFF, 0xFF, 0xFF}, NRCRequestOutOfRange)
+}
+
+// The attack story: with the weak algorithm's constant recovered by
+// sniffing (see uds_test.go), the attacker reflashes the ECU entirely —
+// the end of the Miller/Valasek chain.
+func TestFlashAfterSniffAttack(t *testing.T) {
+	secret := WeakXOR{Constant: 0x0BAD0DAD}
+	r := newRig(t, secret)
+	r.server.EnableFlashing()
+	r.mustPositive(t, []byte{SvcSessionControl, SessionProgramming})
+	// The attacker already knows the constant (sniffed elsewhere).
+	if err := r.unlock(t, 1, WeakXOR{Constant: 0x0BAD0DAD}); err != nil {
+		t.Fatal(err)
+	}
+	malicious := []byte("malicious brake firmware build")
+	if err := r.flash(t, malicious); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.server.FlashBuffer(), malicious) {
+		t.Fatal("attacker image not staged")
+	}
+	// What stops this in a full vehicle is the *next* layer: SHE secure
+	// boot rejects the unsigned image (core integration tests).
+}

@@ -1,0 +1,37 @@
+package uds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the server must survive arbitrary request bytes — a fuzzing
+// tester on the diagnostic bus is the cheapest attack there is. Every
+// input must produce either a response or silence, never a panic, and
+// never an unlocked state.
+func TestServerSurvivesArbitraryRequests(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xABCD})
+	f := func(req []byte) bool {
+		// handle is invoked directly (bypassing ISO-TP) to reach the parser
+		// with truly arbitrary bytes.
+		r.server.Handle(0, req)
+		return r.server.UnlockedLevel() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Flash parsers likewise.
+func TestFlashParsersSurviveArbitraryRequests(t *testing.T) {
+	r := flashRig(t)
+	f := func(a, b, c []byte) bool {
+		r.server.requestDownload(append([]byte{SvcRequestDownload}, a...))
+		r.server.transferData(append([]byte{SvcTransferData}, b...))
+		r.server.requestTransferExit(append([]byte{SvcRequestTransferExit}, c...))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

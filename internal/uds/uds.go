@@ -1,0 +1,515 @@
+// Package uds implements a Unified Diagnostic Services (ISO 14229)
+// server and client over the isotp transport: diagnostic sessions,
+// SecurityAccess seed/key unlocking with attempt lockout, data
+// identifiers, ECU reset and routine control.
+//
+// Diagnostics is the attack surface behind the paper's remote
+// exploitation references [15, 16]: reflashing and privileged routines
+// are gated only by the SecurityAccess handshake, so its seed/key
+// algorithm strength and lockout policy decide whether "diagnostic
+// tester" equals "attacker toolkit". The package ships a deliberately
+// weak legacy algorithm (XOR with a fixed constant, as found in many
+// fielded ECUs) and a SHE-backed CMAC algorithm, so scenarios can measure
+// the difference.
+package uds
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"autosec/internal/isotp"
+	"autosec/internal/she"
+	"autosec/internal/sim"
+)
+
+// Service identifiers.
+const (
+	SvcSessionControl  = 0x10
+	SvcECUReset        = 0x11
+	SvcReadDataByID    = 0x22
+	SvcSecurityAccess  = 0x27
+	SvcWriteDataByID   = 0x2E
+	SvcRoutineControl  = 0x31
+	SvcTesterPresent   = 0x3E
+	negativeResponse   = 0x7F
+	positiveResponseOr = 0x40
+)
+
+// Session types.
+const (
+	SessionDefault     = 0x01
+	SessionProgramming = 0x02
+	SessionExtended    = 0x03
+)
+
+// Negative response codes.
+const (
+	NRCServiceNotSupported     = 0x11
+	NRCSubFunctionNotSupported = 0x12
+	NRCIncorrectLength         = 0x13
+	NRCConditionsNotCorrect    = 0x22
+	NRCRequestSequenceError    = 0x24
+	NRCRequestOutOfRange       = 0x31
+	NRCSecurityAccessDenied    = 0x33
+	NRCInvalidKey              = 0x35
+	NRCExceedAttempts          = 0x36
+	NRCTimeDelayNotExpired     = 0x37
+)
+
+// NRCName names a negative response code for diagnostics output.
+func NRCName(nrc byte) string {
+	switch nrc {
+	case NRCServiceNotSupported:
+		return "serviceNotSupported"
+	case NRCSubFunctionNotSupported:
+		return "subFunctionNotSupported"
+	case NRCIncorrectLength:
+		return "incorrectMessageLengthOrInvalidFormat"
+	case NRCConditionsNotCorrect:
+		return "conditionsNotCorrect"
+	case NRCRequestSequenceError:
+		return "requestSequenceError"
+	case NRCRequestOutOfRange:
+		return "requestOutOfRange"
+	case NRCSecurityAccessDenied:
+		return "securityAccessDenied"
+	case NRCInvalidKey:
+		return "invalidKey"
+	case NRCExceedAttempts:
+		return "exceededNumberOfAttempts"
+	case NRCTimeDelayNotExpired:
+		return "requiredTimeDelayNotExpired"
+	default:
+		return fmt.Sprintf("nrc(%#x)", nrc)
+	}
+}
+
+// SeedKeyAlgorithm computes the expected key for a seed at a security
+// level. The server generates seeds; the tester (or attacker) must
+// produce the matching key.
+type SeedKeyAlgorithm interface {
+	// Key derives the unlock key for (level, seed).
+	Key(level byte, seed []byte) []byte
+	// Name identifies the algorithm in logs.
+	Name() string
+}
+
+// WeakXOR is the legacy algorithm found in many production ECUs: the key
+// is the seed XORed with a per-level constant. One sniffed exchange
+// reveals the constant forever — the property the diagnostic-attack
+// scenario demonstrates.
+type WeakXOR struct {
+	Constant uint32
+}
+
+// Name implements SeedKeyAlgorithm.
+func (w WeakXOR) Name() string { return "weak-xor" }
+
+// Key implements SeedKeyAlgorithm.
+func (w WeakXOR) Key(level byte, seed []byte) []byte {
+	out := make([]byte, len(seed))
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], w.Constant+uint32(level))
+	for i := range seed {
+		out[i] = seed[i] ^ c[i%4]
+	}
+	return out
+}
+
+// SHECMAC derives the key as a truncated CMAC of the seed under a key
+// held in a SHE slot — sniffing exchanges reveals nothing about other
+// seeds.
+type SHECMAC struct {
+	Engine *she.Engine
+	Slot   she.KeyID
+}
+
+// Name implements SeedKeyAlgorithm.
+func (s SHECMAC) Name() string { return "she-cmac" }
+
+// Key implements SeedKeyAlgorithm.
+func (s SHECMAC) Key(level byte, seed []byte) []byte {
+	mac, err := s.Engine.GenerateMAC(s.Slot, append([]byte{level}, seed...))
+	if err != nil {
+		return nil // locked/invalid slot: no key derivable
+	}
+	return mac[:4]
+}
+
+// DID is a data identifier.
+type DID uint16
+
+// Well-known data identifiers used by the scenarios.
+const (
+	DIDVIN           DID = 0xF190
+	DIDSWVersion     DID = 0xF195
+	DIDCalibration   DID = 0xC100 // write requires security level 1
+	DIDImmobilizerPN DID = 0xC200 // read requires security level 1
+)
+
+// ServerConfig parameterizes an ECU's diagnostic server.
+type ServerConfig struct {
+	Algorithm SeedKeyAlgorithm
+	// MaxAttempts before lockout (default 3).
+	MaxAttempts int
+	// LockoutDelay before another attempt may start (default 10s).
+	LockoutDelay sim.Duration
+	// Rand supplies seed bytes.
+	Rand *sim.Stream
+}
+
+// Server is the ECU-side UDS endpoint. It is transport-agnostic: the
+// send function carries responses back over whatever carried the request
+// (ISO-TP over CAN via NewServer, DoIP over Ethernet via NewRawServer).
+type Server struct {
+	send func(resp []byte)
+	cfg  ServerConfig
+	k    *sim.Kernel
+
+	session       byte
+	unlockedLevel byte // 0 = locked
+	pendingSeed   []byte
+	pendingLevel  byte
+	attempts      int
+	lockedUntil   sim.Time
+
+	// readable/writable DID stores with their security requirements.
+	data       map[DID][]byte
+	readLevel  map[DID]byte
+	writeLevel map[DID]byte
+
+	// Routines: id -> handler; security level 1 required for all.
+	routines map[uint16]func(args []byte) []byte
+
+	// Flashing state (see flash.go).
+	flashEnabled bool
+	dl           *download
+	flashImage   []byte
+
+	Resets  sim.Counter
+	Unlocks sim.Counter
+	BadKeys sim.Counter
+	Flashes sim.Counter
+}
+
+// NewServer attaches a UDS server to an ISO-TP endpoint.
+func NewServer(k *sim.Kernel, ep *isotp.Endpoint, cfg ServerConfig) *Server {
+	s := NewRawServer(k, func(resp []byte) { _ = ep.Send(resp, nil) }, cfg)
+	ep.OnMessage(func(at sim.Time, req []byte) { s.Handle(at, req) })
+	return s
+}
+
+// NewRawServer creates a server over an arbitrary transport: the caller
+// feeds requests to Handle and the send function carries responses back.
+func NewRawServer(k *sim.Kernel, send func(resp []byte), cfg ServerConfig) *Server {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.LockoutDelay <= 0 {
+		cfg.LockoutDelay = 10 * sim.Second
+	}
+	return &Server{
+		send:       send,
+		cfg:        cfg,
+		k:          k,
+		session:    SessionDefault,
+		data:       make(map[DID][]byte),
+		readLevel:  make(map[DID]byte),
+		writeLevel: make(map[DID]byte),
+		routines:   make(map[uint16]func([]byte) []byte),
+	}
+}
+
+// SetData defines a DID with its read/write security levels (0 = open).
+func (s *Server) SetData(id DID, value []byte, readLevel, writeLevel byte) {
+	s.data[id] = append([]byte(nil), value...)
+	s.readLevel[id] = readLevel
+	s.writeLevel[id] = writeLevel
+}
+
+// Data reads back a DID's stored value (test/scenario access).
+func (s *Server) Data(id DID) []byte { return s.data[id] }
+
+// AddRoutine registers a security-gated routine.
+func (s *Server) AddRoutine(id uint16, fn func(args []byte) []byte) {
+	s.routines[id] = fn
+}
+
+// Session reports the active diagnostic session.
+func (s *Server) Session() byte { return s.session }
+
+// UnlockedLevel reports the active security level (0 = locked).
+func (s *Server) UnlockedLevel() byte { return s.unlockedLevel }
+
+func (s *Server) reply(payload []byte) {
+	s.send(payload)
+}
+
+func (s *Server) negative(svc, nrc byte) {
+	s.reply([]byte{negativeResponse, svc, nrc})
+}
+
+// Handle processes one request arriving at virtual time at.
+func (s *Server) Handle(at sim.Time, req []byte) {
+	if len(req) == 0 {
+		return
+	}
+	svc := req[0]
+	switch svc {
+	case SvcSessionControl:
+		s.sessionControl(req)
+	case SvcECUReset:
+		s.ecuReset(req)
+	case SvcTesterPresent:
+		if len(req) != 2 {
+			s.negative(svc, NRCIncorrectLength)
+			return
+		}
+		s.reply([]byte{svc + positiveResponseOr, req[1]})
+	case SvcReadDataByID:
+		s.readData(req)
+	case SvcWriteDataByID:
+		s.writeData(req)
+	case SvcSecurityAccess:
+		s.securityAccess(at, req)
+	case SvcRoutineControl:
+		s.routineControl(req)
+	case SvcRequestDownload:
+		s.requestDownload(req)
+	case SvcTransferData:
+		s.transferData(req)
+	case SvcRequestTransferExit:
+		s.requestTransferExit(req)
+	default:
+		s.negative(svc, NRCServiceNotSupported)
+	}
+}
+
+func (s *Server) sessionControl(req []byte) {
+	if len(req) != 2 {
+		s.negative(SvcSessionControl, NRCIncorrectLength)
+		return
+	}
+	switch req[1] {
+	case SessionDefault, SessionProgramming, SessionExtended:
+		s.session = req[1]
+		if req[1] == SessionDefault {
+			s.unlockedLevel = 0 // leaving a privileged session relocks
+		}
+		s.reply([]byte{SvcSessionControl + positiveResponseOr, req[1], 0, 0x32, 0x01, 0xF4})
+	default:
+		s.negative(SvcSessionControl, NRCSubFunctionNotSupported)
+	}
+}
+
+func (s *Server) ecuReset(req []byte) {
+	if len(req) != 2 {
+		s.negative(SvcECUReset, NRCIncorrectLength)
+		return
+	}
+	if s.session == SessionDefault {
+		s.negative(SvcECUReset, NRCConditionsNotCorrect)
+		return
+	}
+	s.Resets.Inc()
+	s.session = SessionDefault
+	s.unlockedLevel = 0
+	s.reply([]byte{SvcECUReset + positiveResponseOr, req[1]})
+}
+
+func (s *Server) readData(req []byte) {
+	if len(req) != 3 {
+		s.negative(SvcReadDataByID, NRCIncorrectLength)
+		return
+	}
+	id := DID(binary.BigEndian.Uint16(req[1:3]))
+	val, ok := s.data[id]
+	if !ok {
+		s.negative(SvcReadDataByID, NRCRequestOutOfRange)
+		return
+	}
+	if lvl := s.readLevel[id]; lvl != 0 && s.unlockedLevel < lvl {
+		s.negative(SvcReadDataByID, NRCSecurityAccessDenied)
+		return
+	}
+	out := append([]byte{SvcReadDataByID + positiveResponseOr, req[1], req[2]}, val...)
+	s.reply(out)
+}
+
+func (s *Server) writeData(req []byte) {
+	if len(req) < 4 {
+		s.negative(SvcWriteDataByID, NRCIncorrectLength)
+		return
+	}
+	id := DID(binary.BigEndian.Uint16(req[1:3]))
+	if _, ok := s.data[id]; !ok {
+		s.negative(SvcWriteDataByID, NRCRequestOutOfRange)
+		return
+	}
+	if lvl := s.writeLevel[id]; lvl == 0 || s.unlockedLevel < lvl {
+		// Writes always require an explicit grant; a DID with writeLevel 0
+		// is read-only.
+		s.negative(SvcWriteDataByID, NRCSecurityAccessDenied)
+		return
+	}
+	s.data[id] = append([]byte(nil), req[3:]...)
+	s.reply([]byte{SvcWriteDataByID + positiveResponseOr, req[1], req[2]})
+}
+
+func (s *Server) securityAccess(at sim.Time, req []byte) {
+	if len(req) < 2 {
+		s.negative(SvcSecurityAccess, NRCIncorrectLength)
+		return
+	}
+	sub := req[1]
+	if s.session == SessionDefault {
+		s.negative(SvcSecurityAccess, NRCConditionsNotCorrect)
+		return
+	}
+	if at < s.lockedUntil {
+		s.negative(SvcSecurityAccess, NRCTimeDelayNotExpired)
+		return
+	}
+	if sub%2 == 1 { // requestSeed for level (sub+1)/2
+		seed := make([]byte, 4)
+		s.cfg.Rand.Bytes(seed)
+		s.pendingSeed = seed
+		s.pendingLevel = (sub + 1) / 2
+		out := append([]byte{SvcSecurityAccess + positiveResponseOr, sub}, seed...)
+		s.reply(out)
+		return
+	}
+	// sendKey for level sub/2.
+	if s.pendingSeed == nil || s.pendingLevel != sub/2 {
+		s.negative(SvcSecurityAccess, NRCRequestSequenceError)
+		return
+	}
+	want := s.cfg.Algorithm.Key(s.pendingLevel, s.pendingSeed)
+	got := req[2:]
+	s.pendingSeed = nil
+	if want == nil || len(got) != len(want) || subtle.ConstantTimeCompare(want, got) != 1 {
+		s.BadKeys.Inc()
+		s.attempts++
+		if s.attempts >= s.cfg.MaxAttempts {
+			s.lockedUntil = at + s.cfg.LockoutDelay
+			s.attempts = 0
+			s.negative(SvcSecurityAccess, NRCExceedAttempts)
+			return
+		}
+		s.negative(SvcSecurityAccess, NRCInvalidKey)
+		return
+	}
+	s.attempts = 0
+	s.unlockedLevel = sub / 2
+	s.Unlocks.Inc()
+	s.reply([]byte{SvcSecurityAccess + positiveResponseOr, sub})
+}
+
+func (s *Server) routineControl(req []byte) {
+	if len(req) < 4 {
+		s.negative(SvcRoutineControl, NRCIncorrectLength)
+		return
+	}
+	if req[1] != 0x01 { // startRoutine only
+		s.negative(SvcRoutineControl, NRCSubFunctionNotSupported)
+		return
+	}
+	id := binary.BigEndian.Uint16(req[2:4])
+	fn, ok := s.routines[id]
+	if !ok {
+		s.negative(SvcRoutineControl, NRCRequestOutOfRange)
+		return
+	}
+	if s.unlockedLevel == 0 {
+		s.negative(SvcRoutineControl, NRCSecurityAccessDenied)
+		return
+	}
+	result := fn(req[4:])
+	out := append([]byte{SvcRoutineControl + positiveResponseOr, 0x01, req[2], req[3]}, result...)
+	s.reply(out)
+}
+
+// Client is the tester-side helper: it sends a request and hands the
+// next response to a callback (one outstanding request at a time, as UDS
+// physical addressing works).
+type Client struct {
+	ep      *isotp.Endpoint
+	pending func(resp []byte)
+}
+
+// NewClient attaches a client to an ISO-TP endpoint.
+func NewClient(ep *isotp.Endpoint) *Client {
+	c := &Client{ep: ep}
+	ep.OnMessage(func(_ sim.Time, resp []byte) {
+		if c.pending != nil {
+			fn := c.pending
+			c.pending = nil
+			fn(resp)
+		}
+	})
+	return c
+}
+
+// ErrBusy is returned when a request is already outstanding.
+var ErrBusy = errors.New("uds: request already outstanding")
+
+// Request sends a raw request; respond fires with the raw response.
+func (c *Client) Request(req []byte, respond func(resp []byte)) error {
+	if c.pending != nil {
+		return ErrBusy
+	}
+	c.pending = respond
+	return c.ep.Send(req, nil)
+}
+
+// ParseResponse splits a response into (positive, service/NRC, payload).
+func ParseResponse(svc byte, resp []byte) (payload []byte, err error) {
+	if len(resp) == 0 {
+		return nil, errors.New("uds: empty response")
+	}
+	if resp[0] == negativeResponse {
+		if len(resp) >= 3 {
+			return nil, fmt.Errorf("uds: negative response to %#x: %s", resp[1], NRCName(resp[2]))
+		}
+		return nil, errors.New("uds: malformed negative response")
+	}
+	if resp[0] != svc+positiveResponseOr {
+		return nil, fmt.Errorf("uds: response service %#x does not match request %#x", resp[0], svc)
+	}
+	return resp[1:], nil
+}
+
+// Unlock performs the two-step SecurityAccess handshake for a level using
+// the given algorithm, then calls done(err).
+func (c *Client) Unlock(level byte, alg SeedKeyAlgorithm, done func(err error)) error {
+	reqSeedSub := byte(level*2 - 1)
+	return c.Request([]byte{SvcSecurityAccess, reqSeedSub}, func(resp []byte) {
+		payload, err := ParseResponse(SvcSecurityAccess, resp)
+		if err != nil {
+			done(err)
+			return
+		}
+		if len(payload) < 1 || payload[0] != reqSeedSub {
+			done(errors.New("uds: seed response malformed"))
+			return
+		}
+		seed := payload[1:]
+		if len(seed) == 0 || bytes.Equal(seed, make([]byte, len(seed))) {
+			// An all-zero seed means "already unlocked" per ISO 14229.
+			done(nil)
+			return
+		}
+		key := alg.Key(level, seed)
+		req := append([]byte{SvcSecurityAccess, reqSeedSub + 1}, key...)
+		err = c.Request(req, func(resp []byte) {
+			_, err := ParseResponse(SvcSecurityAccess, resp)
+			done(err)
+		})
+		if err != nil {
+			done(err)
+		}
+	})
+}

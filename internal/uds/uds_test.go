@@ -1,0 +1,352 @@
+package uds
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/isotp"
+	"autosec/internal/she"
+	"autosec/internal/sim"
+)
+
+// rig wires a tester client and an ECU server over ISO-TP on one bus.
+type rig struct {
+	k      *sim.Kernel
+	bus    *can.Bus
+	client *Client
+	server *Server
+	alg    SeedKeyAlgorithm
+}
+
+func newRig(t *testing.T, alg SeedKeyAlgorithm) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	bus := can.NewBus(k, "diag", 500_000)
+	tc := can.NewController("tester")
+	ec := can.NewController("ecu")
+	bus.Attach(tc)
+	bus.Attach(ec)
+	testerEP := isotp.New(k, tc, isotp.Config{TxID: 0x7E0, RxID: 0x7E8})
+	ecuEP := isotp.New(k, ec, isotp.Config{TxID: 0x7E8, RxID: 0x7E0})
+	srv := NewServer(k, ecuEP, ServerConfig{
+		Algorithm: alg,
+		Rand:      k.Stream("uds.seed"),
+	})
+	srv.SetData(DIDVIN, []byte("WAUTOSEC000000042"), 0, 0)
+	srv.SetData(DIDSWVersion, []byte{2, 1, 0}, 0, 0)
+	srv.SetData(DIDCalibration, []byte{0x10, 0x20}, 0, 1)
+	srv.SetData(DIDImmobilizerPN, []byte{0xAA, 0xBB}, 1, 0)
+	return &rig{k: k, bus: bus, client: NewClient(testerEP), server: srv, alg: alg}
+}
+
+// do sends a request and returns the response synchronously (running the
+// kernel to quiescence).
+func (r *rig) do(t *testing.T, req []byte) []byte {
+	t.Helper()
+	var resp []byte
+	if err := r.client.Request(req, func(b []byte) { resp = b }); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if resp == nil {
+		t.Fatalf("no response to % x", req)
+	}
+	return resp
+}
+
+func (r *rig) mustPositive(t *testing.T, req []byte) []byte {
+	t.Helper()
+	resp := r.do(t, req)
+	payload, err := ParseResponse(req[0], resp)
+	if err != nil {
+		t.Fatalf("request % x: %v", req, err)
+	}
+	return payload
+}
+
+func (r *rig) mustNegative(t *testing.T, req []byte, nrc byte) {
+	t.Helper()
+	resp := r.do(t, req)
+	_, err := ParseResponse(req[0], resp)
+	if err == nil {
+		t.Fatalf("request % x unexpectedly succeeded", req)
+	}
+	if !strings.Contains(err.Error(), NRCName(nrc)) {
+		t.Fatalf("request % x: err=%v, want %s", req, err, NRCName(nrc))
+	}
+}
+
+func (r *rig) unlock(t *testing.T, level byte, alg SeedKeyAlgorithm) error {
+	t.Helper()
+	var result error = errors.New("no reply")
+	if err := r.client.Unlock(level, alg, func(err error) { result = err }); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	return result
+}
+
+func TestReadVINWithoutSecurity(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	payload := r.mustPositive(t, []byte{SvcReadDataByID, 0xF1, 0x90})
+	if !bytes.Equal(payload[2:], []byte("WAUTOSEC000000042")) {
+		t.Fatalf("VIN=%q", payload[2:])
+	}
+}
+
+func TestProtectedReadRequiresUnlock(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	r.mustNegative(t, []byte{SvcReadDataByID, 0xC2, 0x00}, NRCSecurityAccessDenied)
+}
+
+func TestSecurityAccessHappyPath(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	// SecurityAccess needs a non-default session.
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	if err := r.unlock(t, 1, r.alg); err != nil {
+		t.Fatal(err)
+	}
+	if r.server.UnlockedLevel() != 1 {
+		t.Fatalf("level=%d", r.server.UnlockedLevel())
+	}
+	// The protected DID now reads.
+	payload := r.mustPositive(t, []byte{SvcReadDataByID, 0xC2, 0x00})
+	if !bytes.Equal(payload[2:], []byte{0xAA, 0xBB}) {
+		t.Fatalf("payload=%x", payload)
+	}
+	// And the calibration DID now writes.
+	r.mustPositive(t, []byte{SvcWriteDataByID, 0xC1, 0x00, 0x99, 0x88})
+	if !bytes.Equal(r.server.Data(DIDCalibration), []byte{0x99, 0x88}) {
+		t.Fatal("write did not stick")
+	}
+}
+
+func TestSecurityAccessRequiresSession(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	r.mustNegative(t, []byte{SvcSecurityAccess, 0x01}, NRCConditionsNotCorrect)
+}
+
+func TestWrongKeyAndLockout(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	wrong := WeakXOR{Constant: 0xDEADBEEF}
+	// Two bad attempts: invalidKey.
+	if err := r.unlock(t, 1, wrong); err == nil || !strings.Contains(err.Error(), "invalidKey") {
+		t.Fatalf("first bad attempt: %v", err)
+	}
+	if err := r.unlock(t, 1, wrong); err == nil || !strings.Contains(err.Error(), "invalidKey") {
+		t.Fatalf("second bad attempt: %v", err)
+	}
+	// Third: lockout.
+	if err := r.unlock(t, 1, wrong); err == nil || !strings.Contains(err.Error(), "exceededNumberOfAttempts") {
+		t.Fatalf("third bad attempt: %v", err)
+	}
+	// During the lockout even the correct key is refused at seed request.
+	if err := r.unlock(t, 1, r.alg); err == nil || !strings.Contains(err.Error(), "requiredTimeDelayNotExpired") {
+		t.Fatalf("locked-out attempt: %v", err)
+	}
+	// After the delay the legitimate tester gets back in.
+	_ = r.k.RunUntil(r.k.Now() + 11*sim.Second)
+	if err := r.unlock(t, 1, r.alg); err != nil {
+		t.Fatalf("post-lockout unlock: %v", err)
+	}
+	if r.server.BadKeys.Value != 3 || r.server.Unlocks.Value != 1 {
+		t.Fatalf("badkeys=%d unlocks=%d", r.server.BadKeys.Value, r.server.Unlocks.Value)
+	}
+}
+
+func TestSendKeyWithoutSeedIsSequenceError(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	r.mustNegative(t, []byte{SvcSecurityAccess, 0x02, 1, 2, 3, 4}, NRCRequestSequenceError)
+}
+
+func TestDefaultSessionRelocks(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	if err := r.unlock(t, 1, r.alg); err != nil {
+		t.Fatal(err)
+	}
+	r.mustPositive(t, []byte{SvcSessionControl, SessionDefault})
+	if r.server.UnlockedLevel() != 0 {
+		t.Fatal("returning to default session did not relock")
+	}
+}
+
+func TestRoutineControlGated(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	ran := false
+	r.server.AddRoutine(0xFF01, func(args []byte) []byte {
+		ran = true
+		return []byte{0x01}
+	})
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	// Locked: denied.
+	r.mustNegative(t, []byte{SvcRoutineControl, 0x01, 0xFF, 0x01}, NRCSecurityAccessDenied)
+	if ran {
+		t.Fatal("routine ran while locked")
+	}
+	if err := r.unlock(t, 1, r.alg); err != nil {
+		t.Fatal(err)
+	}
+	payload := r.mustPositive(t, []byte{SvcRoutineControl, 0x01, 0xFF, 0x01})
+	if !ran || payload[3] != 0x01 {
+		t.Fatalf("routine result: ran=%v payload=%x", ran, payload)
+	}
+	// Unknown routine.
+	r.mustNegative(t, []byte{SvcRoutineControl, 0x01, 0xAB, 0xCD}, NRCRequestOutOfRange)
+}
+
+func TestECUResetRelocks(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 0xCAFEBABE})
+	// Reset in default session: conditions not correct.
+	r.mustNegative(t, []byte{SvcECUReset, 0x01}, NRCConditionsNotCorrect)
+	r.mustPositive(t, []byte{SvcSessionControl, SessionProgramming})
+	_ = r.unlock(t, 1, r.alg)
+	r.mustPositive(t, []byte{SvcECUReset, 0x01})
+	if r.server.Session() != SessionDefault || r.server.UnlockedLevel() != 0 {
+		t.Fatal("reset did not restore locked default state")
+	}
+	if r.server.Resets.Value != 1 {
+		t.Fatalf("resets=%d", r.server.Resets.Value)
+	}
+}
+
+func TestTesterPresentAndUnknownService(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	payload := r.mustPositive(t, []byte{SvcTesterPresent, 0x00})
+	if payload[0] != 0x00 {
+		t.Fatalf("payload=%x", payload)
+	}
+	r.mustNegative(t, []byte{0x99}, NRCServiceNotSupported)
+	r.mustNegative(t, []byte{SvcReadDataByID, 0x01}, NRCIncorrectLength)
+	r.mustNegative(t, []byte{SvcReadDataByID, 0xAA, 0xAA}, NRCRequestOutOfRange)
+	r.mustNegative(t, []byte{SvcWriteDataByID, 0xF1, 0x90, 0x00}, NRCSecurityAccessDenied) // read-only DID
+	r.mustNegative(t, []byte{SvcSessionControl, 0x7F}, NRCSubFunctionNotSupported)
+}
+
+// The attack the weak algorithm invites: sniff one seed/key exchange off
+// the bus, recover the XOR constant, unlock any other vehicle of the
+// model line.
+func TestWeakSeedKeySniffAttack(t *testing.T) {
+	secret := WeakXOR{Constant: 0x5EC0DE00}
+	r := newRig(t, secret)
+
+	// The attacker taps the diagnostic bus.
+	var sniffedSeed, sniffedKey []byte
+	r.bus.Sniff(func(_ sim.Time, f *can.Frame, _ *can.Controller, _ bool) {
+		// Single-frame UDS: [PCI len][SID][sub][data...]
+		if len(f.Data) >= 3 && f.Data[1] == SvcSecurityAccess+positiveResponseOr && f.Data[2] == 0x01 {
+			sniffedSeed = append([]byte(nil), f.Data[3:3+4]...)
+		}
+		if len(f.Data) >= 3 && f.Data[1] == SvcSecurityAccess && f.Data[2] == 0x02 {
+			sniffedKey = append([]byte(nil), f.Data[3:3+4]...)
+		}
+	})
+
+	// A legitimate workshop tester unlocks once.
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	if err := r.unlock(t, 1, secret); err != nil {
+		t.Fatal(err)
+	}
+	if sniffedSeed == nil || sniffedKey == nil {
+		t.Fatal("sniffer missed the exchange")
+	}
+
+	// Offline: key = seed XOR const, so const = seed XOR key.
+	recovered := WeakXOR{}
+	var c [4]byte
+	for i := range c {
+		c[i] = sniffedSeed[i] ^ sniffedKey[i]
+	}
+	recovered.Constant = uint32(c[0])<<24 | uint32(c[1])<<16 | uint32(c[2])<<8 | uint32(c[3])
+	recovered.Constant -= 1 // remove the level-1 offset
+
+	// The attacker now unlocks a *different* vehicle of the same model.
+	victim := newRig(t, secret)
+	victim.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	if err := victim.unlock(t, 1, recovered); err != nil {
+		t.Fatalf("recovered constant failed to unlock: %v", err)
+	}
+}
+
+// The SHE-backed algorithm resists the same attack: the sniffed pair
+// reveals nothing about the next seed's key.
+func TestSHECMACResistsSniffAttack(t *testing.T) {
+	var uid she.UID
+	eng := she.NewEngine(uid)
+	var k16 [16]byte
+	copy(k16[:], "diag-unlock-key!")
+	if err := eng.ProvisionKey(she.Key3, k16, she.Flags{KeyUsage: true}); err != nil {
+		t.Fatal(err)
+	}
+	alg := SHECMAC{Engine: eng, Slot: she.Key3}
+	r := newRig(t, alg)
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	if err := r.unlock(t, 1, alg); err != nil {
+		t.Fatal(err)
+	}
+
+	// An attacker who saw that exchange tries a replayed key on a fresh
+	// seed: statistically guaranteed to fail.
+	r.mustPositive(t, []byte{SvcSessionControl, SessionDefault}) // relock
+	r.mustPositive(t, []byte{SvcSessionControl, SessionExtended})
+	type replay struct{ key []byte }
+	fixed := replay{key: []byte{1, 2, 3, 4}}
+	var result error = errors.New("no reply")
+	err := r.client.Request([]byte{SvcSecurityAccess, 0x01}, func(resp []byte) {
+		_, err := ParseResponse(SvcSecurityAccess, resp)
+		if err != nil {
+			result = err
+			return
+		}
+		_ = r.client.Request(append([]byte{SvcSecurityAccess, 0x02}, fixed.key...), func(resp []byte) {
+			_, result = ParseResponse(SvcSecurityAccess, resp)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.k.Run()
+	if result == nil || !strings.Contains(result.Error(), "invalidKey") {
+		t.Fatalf("replayed key against SHE-CMAC: %v", result)
+	}
+}
+
+func TestClientBusy(t *testing.T) {
+	r := newRig(t, WeakXOR{Constant: 1})
+	if err := r.client.Request([]byte{SvcTesterPresent, 0}, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Request([]byte{SvcTesterPresent, 0}, func([]byte) {}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	if _, err := ParseResponse(0x22, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ParseResponse(0x22, []byte{0x7F}); err == nil {
+		t.Fatal("malformed negative accepted")
+	}
+	if _, err := ParseResponse(0x22, []byte{0x50, 0x01}); err == nil {
+		t.Fatal("mismatched service accepted")
+	}
+	p, err := ParseResponse(0x22, []byte{0x62, 0xF1, 0x90, 0x41})
+	if err != nil || len(p) != 3 {
+		t.Fatalf("positive parse: %v %x", err, p)
+	}
+}
+
+func TestNRCNames(t *testing.T) {
+	if NRCName(NRCInvalidKey) != "invalidKey" {
+		t.Fatal("name wrong")
+	}
+	if !strings.Contains(NRCName(0xEE), "0xee") {
+		t.Fatalf("unknown NRC name: %s", NRCName(0xEE))
+	}
+}

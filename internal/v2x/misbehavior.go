@@ -1,0 +1,133 @@
+package v2x
+
+import (
+	"fmt"
+	"math"
+
+	"autosec/internal/ieee1609"
+	"autosec/internal/sim"
+)
+
+// Misbehavior detection: 1609.2 authentication proves *who* sent a BSM,
+// not that its *content* is true. A credentialed insider can still lie
+// about position or kinematics, so deployed V2X stacks pair verification
+// with content plausibility checks and report offending certificates for
+// revocation (PSIDMisbehavior). This file implements the receive-side
+// checks the paper's Secure Interfaces layer needs beyond signatures.
+
+// MisbehaviorKind classifies a finding.
+type MisbehaviorKind string
+
+// Misbehavior kinds.
+const (
+	// MisbehaviorRangeImplausible: the claimed position is farther away
+	// than the radio could possibly reach.
+	MisbehaviorRangeImplausible MisbehaviorKind = "range-implausible"
+	// MisbehaviorKinematics: the sender teleported or exceeds feasible
+	// acceleration between its own consecutive messages.
+	MisbehaviorKinematics MisbehaviorKind = "kinematics"
+	// MisbehaviorSpeedBound: the claimed speed exceeds the plausible
+	// maximum for any road vehicle.
+	MisbehaviorSpeedBound MisbehaviorKind = "speed-bound"
+)
+
+// MisbehaviorReport is one finding, attributable to a certificate.
+type MisbehaviorReport struct {
+	At     sim.Time
+	Cert   ieee1609.HashedID8
+	Kind   MisbehaviorKind
+	Detail string
+}
+
+// MisbehaviorDetector applies plausibility checks to verified BSMs.
+type MisbehaviorDetector struct {
+	// RadioRangeM bounds how far a heard transmitter can really be
+	// (with margin for the receiver's own position uncertainty).
+	RadioRangeM float64
+	// MaxSpeedMS bounds plausible vehicle speed (default 90 m/s).
+	MaxSpeedMS float64
+	// MaxAccelMS2 bounds plausible acceleration (default 12 m/s²).
+	MaxAccelMS2 float64
+
+	last map[ieee1609.HashedID8]lastSighting
+
+	Reports []MisbehaviorReport
+}
+
+type lastSighting struct {
+	at  sim.Time
+	pos Position
+}
+
+// NewMisbehaviorDetector creates a detector for the given radio range.
+func NewMisbehaviorDetector(radioRangeM float64) *MisbehaviorDetector {
+	return &MisbehaviorDetector{
+		RadioRangeM: radioRangeM,
+		MaxSpeedMS:  90,
+		MaxAccelMS2: 12,
+		last:        make(map[ieee1609.HashedID8]lastSighting),
+	}
+}
+
+// AttachTo wires the detector into an entity's verified-BSM stream. The
+// receiver's own position grounds the range check.
+func (d *MisbehaviorDetector) AttachTo(e *Entity) {
+	e.OnBSM(func(at sim.Time, from *ieee1609.Certificate, b BSM) {
+		d.Check(at, e.Pos(), from.ID(), b)
+	})
+}
+
+func (d *MisbehaviorDetector) flag(at sim.Time, cert ieee1609.HashedID8, kind MisbehaviorKind, format string, args ...any) {
+	d.Reports = append(d.Reports, MisbehaviorReport{
+		At: at, Cert: cert, Kind: kind, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Check evaluates one verified BSM received at receiverPos.
+func (d *MisbehaviorDetector) Check(at sim.Time, receiverPos Position, cert ieee1609.HashedID8, b BSM) {
+	// Range plausibility: we heard the transmission, so the sender is
+	// within radio range; a claimed position far outside is a lie.
+	if dist := receiverPos.Dist(b.Pos); dist > d.RadioRangeM*1.2 {
+		d.flag(at, cert, MisbehaviorRangeImplausible,
+			"claimed %.0fm away, radio reaches %.0fm", dist, d.RadioRangeM)
+	}
+	if b.SpeedMS > d.MaxSpeedMS {
+		d.flag(at, cert, MisbehaviorSpeedBound, "claimed %.0f m/s", b.SpeedMS)
+	}
+	if prev, ok := d.last[cert]; ok {
+		dt := (at - prev.at).Seconds()
+		if dt > 0 {
+			implied := b.Pos.Dist(prev.pos) / dt
+			// Feasible displacement: claimed speed + acceleration headroom.
+			bound := math.Max(b.SpeedMS, d.MaxSpeedMS) + d.MaxAccelMS2*dt
+			if implied > bound {
+				d.flag(at, cert, MisbehaviorKinematics,
+					"implied %.0f m/s over %.2fs", implied, dt)
+			}
+		}
+	}
+	d.last[cert] = lastSighting{at: at, pos: b.Pos}
+}
+
+// OffendingCerts returns the distinct certificates reported, in first-
+// seen order — the input to a CRL issuance decision.
+func (d *MisbehaviorDetector) OffendingCerts() []ieee1609.HashedID8 {
+	seen := make(map[ieee1609.HashedID8]bool)
+	var out []ieee1609.HashedID8
+	for _, r := range d.Reports {
+		if !seen[r.Cert] {
+			seen[r.Cert] = true
+			out = append(out, r.Cert)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies reports per kind.
+func (d *MisbehaviorDetector) CountByKind() map[MisbehaviorKind]int {
+	out := make(map[MisbehaviorKind]int)
+	for _, r := range d.Reports {
+		out[r.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package v2x
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// Saturate a receiver from two sender groups — near (10m) and far (250m)
+// — and compare what the FIFO and prioritized pipelines lose.
+func runSaturation(t *testing.T, prioritized bool) (*Entity, *sim.Kernel) {
+	t.Helper()
+	k := sim.NewKernel(9)
+	pki := newPKI(t)
+	vm := VerifyModel{VerifyTime: 10 * sim.Millisecond, QueueLimit: 8, Freshness: sim.Second, Prioritized: prioritized}
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, vm)
+	// 8 near (80 msg/s, within the 100/s verify budget) + 22 far senders
+	// push the total offered load to 300 msg/s — 3x capacity.
+	for i := 0; i < 8; i++ {
+		near := pki.vehicle(t, f, "near", Position{float64(i), 10}, 1, sim.Hour)
+		near.StartBeacon(100 * sim.Millisecond)
+	}
+	for i := 0; i < 22; i++ {
+		far := pki.vehicle(t, f, "far", Position{float64(i), 250}, 1, sim.Hour)
+		far.StartBeacon(100 * sim.Millisecond)
+	}
+	rx := pki.vehicle(t, f, "rx", Position{7, 0}, 1, sim.Hour)
+	_ = k.RunUntil(3 * sim.Second)
+	return rx, k
+}
+
+func TestPrioritizedPipelineProtectsNearTraffic(t *testing.T) {
+	fifo, _ := runSaturation(t, false)
+	prio, _ := runSaturation(t, true)
+
+	// Both pipelines saturate and drop.
+	if fifo.DroppedQueue.Value == 0 || prio.DroppedQueue.Value == 0 {
+		t.Fatalf("no saturation: fifo=%d prio=%d", fifo.DroppedQueue.Value, prio.DroppedQueue.Value)
+	}
+	// FIFO drops blindly: a substantial share of near messages lost.
+	if fifo.NearDropped.Value == 0 {
+		t.Fatalf("FIFO dropped no near traffic (near=%d far=%d)", fifo.NearDropped.Value, fifo.FarDropped.Value)
+	}
+	// The prioritized pipeline sheds (almost) exclusively far traffic.
+	if prio.NearDropped.Value > prio.FarDropped.Value/10 {
+		t.Fatalf("priority queue dropped near traffic: near=%d far=%d",
+			prio.NearDropped.Value, prio.FarDropped.Value)
+	}
+	// And near-message latency is bounded by the short queue ahead of them.
+	if prio.NearLatency.N() == 0 {
+		t.Fatal("no near latencies observed")
+	}
+	if prio.NearLatency.Quantile(0.99) > fifo.NearLatency.Quantile(0.99) {
+		t.Fatalf("priority near p99 %.1fms worse than FIFO %.1fms",
+			prio.NearLatency.Quantile(0.99), fifo.NearLatency.Quantile(0.99))
+	}
+}
+
+func TestPrioritizedPipelineIdleBehavesLikeFIFO(t *testing.T) {
+	// Under light load the two pipelines verify the same messages.
+	k := sim.NewKernel(9)
+	pki := newPKI(t)
+	vm := DefaultVerifyModel()
+	vm.Prioritized = true
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, vm)
+	tx := pki.vehicle(t, f, "tx", Position{10, 0}, 1, sim.Hour)
+	rx := pki.vehicle(t, f, "rx", Position{0, 0}, 1, sim.Hour)
+	stop := tx.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(2 * sim.Second)
+	stop()
+	if rx.VerifiedOK.Value < 15 || rx.DroppedQueue.Value != 0 {
+		t.Fatalf("light-load priority pipeline: ok=%d dropped=%d", rx.VerifiedOK.Value, rx.DroppedQueue.Value)
+	}
+}

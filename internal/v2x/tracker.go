@@ -1,0 +1,158 @@
+package v2x
+
+import (
+	"sort"
+
+	"autosec/internal/ieee1609"
+	"autosec/internal/sim"
+)
+
+// Tracker is the passive adversary of the paper's privacy scenario: it
+// records every broadcast it can hear and tries to reconstruct vehicle
+// trajectories. Messages signed by the same pseudonym certificate are
+// trivially linkable; across a pseudonym change the tracker links
+// observations by spatio-temporal continuity (two sightings close in
+// space and time are assumed to be the same vehicle).
+type Tracker struct {
+	// Antennas are the tracker's receiver positions.
+	Antennas []Position
+	// RangeM is each antenna's reception range.
+	RangeM float64
+
+	// LinkWindow and LinkRadius parameterize cross-pseudonym linking: a
+	// new pseudonym first heard within LinkRadius metres and LinkWindow of
+	// the last sighting of a dormant one is chained to it.
+	LinkWindow sim.Duration
+	LinkRadius float64
+
+	obs []observation
+}
+
+type observation struct {
+	at   sim.Time
+	pos  Position
+	cert ieee1609.HashedID8
+}
+
+// Attach wires the tracker's antennas into the field.
+func (t *Tracker) Attach(f *Field) {
+	f.Listen(func(at sim.Time, from Position, msg *ieee1609.SignedMessage) {
+		for _, a := range t.Antennas {
+			if a.Dist(from) <= t.RangeM {
+				bsm, err := DecodeBSM(msg.Payload)
+				pos := from
+				if err == nil {
+					pos = bsm.Pos // the payload itself leaks position
+				}
+				var id ieee1609.HashedID8
+				if msg.Cert != nil {
+					id = msg.Cert.ID()
+				} else {
+					id = msg.Digest
+				}
+				t.obs = append(t.obs, observation{at: at, pos: pos, cert: id})
+				return
+			}
+		}
+	})
+}
+
+// Observations reports how many broadcasts the tracker captured.
+func (t *Tracker) Observations() int { return len(t.obs) }
+
+// Track is one reconstructed trajectory.
+type Track struct {
+	Pseudonyms []ieee1609.HashedID8
+	First      sim.Time
+	Last       sim.Time
+	Points     int
+}
+
+// Duration reports the track's covered time span.
+func (tr Track) Duration() sim.Duration { return tr.Last - tr.First }
+
+// Reconstruct chains observations into tracks. Observations with the same
+// certificate join the same track; a track whose pseudonym went quiet is
+// extended by a *new* pseudonym's first observation when it appears within
+// LinkWindow and LinkRadius of the track's last point.
+func (t *Tracker) Reconstruct() []Track {
+	sort.SliceStable(t.obs, func(i, j int) bool { return t.obs[i].at < t.obs[j].at })
+
+	type liveTrack struct {
+		track   Track
+		lastPos Position
+		lastAt  sim.Time
+	}
+	byCert := make(map[ieee1609.HashedID8]*liveTrack)
+	var all []*liveTrack
+
+	for _, o := range t.obs {
+		if lt, ok := byCert[o.cert]; ok {
+			lt.track.Points++
+			lt.track.Last = o.at
+			lt.lastPos = o.pos
+			lt.lastAt = o.at
+			continue
+		}
+		// New pseudonym: try to chain to a dormant track.
+		var best *liveTrack
+		bestDist := t.LinkRadius
+		for _, lt := range all {
+			if o.at-lt.lastAt > t.LinkWindow || o.at <= lt.lastAt {
+				continue
+			}
+			if d := lt.lastPos.Dist(o.pos); d <= bestDist {
+				best = lt
+				bestDist = d
+			}
+		}
+		if best != nil {
+			best.track.Pseudonyms = append(best.track.Pseudonyms, o.cert)
+			best.track.Points++
+			best.track.Last = o.at
+			best.lastPos = o.pos
+			best.lastAt = o.at
+			byCert[o.cert] = best
+			continue
+		}
+		lt := &liveTrack{
+			track:   Track{Pseudonyms: []ieee1609.HashedID8{o.cert}, First: o.at, Last: o.at, Points: 1},
+			lastPos: o.pos,
+			lastAt:  o.at,
+		}
+		byCert[o.cert] = lt
+		all = append(all, lt)
+	}
+
+	out := make([]Track, 0, len(all))
+	for _, lt := range all {
+		out = append(out, lt.track)
+	}
+	return out
+}
+
+// LongestTrack returns the longest reconstructed track duration, or 0.
+func (t *Tracker) LongestTrack() sim.Duration {
+	var best sim.Duration
+	for _, tr := range t.Reconstruct() {
+		if d := tr.Duration(); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TrackingSuccess reports, for a vehicle observed over total duration
+// observed, the fraction of that time covered by the tracker's single
+// longest track — the E4 privacy metric. 1.0 means the vehicle was
+// followed end to end despite pseudonym rotation.
+func (t *Tracker) TrackingSuccess(observed sim.Duration) float64 {
+	if observed <= 0 {
+		return 0
+	}
+	frac := float64(t.LongestTrack()) / float64(observed)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}

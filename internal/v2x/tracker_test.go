@@ -1,0 +1,155 @@
+package v2x
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// trackerField builds a field with one vehicle driving past a line of
+// tracker antennas, rotating pseudonyms at the given period.
+func trackerField(t *testing.T, rotation sim.Duration, linkWindow sim.Duration, linkRadius float64) (*sim.Kernel, *Entity, *Tracker) {
+	t.Helper()
+	k := sim.NewKernel(3)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	v := pki.vehicle(t, f, "target", Position{0, 0}, 100, rotation)
+	v.SetVelocity(20, 0) // 20 m/s along x
+
+	tr := &Tracker{RangeM: 300, LinkWindow: linkWindow, LinkRadius: linkRadius}
+	// Antennas every 400m along the road, covering 0..2km.
+	for x := 0.0; x <= 2000; x += 400 {
+		tr.Antennas = append(tr.Antennas, Position{x, 0})
+	}
+	tr.Attach(f)
+	return k, v, tr
+}
+
+func TestTrackerCapturesObservations(t *testing.T) {
+	k, v, tr := trackerField(t, sim.Hour, 0, 0)
+	stop := v.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(10 * sim.Second)
+	stop()
+	if tr.Observations() == 0 {
+		t.Fatal("no observations")
+	}
+}
+
+func TestSinglePseudonymFullyTracked(t *testing.T) {
+	// Without rotation the whole drive is one trivially-linked track.
+	k, v, tr := trackerField(t, sim.Hour, 0, 0)
+	stop := v.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(60 * sim.Second)
+	stop()
+	success := tr.TrackingSuccess(60 * sim.Second)
+	if success < 0.95 {
+		t.Fatalf("tracking success %.3f, want ~1 with no rotation", success)
+	}
+	tracks := tr.Reconstruct()
+	if len(tracks) != 1 {
+		t.Fatalf("%d tracks, want 1", len(tracks))
+	}
+	if len(tracks[0].Pseudonyms) != 1 {
+		t.Fatalf("pseudonyms=%d", len(tracks[0].Pseudonyms))
+	}
+}
+
+func TestRotationWithoutLinkingBreaksTracks(t *testing.T) {
+	// Rotating every 5s with a naive tracker (no continuity linking)
+	// fragments the trajectory.
+	k, v, tr := trackerField(t, 5*sim.Second, 0, 0)
+	stop := v.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(60 * sim.Second)
+	stop()
+	success := tr.TrackingSuccess(60 * sim.Second)
+	if success > 0.2 {
+		t.Fatalf("tracking success %.3f despite rotation", success)
+	}
+	if n := len(tr.Reconstruct()); n < 10 {
+		t.Fatalf("tracks=%d, want fragmentation", n)
+	}
+}
+
+func TestContinuityLinkingDefeatsRotation(t *testing.T) {
+	// The same rotation policy falls to a tracker that chains sightings
+	// within 1 second and 50 metres — the known weakness of naive
+	// pseudonym schemes with dense coverage.
+	k, v, tr := trackerField(t, 5*sim.Second, sim.Second, 50)
+	stop := v.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(60 * sim.Second)
+	stop()
+	success := tr.TrackingSuccess(60 * sim.Second)
+	if success < 0.9 {
+		t.Fatalf("continuity tracker success %.3f, want ~1 under dense coverage", success)
+	}
+	tracks := tr.Reconstruct()
+	longest := Track{}
+	for _, x := range tracks {
+		if x.Duration() > longest.Duration() {
+			longest = x
+		}
+	}
+	if len(longest.Pseudonyms) < 5 {
+		t.Fatalf("longest track chained only %d pseudonyms", len(longest.Pseudonyms))
+	}
+}
+
+func TestSparseCoverageLimitsLinking(t *testing.T) {
+	// With one antenna at the start of the road, the vehicle leaves
+	// coverage and the tracker's success drops.
+	k := sim.NewKernel(3)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	v := pki.vehicle(t, f, "target", Position{0, 0}, 100, 5*sim.Second)
+	v.SetVelocity(20, 0)
+	tr := &Tracker{Antennas: []Position{{0, 0}}, RangeM: 300, LinkWindow: sim.Second, LinkRadius: 50}
+	tr.Attach(f)
+	stop := v.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(60 * sim.Second)
+	stop()
+	success := tr.TrackingSuccess(60 * sim.Second)
+	// Coverage is only the first ~15s of a 60s drive.
+	if success > 0.5 {
+		t.Fatalf("sparse tracker success %.3f", success)
+	}
+}
+
+func TestTrackingSuccessDegenerate(t *testing.T) {
+	tr := &Tracker{}
+	if tr.TrackingSuccess(0) != 0 {
+		t.Fatal("zero-duration success not 0")
+	}
+	if tr.LongestTrack() != 0 {
+		t.Fatal("empty tracker has a track")
+	}
+}
+
+func TestTrackDuration(t *testing.T) {
+	tr := Track{First: sim.Second, Last: 3 * sim.Second}
+	if tr.Duration() != 2*sim.Second {
+		t.Fatalf("duration=%v", tr.Duration())
+	}
+}
+
+func TestTrackerDistinguishesParallelVehicles(t *testing.T) {
+	// Two vehicles far apart must not be merged into one track.
+	k := sim.NewKernel(3)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 5000, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	a := pki.vehicle(t, f, "a", Position{0, 0}, 100, 5*sim.Second)
+	a.SetVelocity(20, 0)
+	b := pki.vehicle(t, f, "b", Position{0, 5000}, 100, 5*sim.Second)
+	b.SetVelocity(20, 0)
+	tr := &Tracker{Antennas: []Position{{500, 0}, {500, 5000}}, RangeM: 5000, LinkWindow: sim.Second, LinkRadius: 50}
+	tr.Attach(f)
+	sa := a.StartBeacon(100 * sim.Millisecond)
+	sb := b.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(30 * sim.Second)
+	sa()
+	sb()
+	tracks := tr.Reconstruct()
+	// Each vehicle yields exactly one chained track: 2 total.
+	if len(tracks) != 2 {
+		t.Fatalf("tracks=%d, want 2", len(tracks))
+	}
+}

@@ -1,0 +1,389 @@
+// Package v2x simulates the vehicle-to-everything field the paper's
+// Secure Interfaces layer lives in: vehicles and road-side units on a 2-D
+// plane, periodic signed Basic Safety Message broadcasts over a
+// range-limited lossy radio, receive-side verification pipelines with a
+// bounded CPU budget, and a passive tracking adversary used by the
+// authentication-versus-anonymity experiment (E4).
+package v2x
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"autosec/internal/ieee1609"
+	"autosec/internal/sim"
+)
+
+// Position is a point on the plane, in metres.
+type Position struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two positions.
+func (p Position) Dist(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// BSM is the decoded Basic Safety Message payload.
+type BSM struct {
+	Pos     Position
+	SpeedMS float64 // metres per second
+	Heading float64 // radians
+}
+
+// Encode serializes the BSM payload.
+func (b BSM) Encode() []byte {
+	out := make([]byte, 32)
+	binary.BigEndian.PutUint64(out[0:], math.Float64bits(b.Pos.X))
+	binary.BigEndian.PutUint64(out[8:], math.Float64bits(b.Pos.Y))
+	binary.BigEndian.PutUint64(out[16:], math.Float64bits(b.SpeedMS))
+	binary.BigEndian.PutUint64(out[24:], math.Float64bits(b.Heading))
+	return out
+}
+
+// DecodeBSM parses a BSM payload.
+func DecodeBSM(p []byte) (BSM, error) {
+	if len(p) != 32 {
+		return BSM{}, fmt.Errorf("v2x: BSM payload length %d", len(p))
+	}
+	return BSM{
+		Pos: Position{
+			X: math.Float64frombits(binary.BigEndian.Uint64(p[0:])),
+			Y: math.Float64frombits(binary.BigEndian.Uint64(p[8:])),
+		},
+		SpeedMS: math.Float64frombits(binary.BigEndian.Uint64(p[16:])),
+		Heading: math.Float64frombits(binary.BigEndian.Uint64(p[24:])),
+	}, nil
+}
+
+// Radio sets the field's propagation parameters.
+type Radio struct {
+	// RangeM is the reception range in metres.
+	RangeM float64
+	// LossProb is the per-link probability a broadcast is not received.
+	LossProb float64
+	// PropDelayPerM is the per-metre propagation delay (≈3.34 ns/m).
+	PropDelayPerM sim.Duration
+}
+
+// DefaultRadio models DSRC-ish coverage.
+func DefaultRadio() Radio {
+	return Radio{RangeM: 300, LossProb: 0.05, PropDelayPerM: 4}
+}
+
+// VerifyModel sets the receive-side crypto cost model.
+type VerifyModel struct {
+	// VerifyTime is the simulated time one signature verification takes.
+	// Software P-256 on an automotive MCU is on the order of 2-10 ms;
+	// hardware acceleration 0.2-1 ms.
+	VerifyTime sim.Duration
+	// QueueLimit bounds the pending-verification queue; messages arriving
+	// beyond it are dropped (the OBU is saturated).
+	QueueLimit int
+	// Freshness is the accepted message age.
+	Freshness sim.Duration
+	// Prioritized enables verify-on-demand scheduling: pending messages
+	// are verified nearest-sender-first, and under overload the farthest
+	// pending message is shed instead of the newest. Safety-relevant
+	// (near) traffic then survives saturation (E15's defense row).
+	Prioritized bool
+	// NearThresholdM classifies senders as "near" for the loss metrics
+	// (default 50m).
+	NearThresholdM float64
+}
+
+// DefaultVerifyModel models software crypto on an OBU.
+func DefaultVerifyModel() VerifyModel {
+	return VerifyModel{VerifyTime: 2 * sim.Millisecond, QueueLimit: 64, Freshness: sim.Second}
+}
+
+// Entity is a vehicle or RSU participating in the field.
+type Entity struct {
+	Name  string
+	IsRSU bool
+	pos   Position
+	vel   Position // velocity vector, m/s
+
+	field *Field
+	store *ieee1609.Store
+	// pool is the pseudonym pool (vehicles); fixed is a static credential
+	// (RSUs, which are public infrastructure and need no anonymity).
+	pool  *ieee1609.PseudonymPool
+	fixed *ieee1609.Credential
+
+	verifyBusyUntil sim.Time
+	queueLen        int
+
+	// Priority-mode verification queue (see VerifyModel.Prioritized).
+	pq        []pendingMsg
+	verifying bool
+
+	// Stats.
+	Sent          sim.Counter
+	Received      sim.Counter
+	VerifiedOK    sim.Counter
+	VerifyFailed  sim.Counter
+	DroppedQueue  sim.Counter
+	NearDropped   sim.Counter
+	FarDropped    sim.Counter
+	VerifyLatency sim.Summary
+	NearLatency   sim.Summary
+
+	onBSM []func(at sim.Time, from *ieee1609.Certificate, b BSM)
+}
+
+// Pos reports the entity's current position.
+func (e *Entity) Pos() Position { return e.pos }
+
+// SetVelocity sets the linear motion vector in m/s.
+func (e *Entity) SetVelocity(vx, vy float64) { e.vel = Position{vx, vy} }
+
+// OnBSM registers a handler for verified BSMs.
+func (e *Entity) OnBSM(fn func(at sim.Time, from *ieee1609.Certificate, b BSM)) {
+	e.onBSM = append(e.onBSM, fn)
+}
+
+// Field is the V2X simulation arena.
+type Field struct {
+	kernel   *sim.Kernel
+	radio    Radio
+	verify   VerifyModel
+	entities []*Entity
+	lossRand *sim.Stream
+
+	// Listeners are passive receivers (the tracking adversary's antennas);
+	// they see ciphertext-level traffic without verification cost.
+	listeners []func(at sim.Time, from Position, msg *ieee1609.SignedMessage)
+
+	// MoveTick is the position-integration step (default 100ms).
+	MoveTick sim.Duration
+
+	Broadcasts sim.Counter
+	Deliveries sim.Counter
+	RadioLost  sim.Counter
+}
+
+// NewField creates a field on the kernel.
+func NewField(k *sim.Kernel, radio Radio, verify VerifyModel) *Field {
+	f := &Field{
+		kernel:   k,
+		radio:    radio,
+		verify:   verify,
+		lossRand: k.Stream("v2x.radio"),
+		MoveTick: 100 * sim.Millisecond,
+	}
+	k.Every(0, f.MoveTick, f.step)
+	return f
+}
+
+func (f *Field) step() {
+	dt := f.MoveTick.Seconds()
+	for _, e := range f.entities {
+		e.pos.X += e.vel.X * dt
+		e.pos.Y += e.vel.Y * dt
+	}
+}
+
+// AddVehicle adds a vehicle with a pseudonym pool and a certificate store.
+func (f *Field) AddVehicle(name string, pos Position, pool *ieee1609.PseudonymPool, store *ieee1609.Store) *Entity {
+	e := &Entity{Name: name, pos: pos, field: f, pool: pool, store: store}
+	f.entities = append(f.entities, e)
+	return e
+}
+
+// AddRSU adds a road-side unit with a fixed credential.
+func (f *Field) AddRSU(name string, pos Position, cred *ieee1609.Credential, store *ieee1609.Store) *Entity {
+	e := &Entity{Name: name, IsRSU: true, pos: pos, field: f, fixed: cred, store: store}
+	f.entities = append(f.entities, e)
+	return e
+}
+
+// Listen registers a passive radio listener at no verification cost.
+func (f *Field) Listen(fn func(at sim.Time, from Position, msg *ieee1609.SignedMessage)) {
+	f.listeners = append(f.listeners, fn)
+}
+
+// ErrNoCredential is returned when an entity without credentials broadcasts.
+var ErrNoCredential = errors.New("v2x: entity has no signing credential")
+
+// BroadcastBSM signs and broadcasts the entity's current kinematic state.
+func (e *Entity) BroadcastBSM() error {
+	now := e.field.kernel.Now()
+	var cred *ieee1609.Credential
+	switch {
+	case e.pool != nil:
+		cred = e.pool.Active(now)
+	case e.fixed != nil:
+		cred = e.fixed
+	default:
+		return ErrNoCredential
+	}
+	speed := math.Hypot(e.vel.X, e.vel.Y)
+	bsm := BSM{Pos: e.pos, SpeedMS: speed, Heading: math.Atan2(e.vel.Y, e.vel.X)}
+	psid := ieee1609.PSIDBasicSafety
+	if e.IsRSU {
+		psid = ieee1609.PSIDInfrastructry
+	}
+	msg, err := cred.Sign(psid, bsm.Encode(), now, false)
+	if err != nil {
+		return err
+	}
+	e.Sent.Inc()
+	e.field.broadcast(e, msg)
+	return nil
+}
+
+// StartBeacon broadcasts at the given period (BSMs are 10 Hz in practice).
+func (e *Entity) StartBeacon(period sim.Duration) (stop func()) {
+	js := e.field.kernel.Stream("v2x.beacon." + e.Name)
+	return e.field.kernel.Every(js.Duration(0, period), period, func() {
+		_ = e.BroadcastBSM()
+	})
+}
+
+func (f *Field) broadcast(src *Entity, msg *ieee1609.SignedMessage) {
+	f.Broadcasts.Inc()
+	now := f.kernel.Now()
+	srcPos := src.pos
+	for _, fn := range f.listeners {
+		fn(now, srcPos, msg)
+	}
+	for _, rx := range f.entities {
+		if rx == src {
+			continue
+		}
+		d := srcPos.Dist(rx.pos)
+		if d > f.radio.RangeM {
+			continue
+		}
+		if f.lossRand.Bool(f.radio.LossProb) {
+			f.RadioLost.Inc()
+			continue
+		}
+		f.Deliveries.Inc()
+		rx := rx
+		delay := sim.Duration(d) * f.radio.PropDelayPerM
+		f.kernel.After(delay, func() { rx.receive(msg, d) })
+	}
+}
+
+// pendingMsg is one queued verification job in priority mode.
+type pendingMsg struct {
+	msg   *ieee1609.SignedMessage
+	enq   sim.Time
+	distM float64
+}
+
+// receive runs the verification pipeline: queue, simulated crypto time,
+// then actual 1609.2 verification and BSM dispatch. distM is the sender
+// distance at transmission time (priority scheduling and loss metrics).
+func (e *Entity) receive(msg *ieee1609.SignedMessage, distM float64) {
+	e.Received.Inc()
+	now := e.field.kernel.Now()
+	vm := e.field.verify
+	if vm.Prioritized {
+		e.receivePrioritized(msg, distM, now, vm)
+		return
+	}
+	if vm.QueueLimit > 0 && e.queueLen >= vm.QueueLimit {
+		e.DroppedQueue.Inc()
+		e.countDrop(distM, vm)
+		return
+	}
+	e.queueLen++
+	start := now
+	if e.verifyBusyUntil < now {
+		e.verifyBusyUntil = now
+	}
+	e.verifyBusyUntil += vm.VerifyTime
+	done := e.verifyBusyUntil
+	e.field.kernel.At(done, func() {
+		e.queueLen--
+		e.finishVerify(msg, start, distM, vm)
+	})
+}
+
+// receivePrioritized implements verify-on-demand: the pending queue stays
+// sorted nearest-first, overload sheds the farthest entry, and the verify
+// engine always works on the head.
+func (e *Entity) receivePrioritized(msg *ieee1609.SignedMessage, distM float64, now sim.Time, vm VerifyModel) {
+	p := pendingMsg{msg: msg, enq: now, distM: distM}
+	// Insert sorted by distance (nearest first; FIFO among equals).
+	idx := len(e.pq)
+	for i, q := range e.pq {
+		if distM < q.distM {
+			idx = i
+			break
+		}
+	}
+	e.pq = append(e.pq, pendingMsg{})
+	copy(e.pq[idx+1:], e.pq[idx:])
+	e.pq[idx] = p
+	if vm.QueueLimit > 0 && len(e.pq) > vm.QueueLimit {
+		// Shed the farthest pending message (the tail).
+		victim := e.pq[len(e.pq)-1]
+		e.pq = e.pq[:len(e.pq)-1]
+		e.DroppedQueue.Inc()
+		e.countDrop(victim.distM, vm)
+	}
+	e.pumpVerify(vm)
+}
+
+// pumpVerify starts the verify engine on the queue head if idle.
+func (e *Entity) pumpVerify(vm VerifyModel) {
+	if e.verifying || len(e.pq) == 0 {
+		return
+	}
+	e.verifying = true
+	head := e.pq[0]
+	e.pq = e.pq[1:]
+	e.field.kernel.After(vm.VerifyTime, func() {
+		e.verifying = false
+		e.finishVerify(head.msg, head.enq, head.distM, vm)
+		e.pumpVerify(vm)
+	})
+}
+
+func (e *Entity) countDrop(distM float64, vm VerifyModel) {
+	near := vm.NearThresholdM
+	if near == 0 {
+		near = 50
+	}
+	if distM <= near {
+		e.NearDropped.Inc()
+	} else {
+		e.FarDropped.Inc()
+	}
+}
+
+// finishVerify performs the actual 1609.2 verification and dispatch after
+// the simulated crypto time elapsed.
+func (e *Entity) finishVerify(msg *ieee1609.SignedMessage, start sim.Time, distM float64, vm VerifyModel) {
+	lat := (e.field.kernel.Now() - start).Millis()
+	e.VerifyLatency.Observe(lat)
+	near := vm.NearThresholdM
+	if near == 0 {
+		near = 50
+	}
+	if distM <= near {
+		e.NearLatency.Observe(lat)
+	}
+	if e.store == nil {
+		return
+	}
+	cert, err := e.store.Verify(msg, e.field.kernel.Now(), ieee1609.VerifyOptions{
+		Freshness:   vm.Freshness,
+		FutureSlack: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		e.VerifyFailed.Inc()
+		return
+	}
+	e.VerifiedOK.Inc()
+	if bsm, err := DecodeBSM(msg.Payload); err == nil {
+		for _, fn := range e.onBSM {
+			fn(e.field.kernel.Now(), cert, bsm)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package v2x
+
+import (
+	"math"
+	"testing"
+
+	"autosec/internal/ieee1609"
+	"autosec/internal/sim"
+)
+
+var v2xPSIDs = []ieee1609.PSID{ieee1609.PSIDBasicSafety, ieee1609.PSIDInfrastructry, ieee1609.PSIDCRL}
+
+type testPKI struct {
+	root  *ieee1609.Authority
+	store func() *ieee1609.Store
+}
+
+func newPKI(t *testing.T) *testPKI {
+	t.Helper()
+	root, err := ieee1609.NewRootAuthority("root", v2xPSIDs, 0, sim.Hour*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testPKI{
+		root:  root,
+		store: func() *ieee1609.Store { return ieee1609.NewStore(root.Cert) },
+	}
+}
+
+func (p *testPKI) vehicle(t *testing.T, f *Field, name string, pos Position, poolSize int, period sim.Duration) *Entity {
+	t.Helper()
+	pool, err := ieee1609.NewPseudonymPool(p.root, poolSize, []ieee1609.PSID{ieee1609.PSIDBasicSafety}, 0, sim.Hour*1000, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.AddVehicle(name, pos, pool, p.store())
+}
+
+func TestBSMEncodeDecode(t *testing.T) {
+	b := BSM{Pos: Position{100.5, -20.25}, SpeedMS: 33.3, Heading: 1.57}
+	got, err := DecodeBSM(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("round trip: %+v != %+v", got, b)
+	}
+	if _, err := DecodeBSM(make([]byte, 31)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestPositionDist(t *testing.T) {
+	if d := (Position{0, 0}).Dist(Position{3, 4}); d != 5 {
+		t.Fatalf("dist=%v", d)
+	}
+}
+
+func TestBroadcastWithinRange(t *testing.T) {
+	k := sim.NewKernel(1)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	a := pki.vehicle(t, f, "a", Position{0, 0}, 1, sim.Hour)
+	b := pki.vehicle(t, f, "b", Position{100, 0}, 1, sim.Hour)
+	far := pki.vehicle(t, f, "far", Position{1000, 0}, 1, sim.Hour)
+
+	var bGot []BSM
+	b.OnBSM(func(_ sim.Time, _ *ieee1609.Certificate, m BSM) { bGot = append(bGot, m) })
+	if err := a.BroadcastBSM(); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.RunUntil(100 * sim.Millisecond)
+	if len(bGot) != 1 {
+		t.Fatalf("b received %d BSMs", len(bGot))
+	}
+	if bGot[0].Pos != (Position{0, 0}) {
+		t.Fatalf("BSM position %+v", bGot[0].Pos)
+	}
+	if far.Received.Value != 0 {
+		t.Fatal("out-of-range entity received a broadcast")
+	}
+	if a.Sent.Value != 1 {
+		t.Fatalf("sent=%d", a.Sent.Value)
+	}
+}
+
+func TestRadioLoss(t *testing.T) {
+	k := sim.NewKernel(7)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0.5, PropDelayPerM: 4}, DefaultVerifyModel())
+	a := pki.vehicle(t, f, "a", Position{0, 0}, 1, sim.Hour)
+	b := pki.vehicle(t, f, "b", Position{10, 0}, 1, sim.Hour)
+	_ = b
+	stop := a.StartBeacon(10 * sim.Millisecond)
+	_ = k.RunUntil(10 * sim.Second)
+	stop()
+	frac := float64(b.Received.Value) / float64(a.Sent.Value)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("received fraction %.3f under 50%% loss", frac)
+	}
+	if f.RadioLost.Value == 0 {
+		t.Fatal("no losses recorded")
+	}
+}
+
+func TestVerificationPipelineVerifies(t *testing.T) {
+	k := sim.NewKernel(1)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	a := pki.vehicle(t, f, "a", Position{0, 0}, 1, sim.Hour)
+	b := pki.vehicle(t, f, "b", Position{10, 0}, 1, sim.Hour)
+	stopA := a.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(2 * sim.Second)
+	stopA()
+	if b.VerifiedOK.Value == 0 {
+		t.Fatal("no messages verified")
+	}
+	if b.VerifyFailed.Value != 0 {
+		t.Fatalf("verify failures: %d", b.VerifyFailed.Value)
+	}
+	if b.VerifyLatency.N() == 0 || b.VerifyLatency.Mean() < 2 {
+		t.Fatalf("verify latency: %s", b.VerifyLatency.String())
+	}
+}
+
+func TestVerificationQueueSaturation(t *testing.T) {
+	k := sim.NewKernel(1)
+	pki := newPKI(t)
+	vm := VerifyModel{VerifyTime: 10 * sim.Millisecond, QueueLimit: 4, Freshness: sim.Second}
+	f := NewField(k, Radio{RangeM: 1000, LossProb: 0, PropDelayPerM: 4}, vm)
+	// 30 senders at 10 Hz = 300 msg/s against a 100 msg/s verify budget.
+	for i := 0; i < 30; i++ {
+		v := pki.vehicle(t, f, "tx", Position{float64(i), 0}, 1, sim.Hour)
+		v.StartBeacon(100 * sim.Millisecond)
+	}
+	rx := pki.vehicle(t, f, "rx", Position{0, 10}, 1, sim.Hour)
+	_ = k.RunUntil(3 * sim.Second)
+	if rx.DroppedQueue.Value == 0 {
+		t.Fatal("saturated pipeline dropped nothing")
+	}
+	if rx.VerifiedOK.Value == 0 {
+		t.Fatal("saturated pipeline verified nothing")
+	}
+}
+
+func TestRogueVehicleRejected(t *testing.T) {
+	k := sim.NewKernel(1)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	// Rogue signs with credentials from an untrusted root.
+	rogueRoot, err := ieee1609.NewRootAuthority("rogue", v2xPSIDs, 0, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roguePool, err := ieee1609.NewPseudonymPool(rogueRoot, 1, []ieee1609.PSID{ieee1609.PSIDBasicSafety}, 0, sim.Hour, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue := f.AddVehicle("rogue", Position{0, 0}, roguePool, pki.store())
+	victim := pki.vehicle(t, f, "victim", Position{10, 0}, 1, sim.Hour)
+	accepted := 0
+	victim.OnBSM(func(sim.Time, *ieee1609.Certificate, BSM) { accepted++ })
+	stop := rogue.StartBeacon(100 * sim.Millisecond)
+	_ = k.RunUntil(sim.Second)
+	stop()
+	if accepted != 0 {
+		t.Fatalf("victim accepted %d rogue BSMs", accepted)
+	}
+	if victim.VerifyFailed.Value == 0 {
+		t.Fatal("no verification failures recorded")
+	}
+}
+
+func TestRSUBeacon(t *testing.T) {
+	k := sim.NewKernel(1)
+	pki := newPKI(t)
+	f := NewField(k, Radio{RangeM: 300, LossProb: 0, PropDelayPerM: 4}, DefaultVerifyModel())
+	cred, err := pki.root.Issue("rsu-42", []ieee1609.PSID{ieee1609.PSIDInfrastructry}, 0, sim.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsu := f.AddRSU("rsu-42", Position{0, 0}, cred, pki.store())
+	car := pki.vehicle(t, f, "car", Position{50, 0}, 1, sim.Hour)
+	var fromRSU int
+	car.OnBSM(func(_ sim.Time, c *ieee1609.Certificate, _ BSM) {
+		if c.Subject == "rsu-42" {
+			fromRSU++
+		}
+	})
+	stop := rsu.StartBeacon(200 * sim.Millisecond)
+	_ = k.RunUntil(sim.Second)
+	stop()
+	if fromRSU == 0 {
+		t.Fatal("car never verified an RSU message")
+	}
+}
+
+func TestEntityMotion(t *testing.T) {
+	k := sim.NewKernel(1)
+	pki := newPKI(t)
+	f := NewField(k, DefaultRadio(), DefaultVerifyModel())
+	v := pki.vehicle(t, f, "v", Position{0, 0}, 1, sim.Hour)
+	v.SetVelocity(30, 0) // 30 m/s
+	_ = k.RunUntil(10 * sim.Second)
+	if math.Abs(v.Pos().X-300) > 3.1 {
+		t.Fatalf("position after 10s: %+v", v.Pos())
+	}
+}
+
+func TestNoCredentialBroadcast(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := NewField(k, DefaultRadio(), DefaultVerifyModel())
+	e := f.AddRSU("bare", Position{}, nil, nil)
+	if err := e.BroadcastBSM(); err != ErrNoCredential {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,20 @@
+package verif
+
+import "testing"
+
+func BenchmarkGreedyPairwise(b *testing.B) {
+	fs := []Feature{
+		{Name: "a", Options: 4}, {Name: "b", Options: 3},
+		{Name: "c", Options: 4}, {Name: "d", Options: 3},
+		{Name: "e", Options: 4}, {Name: "f", Options: 2},
+		{Name: "g", Options: 3}, {Name: "h", Options: 3},
+	}
+	s := &Space{Features: fs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.GreedyPairwise(uint64(i))
+		if !s.CoversAllPairs(rows) {
+			b.Fatal("incomplete coverage")
+		}
+	}
+}

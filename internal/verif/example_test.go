@@ -1,0 +1,24 @@
+package verif_test
+
+import (
+	"fmt"
+
+	"autosec/internal/verif"
+)
+
+// Example contrasts exhaustive configuration verification with a pairwise
+// covering array for a small extensible feature set.
+func ExampleSpace_GreedyPairwise() {
+	space, _ := verif.NewSpace(
+		verif.Feature{Name: "mac-bits", Options: 3},
+		verif.Feature{Name: "detectors", Options: 3},
+		verif.Feature{Name: "gateway", Options: 3},
+		verif.Feature{Name: "future-crypto", Options: 3, Reserved: true},
+	)
+	rows := space.GreedyPairwise(1)
+	fmt.Printf("exhaustive configs: %.0f\n", space.TotalConfigs())
+	fmt.Printf("pairwise rows: %d (complete: %v)\n", len(rows), space.CoversAllPairs(rows))
+	// Output:
+	// exhaustive configs: 81
+	// pairwise rows: 13 (complete: true)
+}

@@ -1,0 +1,286 @@
+// Package verif quantifies the paper's verification-versus-extensibility
+// tension (Sections 5-6): an extensible architecture ships "more
+// behaviors and configurations than necessary for current use cases",
+// and each reserved configuration must still be verified — "such unused
+// configurations and behaviors are typical targets of security
+// vulnerabilities".
+//
+// The model: a product's configuration space is a set of features, each
+// with a number of options. Exhaustive verification costs one unit per
+// full configuration (the product of all option counts — astronomically
+// infeasible at automotive scale). The practical alternative the paper's
+// extensibility argument depends on is compositional/combinatorial
+// coverage; this package implements a real greedy pairwise covering-array
+// generator (AETG-style) so the costs in experiment E6 come from an
+// actual algorithm rather than a formula.
+package verif
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"autosec/internal/sim"
+)
+
+// Feature is one configurable dimension.
+type Feature struct {
+	Name    string
+	Options int
+	// Reserved marks configurations shipped for future use only.
+	Reserved bool
+}
+
+// Space is a configuration space.
+type Space struct {
+	Features []Feature
+}
+
+// ErrBadFeature rejects features with fewer than one option.
+var ErrBadFeature = errors.New("verif: feature needs at least one option")
+
+// NewSpace validates and builds a space.
+func NewSpace(features ...Feature) (*Space, error) {
+	for _, f := range features {
+		if f.Options < 1 {
+			return nil, fmt.Errorf("%w: %s", ErrBadFeature, f.Name)
+		}
+	}
+	return &Space{Features: features}, nil
+}
+
+// WithoutReserved returns the sub-space of currently-used features.
+func (s *Space) WithoutReserved() *Space {
+	out := &Space{}
+	for _, f := range s.Features {
+		if !f.Reserved {
+			out.Features = append(out.Features, f)
+		}
+	}
+	return out
+}
+
+// TotalConfigs is the exhaustive configuration count, saturating at
+// +Inf-ish float64 to stay meaningful at automotive scale.
+func (s *Space) TotalConfigs() float64 {
+	total := 1.0
+	for _, f := range s.Features {
+		total *= float64(f.Options)
+	}
+	return total
+}
+
+// PairCount is the number of distinct option pairs across features.
+func (s *Space) PairCount() int {
+	n := 0
+	for i := 0; i < len(s.Features); i++ {
+		for j := i + 1; j < len(s.Features); j++ {
+			n += s.Features[i].Options * s.Features[j].Options
+		}
+	}
+	return n
+}
+
+// Config is one row of a covering array: the chosen option per feature.
+type Config []int
+
+// pairKey identifies an (featureA, optA, featureB, optB) pair.
+type pairKey struct {
+	fa, oa, fb, ob int
+}
+
+// GreedyPairwise builds a pairwise covering array with the classic greedy
+// heuristic: repeatedly construct the row covering the most uncovered
+// pairs. Deterministic given the seed (used only to break ties by feature
+// visiting order).
+func (s *Space) GreedyPairwise(seed uint64) []Config {
+	nf := len(s.Features)
+	if nf == 0 {
+		return nil
+	}
+	if nf == 1 {
+		out := make([]Config, s.Features[0].Options)
+		for o := range out {
+			out[o] = Config{o}
+		}
+		return out
+	}
+	uncovered := make(map[pairKey]bool)
+	for i := 0; i < nf; i++ {
+		for j := i + 1; j < nf; j++ {
+			for a := 0; a < s.Features[i].Options; a++ {
+				for b := 0; b < s.Features[j].Options; b++ {
+					uncovered[pairKey{i, a, j, b}] = true
+				}
+			}
+		}
+	}
+	rng := sim.NewStream(seed, "verif.pairwise")
+	var rows []Config
+	for len(uncovered) > 0 {
+		row := make(Config, nf)
+		for i := range row {
+			row[i] = -1
+		}
+		order := rng.Perm(nf)
+		for _, fi := range order {
+			bestOpt, bestGain, bestPot := 0, -1, -1
+			for o := 0; o < s.Features[fi].Options; o++ {
+				// gain: uncovered pairs completed against already-placed
+				// features; pot: uncovered pairs still reachable through
+				// unplaced features (tie-break, so a first-placed feature
+				// prefers options with remaining work).
+				gain, pot := 0, 0
+				for fj := 0; fj < nf; fj++ {
+					if fj == fi {
+						continue
+					}
+					if row[fj] != -1 {
+						if uncovered[normPair(fi, o, fj, row[fj])] {
+							gain++
+						}
+						continue
+					}
+					for b := 0; b < s.Features[fj].Options; b++ {
+						if uncovered[normPair(fi, o, fj, b)] {
+							pot++
+						}
+					}
+				}
+				if gain > bestGain || (gain == bestGain && pot > bestPot) {
+					bestGain, bestPot, bestOpt = gain, pot, o
+				}
+			}
+			row[fi] = bestOpt
+		}
+		// Mark covered pairs; guard against a zero-gain row looping forever
+		// by force-covering one remaining pair.
+		covered := 0
+		for i := 0; i < nf; i++ {
+			for j := i + 1; j < nf; j++ {
+				k := pairKey{i, row[i], j, row[j]}
+				if uncovered[k] {
+					delete(uncovered, k)
+					covered++
+				}
+			}
+		}
+		if covered == 0 {
+			for k := range uncovered {
+				row[k.fa] = k.oa
+				row[k.fb] = k.ob
+				delete(uncovered, k)
+				break
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func normPair(fa, oa, fb, ob int) pairKey {
+	if fa < fb {
+		return pairKey{fa, oa, fb, ob}
+	}
+	return pairKey{fb, ob, fa, oa}
+}
+
+// CoversAllPairs checks a covering array for completeness (test oracle).
+func (s *Space) CoversAllPairs(rows []Config) bool {
+	nf := len(s.Features)
+	if nf < 2 {
+		return true
+	}
+	seen := make(map[pairKey]bool)
+	for _, r := range rows {
+		if len(r) != nf {
+			return false
+		}
+		for i := 0; i < nf; i++ {
+			for j := i + 1; j < nf; j++ {
+				seen[pairKey{i, r[i], j, r[j]}] = true
+			}
+		}
+	}
+	for i := 0; i < nf; i++ {
+		for j := i + 1; j < nf; j++ {
+			for a := 0; a < s.Features[i].Options; a++ {
+				for b := 0; b < s.Features[j].Options; b++ {
+					if !seen[pairKey{i, a, j, b}] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CostReport compares verification strategies for one space.
+type CostReport struct {
+	Features         int
+	TotalConfigs     float64 // exhaustive cost (configs to verify)
+	PairwiseRows     int     // covering-array cost
+	LowerBound       int     // max pairwise product: no array can be smaller
+	ReservedOverhead float64 // pairwise rows with reserved / without - 1
+}
+
+func (r CostReport) String() string {
+	return fmt.Sprintf("features=%d exhaustive=%.3g pairwise=%d (lower bound %d) reserved overhead=%.1f%%",
+		r.Features, r.TotalConfigs, r.PairwiseRows, r.LowerBound, 100*r.ReservedOverhead)
+}
+
+// Assess builds the full cost report, including the marginal cost of the
+// reserved-for-future configurations.
+func (s *Space) Assess(seed uint64) CostReport {
+	rows := s.GreedyPairwise(seed)
+	lb := 0
+	for i := 0; i < len(s.Features); i++ {
+		for j := i + 1; j < len(s.Features); j++ {
+			if p := s.Features[i].Options * s.Features[j].Options; p > lb {
+				lb = p
+			}
+		}
+	}
+	report := CostReport{
+		Features:     len(s.Features),
+		TotalConfigs: s.TotalConfigs(),
+		PairwiseRows: len(rows),
+		LowerBound:   lb,
+	}
+	base := s.WithoutReserved()
+	if len(base.Features) != len(s.Features) && len(base.Features) > 1 {
+		baseRows := len(base.GreedyPairwise(seed))
+		if baseRows > 0 {
+			report.ReservedOverhead = float64(len(rows))/float64(baseRows) - 1
+		}
+	}
+	return report
+}
+
+// GrowthCurve reports pairwise cost as features accumulate one at a time
+// (the E6 sweep: verification cost versus extensibility headroom). The
+// result has one entry per prefix of the feature list, sorted as given.
+func GrowthCurve(features []Feature, seed uint64) []CostReport {
+	var out []CostReport
+	for i := 1; i <= len(features); i++ {
+		s := &Space{Features: features[:i]}
+		out = append(out, s.Assess(seed))
+	}
+	return out
+}
+
+// SortedByOptions returns a copy of features sorted descending by option
+// count — the order that exposes covering-array growth most clearly.
+func SortedByOptions(features []Feature) []Feature {
+	out := append([]Feature(nil), features...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Options > out[j].Options })
+	return out
+}
+
+// Infeasible reports whether exhaustive verification at the given budget
+// (configurations verifiable per engineer-day × days) cannot finish.
+func (r CostReport) Infeasible(configsPerDay float64, days float64) bool {
+	return r.TotalConfigs > configsPerDay*days || math.IsInf(r.TotalConfigs, 1)
+}

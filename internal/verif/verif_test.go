@@ -1,0 +1,193 @@
+package verif
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func space(t *testing.T, opts ...int) *Space {
+	t.Helper()
+	var fs []Feature
+	for i, o := range opts {
+		fs = append(fs, Feature{Name: string(rune('a' + i)), Options: o})
+	}
+	s, err := NewSpace(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(Feature{Name: "x", Options: 0}); !errors.Is(err, ErrBadFeature) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTotalConfigs(t *testing.T) {
+	s := space(t, 2, 3, 4)
+	if got := s.TotalConfigs(); got != 24 {
+		t.Fatalf("total=%v", got)
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	s := space(t, 2, 3)
+	if got := s.PairCount(); got != 6 {
+		t.Fatalf("pairs=%v", got)
+	}
+	s = space(t, 2, 3, 4)
+	// 2*3 + 2*4 + 3*4 = 26.
+	if got := s.PairCount(); got != 26 {
+		t.Fatalf("pairs=%v", got)
+	}
+}
+
+func TestGreedyPairwiseCoversAllPairs(t *testing.T) {
+	s := space(t, 3, 3, 3, 3)
+	rows := s.GreedyPairwise(1)
+	if !s.CoversAllPairs(rows) {
+		t.Fatal("array does not cover all pairs")
+	}
+	// Exhaustive would be 81; the array must beat it comfortably and can
+	// never beat the 9-row lower bound.
+	if len(rows) >= 81 || len(rows) < 9 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
+
+func TestGreedyPairwiseMassivelySmallerThanExhaustive(t *testing.T) {
+	s := space(t, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2) // 2^10 = 1024 configs
+	rows := s.GreedyPairwise(1)
+	if !s.CoversAllPairs(rows) {
+		t.Fatal("incomplete coverage")
+	}
+	if len(rows) > 30 {
+		t.Fatalf("pairwise took %d rows for 10 binary features", len(rows))
+	}
+}
+
+func TestGreedyPairwiseDegenerate(t *testing.T) {
+	var s Space
+	if rows := s.GreedyPairwise(1); rows != nil {
+		t.Fatalf("empty space rows=%v", rows)
+	}
+	one := space(t, 4)
+	rows := one.GreedyPairwise(1)
+	if len(rows) != 4 {
+		t.Fatalf("single-feature rows=%d", len(rows))
+	}
+	if !one.CoversAllPairs(rows) {
+		t.Fatal("single feature coverage")
+	}
+}
+
+// Property: coverage holds for arbitrary small spaces and seeds.
+func TestGreedyPairwiseProperty(t *testing.T) {
+	f := func(o1, o2, o3 uint8, seed uint64) bool {
+		fs := []Feature{
+			{Name: "a", Options: int(o1%4) + 1},
+			{Name: "b", Options: int(o2%4) + 1},
+			{Name: "c", Options: int(o3%4) + 1},
+		}
+		s := &Space{Features: fs}
+		rows := s.GreedyPairwise(seed)
+		return s.CoversAllPairs(rows) && float64(len(rows)) <= s.TotalConfigs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoversAllPairsDetectsGaps(t *testing.T) {
+	s := space(t, 2, 2)
+	incomplete := []Config{{0, 0}, {1, 1}}
+	if s.CoversAllPairs(incomplete) {
+		t.Fatal("gap not detected")
+	}
+	if s.CoversAllPairs([]Config{{0}}) {
+		t.Fatal("malformed row accepted")
+	}
+}
+
+func TestAssessReservedOverhead(t *testing.T) {
+	s, err := NewSpace(
+		Feature{Name: "mac-bits", Options: 3},
+		Feature{Name: "gateway-mode", Options: 3},
+		Feature{Name: "ids-set", Options: 2},
+		Feature{Name: "future-crypto", Options: 3, Reserved: true},
+		Feature{Name: "future-radio", Options: 2, Reserved: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Assess(1)
+	if r.Features != 5 || r.TotalConfigs != 108 {
+		t.Fatalf("report=%+v", r)
+	}
+	if r.PairwiseRows < r.LowerBound {
+		t.Fatalf("rows %d below lower bound %d", r.PairwiseRows, r.LowerBound)
+	}
+	if r.ReservedOverhead < 0 {
+		t.Fatalf("reserved overhead %.3f negative", r.ReservedOverhead)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestGrowthCurveMonotone(t *testing.T) {
+	fs := []Feature{
+		{Name: "a", Options: 3}, {Name: "b", Options: 3},
+		{Name: "c", Options: 3}, {Name: "d", Options: 3},
+		{Name: "e", Options: 3},
+	}
+	curve := GrowthCurve(fs, 1)
+	if len(curve) != 5 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	// Exhaustive cost grows geometrically; pairwise cost grows far slower.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TotalConfigs <= curve[i-1].TotalConfigs {
+			t.Fatal("exhaustive not growing")
+		}
+	}
+	last := curve[len(curve)-1]
+	if float64(last.PairwiseRows) >= last.TotalConfigs {
+		t.Fatalf("pairwise %d not below exhaustive %v", last.PairwiseRows, last.TotalConfigs)
+	}
+}
+
+func TestWithoutReserved(t *testing.T) {
+	s, _ := NewSpace(
+		Feature{Name: "a", Options: 2},
+		Feature{Name: "r", Options: 2, Reserved: true},
+	)
+	base := s.WithoutReserved()
+	if len(base.Features) != 1 || base.Features[0].Name != "a" {
+		t.Fatalf("base=%+v", base.Features)
+	}
+}
+
+func TestSortedByOptions(t *testing.T) {
+	fs := []Feature{{Name: "a", Options: 2}, {Name: "b", Options: 5}, {Name: "c", Options: 3}}
+	sorted := SortedByOptions(fs)
+	if sorted[0].Name != "b" || sorted[2].Name != "a" {
+		t.Fatalf("sorted=%v", sorted)
+	}
+	if fs[0].Name != "a" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	r := CostReport{TotalConfigs: 1e12}
+	if !r.Infeasible(1000, 365) {
+		t.Fatal("1e12 configs feasible at 1000/day?")
+	}
+	small := CostReport{TotalConfigs: 100}
+	if small.Infeasible(1000, 1) {
+		t.Fatal("100 configs infeasible at 1000/day?")
+	}
+}

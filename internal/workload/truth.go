@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+
+	"autosec/internal/sensors"
+	"autosec/internal/sim"
+)
+
+// TruthFromCycle converts a drive cycle into the sensor ground truth the
+// fusion module consumes: the vehicle integrates the phase speeds along a
+// straight road, and obstacle distance reflects traffic density (dense
+// phases put slower traffic ahead; empty highway is clear to the sensing
+// horizon).
+func TruthFromCycle(c Cycle) sensors.TruthFunc {
+	// Precompute cumulative distance at each phase boundary so position
+	// is continuous across speed changes.
+	type boundary struct {
+		at   sim.Time
+		dist float64
+	}
+	var bounds []boundary
+	var dist float64
+	var prev sim.Time
+	for _, p := range c.Phases {
+		bounds = append(bounds, boundary{at: prev, dist: dist})
+		dist += p.SpeedMS * (p.Until - prev).Seconds()
+		prev = p.Until
+	}
+	total := dist
+	length := c.Length()
+
+	return func(at sim.Time) sensors.VehicleState {
+		if length == 0 {
+			return sensors.VehicleState{ObstacleDist: math.Inf(1)}
+		}
+		laps := int64(at / length)
+		t := at % length
+		p := c.At(t)
+		// Find the phase boundary at or before t.
+		var base boundary
+		for i, b := range bounds {
+			if b.at <= t {
+				base = bounds[i]
+			}
+		}
+		x := float64(laps)*total + base.dist + p.SpeedMS*(t-base.at).Seconds()
+		obstacle := math.Inf(1)
+		if p.PedestrianDensity > 0.3 {
+			// Dense traffic: a lead vehicle at ~2s headway. It enters the
+			// scene from the 200m sensing horizon at the start of the
+			// phase and closes at a plausible 25 m/s, so sensors never see
+			// it materialize out of nothing.
+			headway := math.Max(5, 2*p.SpeedMS)
+			intoPhase := (t - base.at).Seconds()
+			obstacle = math.Max(headway, 200-25*intoPhase)
+		}
+		return sensors.VehicleState{
+			Pos:          sensors.Position{X: x},
+			SpeedMS:      p.SpeedMS,
+			ObstacleDist: obstacle,
+		}
+	}
+}

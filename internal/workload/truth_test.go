@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"autosec/internal/sensors"
+	"autosec/internal/sim"
+)
+
+func TestTruthFromCyclePositionContinuous(t *testing.T) {
+	truth := TruthFromCycle(CommuteCycle())
+	var prev sensors.VehicleState
+	for at := sim.Time(0); at < 14*sim.Minute; at += sim.Second {
+		st := truth(at)
+		if at > 0 {
+			dx := st.Pos.X - prev.Pos.X
+			// Position advances by at most the fastest phase speed + slack
+			// per second, and never goes backwards.
+			if dx < 0 || dx > 34 {
+				t.Fatalf("discontinuity at %v: dx=%.2f", at, dx)
+			}
+		}
+		prev = st
+	}
+}
+
+func TestTruthFromCycleSpeedsMatchPhases(t *testing.T) {
+	c := CommuteCycle()
+	truth := TruthFromCycle(c)
+	if got := truth(sim.Minute).SpeedMS; got != 12 {
+		t.Fatalf("residential speed=%v", got)
+	}
+	if got := truth(5 * sim.Minute).SpeedMS; got != 33 {
+		t.Fatalf("highway speed=%v", got)
+	}
+	if got := truth(11 * sim.Minute).SpeedMS; got != 8 {
+		t.Fatalf("downtown speed=%v", got)
+	}
+}
+
+func TestTruthFromCycleObstacles(t *testing.T) {
+	truth := TruthFromCycle(CommuteCycle())
+	// Highway phase: clear road.
+	if !math.IsInf(truth(5*sim.Minute).ObstacleDist, 1) {
+		t.Fatal("highway has an obstacle")
+	}
+	// Downtown: lead vehicle at ~2s headway (16m at 8 m/s).
+	if d := truth(11 * sim.Minute).ObstacleDist; d != 16 {
+		t.Fatalf("downtown obstacle=%v", d)
+	}
+}
+
+func TestTruthFromCycleWrapsLaps(t *testing.T) {
+	c := CommuteCycle()
+	truth := TruthFromCycle(c)
+	endOfLap := truth(c.Length() - sim.Second).Pos.X
+	startOfNext := truth(c.Length() + sim.Second).Pos.X
+	if startOfNext <= endOfLap {
+		t.Fatalf("position did not carry across laps: %.1f then %.1f", endOfLap, startOfNext)
+	}
+}
+
+func TestTruthFromCycleEmpty(t *testing.T) {
+	truth := TruthFromCycle(Cycle{})
+	st := truth(sim.Minute)
+	if st.SpeedMS != 0 || !math.IsInf(st.ObstacleDist, 1) {
+		t.Fatalf("empty cycle state: %+v", st)
+	}
+}
+
+// Integration: drive the commute cycle through the real sensors and the
+// fusion module — a clean drive raises no anomalies even across phase
+// transitions.
+func TestCycleDriveCleanThroughFusion(t *testing.T) {
+	truth := TruthFromCycle(CommuteCycle())
+	rng := sim.NewStream(3, "drive")
+	gps := sensors.NewGPS(2, 0.3, rng)
+	wheel := sensors.NewWheelSpeed(0.2, rng)
+	lidar := sensors.NewLidar(0.5, rng)
+	fusion := sensors.NewFusion()
+	for at := sim.Time(0); at < 12*sim.Minute; at += 100 * sim.Millisecond {
+		st := truth(at)
+		fusion.IngestWheel(at, wheel.Read(at, st))
+		pos, sp := gps.Read(at, st)
+		fusion.IngestGPS(at, sensors.Position(pos), sp)
+		fusion.IngestLidar(at, lidar.Read(at, st))
+	}
+	// Phase transitions change speed instantaneously in the model; allow
+	// the handful of speed-mismatch flags that causes, but nothing else.
+	for _, a := range fusion.Anomalies {
+		if a.Kind != sensors.AnomalyGPSSpeedMismatch {
+			t.Fatalf("unexpected anomaly on clean drive: %+v", a)
+		}
+	}
+	if len(fusion.Anomalies) > 10 {
+		t.Fatalf("too many transition artifacts: %d", len(fusion.Anomalies))
+	}
+}

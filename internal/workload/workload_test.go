@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+func TestMatricesWellFormed(t *testing.T) {
+	for _, specs := range [][]MessageSpec{PowertrainMatrix(), BodyMatrix()} {
+		seen := make(map[can.ID]bool)
+		for _, s := range specs {
+			if s.Period <= 0 || s.Size < 1 || s.Size > 8 || s.Sender == "" {
+				t.Fatalf("bad spec %+v", s)
+			}
+			if seen[s.ID] {
+				t.Fatalf("duplicate ID %#x", s.ID)
+			}
+			seen[s.ID] = true
+			if f := (can.Frame{ID: s.ID, Data: make([]byte, s.Size)}); f.Validate() != nil {
+				t.Fatalf("invalid frame for %+v", s)
+			}
+		}
+	}
+}
+
+func TestSyntheticTraceShape(t *testing.T) {
+	specs := PowertrainMatrix()
+	tr := SyntheticTrace(specs, 10*sim.Second, 1, 0.01)
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	// Time ordered.
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Records[i].At < tr.Records[i-1].At {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+	// The 10ms message appears ~1000 times; the 1s message ~10.
+	fast := len(tr.ByID(0x0C0))
+	slow := len(tr.ByID(0x4A0))
+	if fast < 950 || fast > 1050 {
+		t.Fatalf("fast count=%d", fast)
+	}
+	if slow < 8 || slow > 12 {
+		t.Fatalf("slow count=%d", slow)
+	}
+	// Every matrix ID is present.
+	if got := len(tr.IDs()); got != len(specs) {
+		t.Fatalf("distinct IDs=%d, want %d", got, len(specs))
+	}
+}
+
+func TestSyntheticTraceDeterministic(t *testing.T) {
+	a := SyntheticTrace(PowertrainMatrix(), 2*sim.Second, 7, 0.05)
+	b := SyntheticTrace(PowertrainMatrix(), 2*sim.Second, 7, 0.05)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Records {
+		if a.Records[i].At != b.Records[i].At || a.Records[i].Frame.ID != b.Records[i].Frame.ID {
+			t.Fatalf("records differ at %d", i)
+		}
+	}
+}
+
+func TestStartSendersOnBus(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := can.NewBus(k, "pt", 500_000)
+	trace := can.Recorder(bus)
+	ctrls, stop := StartSenders(k, bus, PowertrainMatrix(), 0.01)
+	_ = k.RunUntil(5 * sim.Second)
+	stop()
+	if len(ctrls) == 0 {
+		t.Fatal("no controllers created")
+	}
+	if trace.Len() < 1000 {
+		t.Fatalf("only %d frames in 5s", trace.Len())
+	}
+	// Bus load for this matrix at 500kbit/s is tens of percent at most.
+	if l := bus.Load(); l < 0.02 || l > 0.6 {
+		t.Fatalf("bus load %.3f", l)
+	}
+	// One controller per distinct sender.
+	senders := make(map[string]bool)
+	for _, s := range PowertrainMatrix() {
+		senders[s.Sender] = true
+	}
+	if len(ctrls) != len(senders) {
+		t.Fatalf("controllers=%d senders=%d", len(ctrls), len(senders))
+	}
+}
+
+func TestCycleAtAndWrap(t *testing.T) {
+	c := CommuteCycle()
+	if got := c.At(sim.Minute).Name; got != "residential" {
+		t.Fatalf("at 1m: %s", got)
+	}
+	if got := c.At(5 * sim.Minute).Name; got != "highway" {
+		t.Fatalf("at 5m: %s", got)
+	}
+	if got := c.At(11 * sim.Minute).Name; got != "downtown" {
+		t.Fatalf("at 11m: %s", got)
+	}
+	// Wraps after 12 minutes.
+	if got := c.At(13 * sim.Minute).Name; got != "residential" {
+		t.Fatalf("wrapped at 13m: %s", got)
+	}
+	if c.Length() != 12*sim.Minute {
+		t.Fatalf("length=%v", c.Length())
+	}
+}
+
+func TestCycleEmpty(t *testing.T) {
+	var c Cycle
+	if c.Length() != 0 {
+		t.Fatal("empty length")
+	}
+	if p := c.At(sim.Second); p.Name != "" {
+		t.Fatal("empty cycle phase")
+	}
+}
+
+func TestCityVsHighwayShape(t *testing.T) {
+	city := CityCycle().At(0)
+	hwy := HighwayCycle().At(0)
+	if city.PedestrianDensity <= hwy.PedestrianDensity {
+		t.Fatal("city not denser than highway")
+	}
+	if city.SpeedMS >= hwy.SpeedMS {
+		t.Fatal("city not slower than highway")
+	}
+}
