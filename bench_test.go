@@ -1,9 +1,12 @@
 package autosec_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"autosec/internal/experiments"
+	"autosec/internal/runner"
 )
 
 // One benchmark per experiment table: `go test -bench .` regenerates the
@@ -40,3 +43,40 @@ func BenchmarkE14BusOff(b *testing.B)        { benchTable(b, experiments.E14BusO
 func BenchmarkE15VerifyScaling(b *testing.B) { benchTable(b, experiments.E15VerifyScaling) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
+
+// Multi-seed replication, serial vs parallel. The pair measures (not
+// assumes) the speedup of sharding replicates across the worker pool:
+// compare ns/op between Serial and Parallel with
+//
+//	go test -bench 'Replication8Seeds' -benchtime 3x
+//
+// The suite is the two simulation-heavy bus experiments so one iteration
+// stays around a second; the aggregation itself is microseconds.
+
+func replicationSuite(seed uint64) []*experiments.Table {
+	return []*experiments.Table{
+		experiments.E1BusDoS(seed),
+		experiments.E14BusOff(seed),
+	}
+}
+
+func benchReplication(b *testing.B, workers int) {
+	b.Helper()
+	seeds := runner.Seeds(1, 8)
+	var last []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables, err := runner.ReplicateAggregate(context.Background(), replicationSuite, seeds, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tables
+	}
+	if len(last) > 0 {
+		b.Log("\n" + last[0].String())
+	}
+}
+
+func BenchmarkReplication8SeedsSerial(b *testing.B) { benchReplication(b, 1) }
+func BenchmarkReplication8SeedsParallel(b *testing.B) {
+	benchReplication(b, runtime.GOMAXPROCS(0))
+}

@@ -1,16 +1,25 @@
 // Command autosim runs named end-to-end scenarios on the full vehicle
 // model and prints an event narrative plus final statistics.
 //
+// With -seeds N a scenario replicates across N seeds on a -par-sized
+// worker pool; each replicate runs on its own kernel and its narrative is
+// captured and printed in seed order, so the output is identical at any
+// parallelism.
+//
 // Usage:
 //
 //	autosim list
-//	autosim run [-seed N] <scenario>
+//	autosim run [-seed N] [-seeds N] [-par N] <scenario>
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
 
 	"autosec/internal/can"
@@ -19,6 +28,7 @@ import (
 	"autosec/internal/ids"
 	"autosec/internal/keyless"
 	"autosec/internal/policy"
+	"autosec/internal/runner"
 	"autosec/internal/she"
 	"autosec/internal/sim"
 	"autosec/internal/uds"
@@ -27,7 +37,7 @@ import (
 
 type scenario struct {
 	desc string
-	run  func(seed uint64)
+	run  func(w io.Writer, seed uint64)
 }
 
 var scenarios = map[string]scenario{
@@ -73,24 +83,57 @@ func main() {
 		}
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
-		seed := fs.Uint64("seed", 1, "scenario seed")
+		seed := fs.Uint64("seed", 1, "base scenario seed")
+		nseeds := fs.Int("seeds", 1, "number of replicate seeds (seed, seed+1, ...)")
+		par := fs.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
+		}
+		if *par <= 0 {
+			*par = runtime.GOMAXPROCS(0)
 		}
 		sc, ok := scenarios[fs.Arg(0)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "autosim: unknown scenario %q (try 'autosim list')\n", fs.Arg(0))
 			os.Exit(2)
 		}
-		sc.run(*seed)
+		if *nseeds <= 1 {
+			sc.run(os.Stdout, *seed)
+			return
+		}
+		replicate(fs.Arg(0), sc, *seed, *nseeds, *par)
 	default:
 		usage()
 	}
 }
 
+// replicate runs one scenario across consecutive seeds on the worker
+// pool, capturing each replicate's narrative, and prints them in seed
+// order — byte-identical output at any -par.
+func replicate(name string, sc scenario, seed uint64, nseeds, par int) {
+	seeds := runner.Seeds(seed, nseeds)
+	results, err := runner.Map(context.Background(), seeds, par,
+		func(_ context.Context, s uint64) (string, error) {
+			var buf bytes.Buffer
+			sc.run(&buf, s)
+			return buf.String(), nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("=== %s seed=%d ===\n", name, r.Seed)
+		if r.Err != nil {
+			fatal(r.Err)
+		}
+		fmt.Print(r.Value)
+		fmt.Println()
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: autosim list | autosim run [-seed N] <scenario>")
+	fmt.Fprintln(os.Stderr, "usage: autosim list | autosim run [-seed N] [-seeds N] [-par N] <scenario>")
 	os.Exit(2)
 }
 
@@ -102,22 +145,28 @@ func mustVehicle(seed uint64, policyKey []byte) *core.Vehicle {
 	return v
 }
 
-func runBaseline(seed uint64) {
+func runBaseline(w io.Writer, seed uint64) {
 	v := mustVehicle(seed, nil)
 	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01))
 	v.StartTraffic()
 	_ = v.Kernel.RunUntil(10 * sim.Second)
 	v.StopTraffic()
 
-	fmt.Println("baseline drive complete (10s virtual)")
-	for name, bus := range v.Buses {
-		fmt.Printf("  %-13s load=%5.1f%% frames=%d\n", name, 100*bus.Load(), bus.FramesOK.Value)
+	fmt.Fprintln(w, "baseline drive complete (10s virtual)")
+	names := make([]string, 0, len(v.Buses))
+	for name := range v.Buses {
+		names = append(names, name)
 	}
-	fmt.Printf("  gateway: forwarded=%d blocked=%d\n", v.Gateway.Forwarded.Value, v.Gateway.Blocked.Value)
-	fmt.Printf("  IDS: %s\n", v.IDS.Summary())
+	sort.Strings(names)
+	for _, name := range names {
+		bus := v.Buses[name]
+		fmt.Fprintf(w, "  %-13s load=%5.1f%% frames=%d\n", name, 100*bus.Load(), bus.FramesOK.Value)
+	}
+	fmt.Fprintf(w, "  gateway: forwarded=%d blocked=%d\n", v.Gateway.Forwarded.Value, v.Gateway.Blocked.Value)
+	fmt.Fprintf(w, "  IDS: %s\n", v.IDS.Summary())
 }
 
-func runHeadunitCompromise(seed uint64) {
+func runHeadunitCompromise(w io.Writer, seed uint64) {
 	v := mustVehicle(seed, nil)
 	v.Gateway.DefaultAction = gateway.Allow // the weak pre-hardening baseline
 	// In permissive mode the gateway forwards body-domain traffic into the
@@ -127,7 +176,7 @@ func runHeadunitCompromise(seed uint64) {
 	v.ArmAutoQuarantine(core.DomainInfotainment)
 	v.StartTraffic()
 
-	fmt.Println("t=0s      drive starts; gateway in permissive (legacy) mode")
+	fmt.Fprintln(w, "t=0s      drive starts; gateway in permissive (legacy) mode")
 	attacker := can.NewController("compromised-headunit")
 	v.Buses[core.DomainInfotainment].Attach(attacker)
 	var quarantinedAt sim.Time = -1
@@ -137,7 +186,7 @@ func runHeadunitCompromise(seed uint64) {
 		}
 	})
 	v.Kernel.At(2*sim.Second, func() {
-		fmt.Println("t=2s      head unit compromised: injecting torque frames at 1 kHz into the powertrain")
+		fmt.Fprintln(w, "t=2s      head unit compromised: injecting torque frames at 1 kHz into the powertrain")
 	})
 	var stopAtk func()
 	v.Kernel.At(2*sim.Second, func() {
@@ -150,19 +199,19 @@ func runHeadunitCompromise(seed uint64) {
 	v.StopTraffic()
 
 	if quarantinedAt >= 0 {
-		fmt.Printf("t=%-7v IDS alert -> gateway quarantined %s\n", quarantinedAt, core.DomainInfotainment)
+		fmt.Fprintf(w, "t=%-7v IDS alert -> gateway quarantined %s\n", quarantinedAt, core.DomainInfotainment)
 	}
-	fmt.Printf("final: IDS %s; gateway quarantine=%v; frames dropped in quarantine=%d\n",
+	fmt.Fprintf(w, "final: IDS %s; gateway quarantine=%v; frames dropped in quarantine=%d\n",
 		v.IDS.Summary(), v.Gateway.Quarantined(core.DomainInfotainment), v.Gateway.QuarDrops.Value)
 }
 
-func runPolicyUpgrade(seed uint64) {
+func runPolicyUpgrade(w io.Writer, seed uint64) {
 	auth, err := policy.NewAuthority()
 	if err != nil {
 		fatal(err)
 	}
 	v := mustVehicle(seed, auth.PublicKey())
-	fmt.Printf("vehicle built; MACBits=%d, gateway rules=%d, detectors=%v\n",
+	fmt.Fprintf(w, "vehicle built; MACBits=%d, gateway rules=%d, detectors=%v\n",
 		v.MACBits, len(v.Gateway.Rules()), v.IDS.Detectors())
 
 	p := &policy.Policy{
@@ -180,18 +229,18 @@ func runPolicyUpgrade(seed uint64) {
 	if err := v.Policy.Install(p); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("installed signed policy %s@v%d in-field\n", p.Name, p.Version)
-	fmt.Printf("now: MACBits=%d, gateway rules=%d, detectors=%v\n",
+	fmt.Fprintf(w, "installed signed policy %s@v%d in-field\n", p.Name, p.Version)
+	fmt.Fprintf(w, "now: MACBits=%d, gateway rules=%d, detectors=%v\n",
 		v.MACBits, len(v.Gateway.Rules()), v.IDS.Detectors())
-	fmt.Printf("architecture upgrade log: %v\n", v.Arch.UpgradeLog)
+	fmt.Fprintf(w, "architecture upgrade log: %v\n", v.Arch.UpgradeLog)
 
 	// A replayed (stale) policy is refused.
 	if err := v.Policy.Install(p); err != nil {
-		fmt.Printf("replay of the same policy correctly refused: %v\n", err)
+		fmt.Fprintf(w, "replay of the same policy correctly refused: %v\n", err)
 	}
 }
 
-func runRelayTheft(seed uint64) {
+func runRelayTheft(w io.Writer, seed uint64) {
 	_ = seed
 	var key [16]byte
 	copy(key[:], "autosim-pkes-key")
@@ -205,20 +254,20 @@ func runRelayTheft(seed uint64) {
 
 	plain := keyless.NewCar(key)
 	rtt, err := plain.TryRelayUnlock(relay, fob)
-	fmt.Printf("legacy PKES: relay attack rtt=%v -> unlocked=%v\n", rtt, err == nil)
+	fmt.Fprintf(w, "legacy PKES: relay attack rtt=%v -> unlocked=%v\n", rtt, err == nil)
 
 	hardened := keyless.NewCar(key)
 	hardened.DistanceBounding = true
 	hardened.RTTBudget = 2*sim.Millisecond + 200*sim.Nanosecond
 	rtt, err = hardened.TryRelayUnlock(relay, fob)
-	fmt.Printf("distance-bounded PKES: relay attack rtt=%v -> unlocked=%v (%v)\n", rtt, err == nil, err)
+	fmt.Fprintf(w, "distance-bounded PKES: relay attack rtt=%v -> unlocked=%v (%v)\n", rtt, err == nil, err)
 
 	fob.Pos = keyless.Position{X: 1}
 	rtt, err = hardened.TryUnlock(fob)
-	fmt.Printf("owner at the door: rtt=%v -> unlocked=%v\n", rtt, err == nil)
+	fmt.Fprintf(w, "owner at the door: rtt=%v -> unlocked=%v\n", rtt, err == nil)
 }
 
-func runBusOffAttack(seed uint64) {
+func runBusOffAttack(w io.Writer, seed uint64) {
 	v := mustVehicle(seed, nil)
 	bus := v.Buses[core.DomainPowertrain]
 	victim := can.NewController("brake-ecu")
@@ -226,12 +275,12 @@ func runBusOffAttack(seed uint64) {
 	bus.Attach(victim)
 	bus.Attach(bystander)
 
-	fmt.Println("t=0s      powertrain running: brake-ecu (0x100) and engine-ecu (0x0C0) both periodic")
+	fmt.Fprintln(w, "t=0s      powertrain running: brake-ecu (0x100) and engine-ecu (0x0C0) both periodic")
 	stopV := can.PeriodicSender(v.Kernel, victim, can.Frame{ID: 0x100, Data: []byte{1}}, 10*sim.Millisecond, 0)
 	stopB := can.PeriodicSender(v.Kernel, bystander, can.Frame{ID: 0x0C0, Data: []byte{2}}, 10*sim.Millisecond, 0)
 
 	v.Kernel.At(sim.Second, func() {
-		fmt.Println("t=1s      attacker begins forcing bit errors on every brake-ecu transmission")
+		fmt.Fprintln(w, "t=1s      attacker begins forcing bit errors on every brake-ecu transmission")
 		bus.TargetedError = func(_ *can.Frame, sender *can.Controller) bool {
 			return sender.Name == "brake-ecu"
 		}
@@ -247,16 +296,16 @@ func runBusOffAttack(seed uint64) {
 	stopB()
 
 	if busOffAt >= 0 {
-		fmt.Printf("t=%-7v brake-ecu entered bus-off (TEC > 255) and disconnected itself\n", busOffAt)
+		fmt.Fprintf(w, "t=%-7v brake-ecu entered bus-off (TEC > 255) and disconnected itself\n", busOffAt)
 	}
 	tec, _ := victim.Counters()
-	fmt.Printf("final: victim state=%v TEC=%d dropped=%d; bystander state=%v sent=%d\n",
+	fmt.Fprintf(w, "final: victim state=%v TEC=%d dropped=%d; bystander state=%v sent=%d\n",
 		victim.State(), tec, victim.FramesDropped.Value,
 		bystander.State(), bystander.FramesSent.Value)
-	fmt.Println("(the error-handling that gives CAN its safety is itself the DoS lever)")
+	fmt.Fprintln(w, "(the error-handling that gives CAN its safety is itself the DoS lever)")
 }
 
-func runDiagnosticAttack(seed uint64) {
+func runDiagnosticAttack(w io.Writer, seed uint64) {
 	weak := uds.WeakXOR{Constant: 0x5EC0DE42}
 	v := mustVehicle(seed, nil)
 	d := v.AttachDiagnostics(core.DomainInfotainment, weak)
@@ -276,22 +325,22 @@ func runDiagnosticAttack(seed uint64) {
 	if err := v.RunUnlock(d.Tester, 1, weak); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("workshop unlock observed: seed=%x key=%x\n", seedBytes, keyBytes)
+	fmt.Fprintf(w, "workshop unlock observed: seed=%x key=%x\n", seedBytes, keyBytes)
 	var c uint32
 	for i := 0; i < 4; i++ {
 		c = c<<8 | uint32(seedBytes[i]^keyBytes[i])
 	}
 	derived := uds.WeakXOR{Constant: c - 1}
-	fmt.Printf("attacker derives constant %#08x offline\n", derived.Constant)
+	fmt.Fprintf(w, "attacker derives constant %#08x offline\n", derived.Constant)
 
 	victim := mustVehicle(seed+1, nil)
 	_ = victim.AttachDiagnostics(core.DomainInfotainment, weak)
 	intruder := victim.NewIntruderTester(core.DomainInfotainment)
 	_, _ = victim.RunDiag(intruder, []byte{uds.SvcSessionControl, uds.SessionExtended})
 	if err := victim.RunUnlock(intruder, 1, derived); err == nil {
-		fmt.Println("second vehicle of the model line: UNLOCKED with the derived constant")
+		fmt.Fprintln(w, "second vehicle of the model line: UNLOCKED with the derived constant")
 	} else {
-		fmt.Printf("second vehicle resisted: %v\n", err)
+		fmt.Fprintf(w, "second vehicle resisted: %v\n", err)
 	}
 
 	hardened := mustVehicle(seed+2, nil)
@@ -302,7 +351,7 @@ func runDiagnosticAttack(seed uint64) {
 	intruder2 := hardened.NewIntruderTester(core.DomainInfotainment)
 	_, _ = hardened.RunDiag(intruder2, []byte{uds.SvcSessionControl, uds.SessionExtended})
 	if err := hardened.RunUnlock(intruder2, 1, derived); err != nil {
-		fmt.Printf("SHE-CMAC vehicle resisted the same chain: %v\n", err)
+		fmt.Fprintf(w, "SHE-CMAC vehicle resisted the same chain: %v\n", err)
 	}
 }
 

@@ -1,25 +1,40 @@
-// Command benchreport regenerates the full experiment suite E1–E12 from
-// DESIGN.md and prints each result table, paper claim included.
+// Command benchreport regenerates the full experiment suite E1–E15 (plus
+// ablations A1–A2) from DESIGN.md and prints each result table, paper
+// claim included.
+//
+// With -seeds N it becomes a replication study: the suite runs once per
+// seed (seed, seed+1, …) sharded across a -par-sized worker pool, and the
+// printed tables carry mean ± 95% CI, standard deviation and per-seed
+// range columns for every cell that varies across seeds. The merge is
+// deterministic: any -par value produces byte-identical output.
 //
 // Usage:
 //
-//	benchreport [-seed N] [-only E3,E8]
+//	benchreport [-seed N] [-seeds N] [-par N] [-only E3,E8]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"autosec/internal/experiments"
+	"autosec/internal/runner"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "scenario seed (same seed, same tables)")
+	seed := flag.Uint64("seed", 1, "base scenario seed (same seed, same tables)")
+	nseeds := flag.Int("seeds", 1, "number of replicate seeds (seed, seed+1, ...); >1 prints aggregated tables")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
 	flag.Parse()
+	if *par <= 0 {
+		*par = runtime.GOMAXPROCS(0)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -51,19 +66,48 @@ func main() {
 		{"A2", experiments.A2BoundingThreshold},
 	}
 
-	ran := 0
+	selected := runners[:0:0]
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] {
 			continue
 		}
-		start := time.Now()
-		table := r.run(*seed)
-		fmt.Println(table.String())
-		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
-		ran++
+		selected = append(selected, r)
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: no experiments matched -only=%q\n", *only)
 		os.Exit(1)
 	}
+
+	if *nseeds <= 1 {
+		for _, r := range selected {
+			start := time.Now()
+			table := r.run(*seed)
+			fmt.Println(table.String())
+			fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+
+	// Replication mode: run the selected suite once per seed on the pool,
+	// then print the deterministic merge.
+	suite := func(s uint64) []*experiments.Table {
+		tables := make([]*experiments.Table, len(selected))
+		for i, r := range selected {
+			tables[i] = r.run(s)
+		}
+		return tables
+	}
+	seeds := runner.Seeds(*seed, *nseeds)
+	start := time.Now()
+	tables, err := runner.ReplicateAggregate(context.Background(), suite, seeds, *par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	fmt.Printf("  (%d experiments x %d seeds on %d workers in %v)\n",
+		len(selected), *nseeds, *par, elapsed)
 }

@@ -10,5 +10,9 @@
 // ISO 26262 safety model, and the 4+1-layer extensible architecture that
 // composes them (internal/core). The per-claim experiment harness is in
 // internal/experiments; bench_test.go in this directory regenerates every
-// experiment table, and cmd/benchreport prints them all.
+// experiment table, and cmd/benchreport prints them all. internal/runner
+// replicates any experiment suite across seeds on a parallel worker pool
+// and merges the per-seed tables into mean ± 95% CI aggregates
+// (cmd/benchreport -seeds N -par N), deterministically at any
+// parallelism.
 package autosec

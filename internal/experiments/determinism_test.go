@@ -3,23 +3,45 @@ package experiments
 import "testing"
 
 // The repository's reproducibility promise: the same seed regenerates
-// byte-identical tables. Spot-checked on the experiments whose workloads
-// draw most heavily on the random streams.
+// byte-identical tables, for every experiment in the suite. The parallel
+// half of the promise — the same holds when replicates are sharded across
+// a worker pool — is asserted in internal/runner's determinism test.
 func TestExperimentsDeterministic(t *testing.T) {
-	runs := []func(uint64) *Table{
-		E1BusDoS,
-		E4Pseudonym,
-		E11IDS,
-		E13DiagnosticAccess,
-		E14BusOff,
-		A2BoundingThreshold,
+	if testing.Short() {
+		t.Skip("runs the full suite twice; skipped in -short mode")
 	}
-	for _, run := range runs {
-		a := run(7).String()
-		b := run(7).String()
-		if a != b {
-			t.Fatalf("experiment not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
-		}
+	runs := []struct {
+		id  string
+		run func(uint64) *Table
+	}{
+		{"E1", E1BusDoS},
+		{"E2", E2SideChannel},
+		{"E3", E3FleetCompromise},
+		{"E4", E4Pseudonym},
+		{"E5", E5Tradeoff},
+		{"E6", E6Verification},
+		{"E7", E7AuthenticatedCAN},
+		{"E8", E8Gateway},
+		{"E9", E9Relay},
+		{"E10", E10OTA},
+		{"E11", E11IDS},
+		{"E12", E12Lifetime},
+		{"E13", E13DiagnosticAccess},
+		{"E14", E14BusOff},
+		{"E15", E15VerifyScaling},
+		{"A1", A1MACTruncation},
+		{"A2", A2BoundingThreshold},
+	}
+	for _, tc := range runs {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			a := tc.run(7).String()
+			b := tc.run(7).String()
+			if a != b {
+				t.Fatalf("%s not deterministic:\n--- first\n%s\n--- second\n%s", tc.id, a, b)
+			}
+		})
 	}
 }
 

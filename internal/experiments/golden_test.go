@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden experiment tables under testdata/")
+
+// TestGoldenTables diffs every experiment's seed-1 table against the
+// committed golden output. A behavioural change to any subsystem that
+// feeds an experiment shows up here as a readable table diff; regenerate
+// intentionally with:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite; skipped in -short mode")
+	}
+	for _, tbl := range All(1) {
+		tbl := tbl
+		t.Run(tbl.ID, func(t *testing.T) {
+			path := filepath.Join("testdata", tbl.ID+".golden")
+			got := tbl.String()
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden table.\n--- got\n%s\n--- want\n%s\n(if intentional, regenerate with -update)",
+					tbl.ID, got, want)
+			}
+		})
+	}
+}

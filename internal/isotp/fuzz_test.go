@@ -1,0 +1,117 @@
+package isotp
+
+import (
+	"bytes"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/sim"
+)
+
+// FuzzReassembly plays an adversarial peer: arbitrary protocol frames —
+// mangled PCI nibbles, bogus lengths, out-of-order consecutive frames,
+// stray flow control — are pushed at a receiving endpoint. The receiver
+// must never panic, never deliver a message longer than its reassembly
+// buffer allows, and keep its counters coherent.
+//
+// The fuzz input is chunked into CAN payloads: byte 0 of each chunk is a
+// length nibble (1-8), the following bytes the frame data.
+func FuzzReassembly(f *testing.F) {
+	// A well-formed single frame, a first frame announcing 20 bytes, and
+	// consecutive frames in and out of sequence.
+	f.Add([]byte("\x06\x05hello"))
+	f.Add([]byte("\x08\x10\x14AAAAAA" + "\x08\x21BBBBBBB" + "\x08\x22CCCCCCC"))
+	f.Add([]byte("\x08\x10\x14AAAAAA" + "\x08\x23BBBBBBB")) // sequence error
+	f.Add([]byte("\x04\x30\x00\x00"))                       // stray flow control
+	f.Add([]byte("\x08\x1F\xFFAAAAAA"))                     // FF longer than MaxBuffer
+	f.Add([]byte("\x01\x00"))                               // SF with zero length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := sim.NewKernel(1)
+		bus := can.NewBus(k, "diag", 500_000)
+		ec := can.NewController("ecu")
+		atk := can.NewController("attacker")
+		bus.Attach(ec)
+		bus.Attach(atk)
+		ep := New(k, ec, Config{TxID: 0x7E8, RxID: 0x7E0, MaxBuffer: 256, BlockSize: 4})
+
+		var delivered [][]byte
+		ep.OnMessage(func(_ sim.Time, p []byte) {
+			delivered = append(delivered, p)
+		})
+
+		// Space the attack frames out in virtual time so the endpoint's
+		// flow-control responses interleave, as they would on a real bus.
+		at := sim.Millisecond
+		for len(data) > 0 {
+			n := int(data[0]%8) + 1
+			data = data[1:]
+			if n > len(data) {
+				n = len(data)
+			}
+			if n == 0 {
+				break
+			}
+			chunk := append([]byte(nil), data[:n]...)
+			data = data[n:]
+			k.At(at, func() {
+				_ = atk.Send(can.Frame{ID: 0x7E0, Data: chunk}, nil)
+			})
+			at += sim.Millisecond
+		}
+		_ = k.RunUntil(at + sim.Second)
+
+		for _, p := range delivered {
+			if len(p) > 256 {
+				t.Fatalf("delivered %d bytes, reassembly buffer is 256", len(p))
+			}
+		}
+		if int(ep.MessagesRecv.Value) != len(delivered) {
+			t.Fatalf("MessagesRecv=%d but %d messages delivered", ep.MessagesRecv.Value, len(delivered))
+		}
+	})
+}
+
+// FuzzRoundTrip drives the transmit path: any payload within protocol
+// bounds must arrive intact through segmentation, flow control and
+// reassembly, under fuzzer-chosen block size and separation time.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("ab"), uint8(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{0x55}, 100), uint8(4), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xA7}, 500), uint8(1), uint8(200))
+	f.Fuzz(func(t *testing.T, payload []byte, blockSize, stRaw uint8) {
+		if len(payload) == 0 || len(payload) > MaxMessage {
+			return
+		}
+		k := sim.NewKernel(1)
+		bus := can.NewBus(k, "diag", 500_000)
+		tc := can.NewController("tester")
+		ec := can.NewController("ecu")
+		bus.Attach(tc)
+		bus.Attach(ec)
+		tester := New(k, tc, Config{TxID: 0x7E0, RxID: 0x7E8})
+		ecu := New(k, ec, Config{
+			TxID:           0x7E8,
+			RxID:           0x7E0,
+			BlockSize:      int(blockSize % 16),
+			SeparationTime: decodeSeparationTime(stRaw),
+		})
+
+		var got []byte
+		ecu.OnMessage(func(_ sim.Time, p []byte) { got = p })
+		var doneErr error
+		done := false
+		if err := tester.Send(payload, func(err error) { done, doneErr = true, err }); err != nil {
+			t.Fatal(err)
+		}
+		_ = k.Run()
+		if !done {
+			t.Fatalf("transfer of %d bytes never completed", len(payload))
+		}
+		if doneErr != nil {
+			t.Fatalf("transfer failed: %v", doneErr)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload corrupted in transit: sent %d bytes, got %d", len(payload), len(got))
+		}
+	})
+}
