@@ -8,17 +8,33 @@
 // range columns for every cell that varies across seeds. The merge is
 // deterministic: any -par value produces byte-identical output.
 //
+// With -json FILE (single-seed mode) it additionally emits a
+// machine-readable report: wall-clock nanoseconds and a SHA-256 hash of
+// the rendered table for every experiment, so perf PRs can pin both the
+// speed and the byte-identity of the suite (see BENCH_PR2.json at the
+// repo root for the committed trajectory).
+//
+// -cpuprofile / -memprofile write pprof profiles of the run, so future
+// perf work can grab flame graphs without editing code:
+//
+//	go run ./cmd/benchreport -only E1 -cpuprofile cpu.pprof
+//	go tool pprof -top cpu.pprof
+//
 // Usage:
 //
-//	benchreport [-seed N] [-seeds N] [-par N] [-only E3,E8]
+//	benchreport [-seed N] [-seeds N] [-par N] [-only E3,E8] [-json FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,14 +42,64 @@ import (
 	"autosec/internal/runner"
 )
 
+// jsonReport is the schema written by -json.
+type jsonReport struct {
+	Seed        uint64           `json:"seed"`
+	GoVersion   string           `json:"go_version"`
+	Experiments []jsonExperiment `json:"experiments"`
+	TotalNS     int64            `json:"total_ns"`
+}
+
+// jsonExperiment pins one experiment's regeneration cost and output hash.
+type jsonExperiment struct {
+	ID   string `json:"id"`
+	NS   int64  `json:"ns"`
+	Hash string `json:"table_sha256"`
+}
+
 func main() {
 	seed := flag.Uint64("seed", 1, "base scenario seed (same seed, same tables)")
 	nseeds := flag.Int("seeds", 1, "number of replicate seeds (seed, seed+1, ...); >1 prints aggregated tables")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
+	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 	if *par <= 0 {
 		*par = runtime.GOMAXPROCS(0)
+	}
+	if *jsonOut != "" && *nseeds > 1 {
+		fmt.Fprintln(os.Stderr, "benchreport: -json requires single-seed mode (drop -seeds)")
+		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize live-heap stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			}
+		}()
 	}
 
 	want := map[string]bool{}
@@ -79,11 +145,29 @@ func main() {
 	}
 
 	if *nseeds <= 1 {
+		report := jsonReport{Seed: *seed, GoVersion: runtime.Version()}
+		quiet := *jsonOut == "-" // keep stdout parseable
 		for _, r := range selected {
 			start := time.Now()
 			table := r.run(*seed)
-			fmt.Println(table.String())
-			fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			elapsed := time.Since(start)
+			rendered := table.String()
+			report.TotalNS += elapsed.Nanoseconds()
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				ID:   r.id,
+				NS:   elapsed.Nanoseconds(),
+				Hash: fmt.Sprintf("%x", sha256.Sum256([]byte(rendered))),
+			})
+			if !quiet {
+				fmt.Println(rendered)
+				fmt.Printf("  (regenerated in %v)\n\n", elapsed.Round(time.Millisecond))
+			}
+		}
+		if *jsonOut != "" {
+			if err := writeJSON(*jsonOut, &report); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -110,4 +194,18 @@ func main() {
 	}
 	fmt.Printf("  (%d experiments x %d seeds on %d workers in %v)\n",
 		len(selected), *nseeds, *par, elapsed)
+}
+
+// writeJSON marshals the report with stable indentation to path or stdout.
+func writeJSON(path string, report *jsonReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -13,6 +13,12 @@ import (
 // transmitted to every other attached controller after the bit-accurate
 // frame time. A Gaussian-free, Bernoulli-per-frame bit error model can be
 // enabled to drive the error-counter state machine.
+//
+// The data path is amortized: completion and arbitration callbacks are
+// allocated once per bus (not per frame), transmit requests live by value
+// in per-controller ring buffers, and the Bernoulli per-frame success
+// probability is memoized by frame bit-length, so a saturated bus costs no
+// steady-state allocations beyond the payload clone made by Send.
 type Bus struct {
 	Name string
 
@@ -24,6 +30,23 @@ type Bus struct {
 	busy        bool
 	busyUntil   sim.Time
 	kickPending bool
+
+	// Reusable callbacks, bound once in NewBus so the hot path schedules
+	// no new closures.
+	kickFn     func() // runs b.kick
+	deferredFn func() // clears kickPending, then kicks
+	completeFn func() // finishes the in-flight transmission
+
+	// In-flight transmission state, valid while busy. One slot suffices:
+	// CAN is a single shared medium, so at most one frame is on the wire.
+	txSender *Controller
+	txDur    sim.Duration
+	txBits   int
+	// txScratch holds a by-value snapshot of the completing request while
+	// observers and receivers run, so ring-buffer growth during delivery
+	// (a handler calling Send) can never invalidate the frame mid-dispatch.
+	// Observers must clone the frame if they retain it past the callback.
+	txScratch txRequest
 
 	// BitErrorRate is the probability that any single transmitted bit is
 	// corrupted. Applied per frame as 1-(1-BER)^bits.
@@ -37,6 +60,11 @@ type Bus struct {
 	TargetedError func(f *Frame, sender *Controller) bool
 	errStream     *sim.Stream
 
+	// pOK memo: pokTab[n] = (1-BER)^n for the BER it was built against.
+	// Rebuilt lazily if BitErrorRate is reassigned mid-simulation.
+	pokBER float64
+	pokTab []float64
+
 	// Stats.
 	FramesOK      sim.Counter
 	FramesErrored sim.Counter
@@ -49,7 +77,8 @@ type Bus struct {
 
 // SnifferFunc observes every frame that completes on the bus (whether or
 // not it was corrupted). Sniffers model diagnostic taps: they see traffic
-// but cannot alter it.
+// but cannot alter it. The *Frame is a snapshot that is only valid for the
+// duration of the callback; clone it to retain it.
 type SnifferFunc func(at sim.Time, f *Frame, sender *Controller, corrupted bool)
 
 // NewBus creates a bus on the kernel at the given nominal bitrate. The FD
@@ -58,7 +87,7 @@ func NewBus(k *sim.Kernel, name string, bitrate int64) *Bus {
 	if bitrate <= 0 {
 		panic("can: bitrate must be positive")
 	}
-	return &Bus{
+	b := &Bus{
 		Name:        name,
 		kernel:      k,
 		bitrate:     bitrate,
@@ -66,6 +95,13 @@ func NewBus(k *sim.Kernel, name string, bitrate int64) *Bus {
 		errStream:   k.Stream("can.bus." + name + ".errors"),
 		startedAt:   k.Now(),
 	}
+	b.kickFn = b.kick
+	b.deferredFn = func() {
+		b.kickPending = false
+		b.kick()
+	}
+	b.completeFn = b.onWireDone
+	return b
 }
 
 // SetDataBitrate sets the CAN FD data-phase bitrate used by BRS frames.
@@ -109,6 +145,21 @@ func (b *Bus) frameTime(f *Frame) (sim.Duration, int, error) {
 	return sim.Duration(math.Ceil(ns)), arbBits + dataBits, nil
 }
 
+// pOK returns (1-BitErrorRate)^bits from the memo table, extending (or,
+// after a BER change, rebuilding) it on demand. Entries are computed with
+// the same math.Pow expression the un-memoized model used, so replacing
+// the per-frame Pow changes no stream draw.
+func (b *Bus) pOK(bits int) float64 {
+	if b.pokBER != b.BitErrorRate {
+		b.pokBER = b.BitErrorRate
+		b.pokTab = b.pokTab[:0]
+	}
+	for len(b.pokTab) <= bits {
+		b.pokTab = append(b.pokTab, math.Pow(1-b.pokBER, float64(len(b.pokTab))))
+	}
+	return b.pokTab[bits]
+}
+
 // scheduleKick defers an arbitration round to the end of the current
 // virtual instant, so that every frame enqueued at the same time competes —
 // just as all nodes start their SOF together on a real wire.
@@ -117,10 +168,7 @@ func (b *Bus) scheduleKick() {
 		return
 	}
 	b.kickPending = true
-	b.kernel.After(0, func() {
-		b.kickPending = false
-		b.kick()
-	})
+	b.kernel.After(0, b.deferredFn)
 }
 
 // kick starts an arbitration round if the bus is idle. Called whenever a
@@ -145,10 +193,10 @@ func (b *Bus) arbitrate() *Controller {
 	var winner *Controller
 	var best uint64 = math.MaxUint64
 	for _, c := range b.controllers {
-		if c.State() == BusOff || len(c.txQueue) == 0 {
+		if c.State() == BusOff || c.txLen == 0 {
 			continue
 		}
-		v := c.txQueue[0].frame.ArbitrationValue()
+		v := c.txFront().frame.ArbitrationValue()
 		if v < best {
 			best = v
 			winner = c
@@ -157,34 +205,47 @@ func (b *Bus) arbitrate() *Controller {
 	return winner
 }
 
-// transmit puts the winner's head frame on the wire.
+// transmit puts the winner's head frame on the wire. The completion is the
+// bus's one reusable event; per-transmit state rides in bus fields.
 func (b *Bus) transmit(c *Controller) {
-	tx := c.txQueue[0]
-	dur, bits, err := b.frameTime(&tx.frame)
+	dur, bits, err := b.frameTime(&c.txFront().frame)
 	if err != nil {
 		// Invalid frame slipped past Send validation; drop it.
-		c.txQueue = c.txQueue[1:]
-		b.kernel.After(0, b.kick)
+		c.txPopFront()
+		b.kernel.After(0, b.kickFn)
 		return
 	}
 	b.busy = true
 	b.busyUntil = b.kernel.Now() + dur
-	b.kernel.After(dur, func() {
-		b.busy = false
-		b.busyTime += dur
-		b.BitsOnWire += int64(bits)
-		b.complete(c, tx, bits)
-		b.kick()
-	})
+	b.txSender = c
+	b.txDur = dur
+	b.txBits = bits
+	b.kernel.After(dur, b.completeFn)
+}
+
+// onWireDone fires when the in-flight frame's last bit leaves the wire.
+func (b *Bus) onWireDone() {
+	c := b.txSender
+	dur, bits := b.txDur, b.txBits
+	b.txSender = nil
+	b.busy = false
+	b.busyTime += dur
+	b.BitsOnWire += int64(bits)
+	b.complete(c, bits)
+	b.kick()
 }
 
 // complete finishes a transmission: applies the bit error model, updates
 // error counters, delivers or retransmits.
-func (b *Bus) complete(c *Controller, tx *txRequest, bits int) {
+func (b *Bus) complete(c *Controller, bits int) {
+	// Snapshot the request: observers and receivers get a pointer into the
+	// bus-owned scratch slot, which stays valid even if a callback Sends
+	// (growing the ring) or the controller goes bus-off (flushing it).
+	tx := &b.txScratch
+	*tx = *c.txFront()
 	corrupted := false
 	if b.BitErrorRate > 0 {
-		pOK := math.Pow(1-b.BitErrorRate, float64(bits))
-		corrupted = !b.errStream.Bool(pOK)
+		corrupted = !b.errStream.Bool(b.pOK(bits))
 	}
 	if !corrupted && b.TargetedError != nil && b.TargetedError(&tx.frame, c) {
 		corrupted = true
@@ -195,6 +256,7 @@ func (b *Bus) complete(c *Controller, tx *txRequest, bits int) {
 	}
 	if corrupted {
 		b.FramesErrored.Inc()
+		tx.done = nil
 		// ISO 11898-1 rule 3/1: transmitter TEC += 8; receivers REC += 1.
 		c.bumpTEC(8)
 		for _, rc := range b.controllers {
@@ -210,7 +272,7 @@ func (b *Bus) complete(c *Controller, tx *txRequest, bits int) {
 		return
 	}
 	b.FramesOK.Inc()
-	c.txQueue = c.txQueue[1:]
+	c.txPopFront()
 	c.decayTEC()
 	c.FramesSent.Inc()
 	if tx.done != nil {
@@ -222,6 +284,7 @@ func (b *Bus) complete(c *Controller, tx *txRequest, bits int) {
 		}
 		rc.deliver(now, &tx.frame, c)
 	}
+	tx.done = nil // do not retain the callback past this completion
 }
 
 // ErrBusOff is returned by Controller.Send while the controller is bus-off.
@@ -261,7 +324,9 @@ type txRequest struct {
 	done  func(at sim.Time)
 }
 
-// ReceiveFunc handles a frame delivered to a controller.
+// ReceiveFunc handles a frame delivered to a controller. The *Frame is a
+// snapshot that is only valid for the duration of the callback; clone it
+// to retain it.
 type ReceiveFunc func(at sim.Time, f *Frame, sender *Controller)
 
 // AcceptanceFilter decides whether a received frame is passed up to the
@@ -279,8 +344,13 @@ func MaskFilter(match, mask ID) AcceptanceFilter {
 type Controller struct {
 	Name string
 
-	bus     *Bus
-	txQueue []*txRequest
+	bus *Bus
+	// Transmit queue: a ring buffer of requests held by value, so Send
+	// performs no per-request allocation and popping the head retains no
+	// backing-array tail the way txQueue = txQueue[1:] did.
+	txBuf  []txRequest
+	txHead int
+	txLen  int
 	// MaxQueue bounds the TX queue; 0 means unlimited.
 	MaxQueue int
 
@@ -315,7 +385,41 @@ func (c *Controller) State() ControllerState { return c.state }
 func (c *Controller) Counters() (tec, rec int) { return c.tec, c.rec }
 
 // QueueLen reports the number of frames waiting to transmit.
-func (c *Controller) QueueLen() int { return len(c.txQueue) }
+func (c *Controller) QueueLen() int { return c.txLen }
+
+// txFront returns the head transmit request in place. Only valid while
+// txLen > 0, and only until the next push/pop.
+func (c *Controller) txFront() *txRequest { return &c.txBuf[c.txHead] }
+
+// txPush appends a request, growing the ring when full.
+func (c *Controller) txPush(tx txRequest) {
+	if c.txLen == len(c.txBuf) {
+		grown := make([]txRequest, max(8, 2*len(c.txBuf)))
+		for i := 0; i < c.txLen; i++ {
+			grown[i] = c.txBuf[(c.txHead+i)%len(c.txBuf)]
+		}
+		c.txBuf = grown
+		c.txHead = 0
+	}
+	c.txBuf[(c.txHead+c.txLen)%len(c.txBuf)] = tx
+	c.txLen++
+}
+
+// txPopFront removes the head request, clearing the slot so the ring
+// retains neither payload nor callback.
+func (c *Controller) txPopFront() {
+	c.txBuf[c.txHead] = txRequest{}
+	c.txHead = (c.txHead + 1) % len(c.txBuf)
+	c.txLen--
+}
+
+// txFlush drops every queued request (the bus-off transition).
+func (c *Controller) txFlush() {
+	for c.txLen > 0 {
+		c.txPopFront()
+	}
+	c.txHead = 0
+}
 
 // Send validates and enqueues a frame for transmission. The optional done
 // callback fires when the frame has been successfully put on the wire.
@@ -329,11 +433,11 @@ func (c *Controller) Send(f Frame, done func(at sim.Time)) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	if c.MaxQueue > 0 && len(c.txQueue) >= c.MaxQueue {
+	if c.MaxQueue > 0 && c.txLen >= c.MaxQueue {
 		c.FramesDropped.Inc()
 		return ErrQueueFull
 	}
-	c.txQueue = append(c.txQueue, &txRequest{frame: f.Clone(), done: done})
+	c.txPush(txRequest{frame: f.Clone(), done: done})
 	c.bus.scheduleKick()
 	return nil
 }
@@ -393,8 +497,8 @@ func (c *Controller) updateState() {
 			c.state = BusOff
 			c.BusOffEvents.Inc()
 			// Pending frames are lost on bus-off.
-			c.FramesDropped.Add(int64(len(c.txQueue)))
-			c.txQueue = nil
+			c.FramesDropped.Add(int64(c.txLen))
+			c.txFlush()
 		}
 	case c.tec > 127 || c.rec > 127:
 		if c.state == ErrorActive {

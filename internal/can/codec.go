@@ -265,6 +265,104 @@ func WireLength(f *Frame) (int, error) {
 	return len(wire) + 3, nil
 }
 
+// bitCounter streams the stuffed-region bits of a classic frame without
+// materializing them, accumulating the CRC-15 and the stuff-bit count in
+// one pass. It is the allocation-free equivalent of
+// len(Stuff(headerBits+CRC)) and exists for the bus timing hot path;
+// Marshal remains the reference bit-level encoder, and
+// TestClassicWireBitsMatchesMarshal pins the two together.
+type bitCounter struct {
+	crc   uint16
+	run   int
+	last  bool
+	any   bool
+	count int
+}
+
+// crcOnly feeds one bit into the CRC accumulator.
+func (bc *bitCounter) crcOnly(b bool) {
+	bit := uint16(0)
+	if b {
+		bit = 1
+	}
+	next := bit ^ (bc.crc >> 14)
+	bc.crc = (bc.crc << 1) & 0x7FFF
+	if next == 1 {
+		bc.crc ^= crc15Poly
+	}
+}
+
+// stuffOnly feeds one bit into the stuffing counter: the bit itself, plus
+// a complement stuff bit after every run of five.
+func (bc *bitCounter) stuffOnly(b bool) {
+	if bc.any && b == bc.last {
+		bc.run++
+	} else {
+		bc.run = 1
+	}
+	bc.count++
+	bc.last = b
+	bc.any = true
+	if bc.run == 5 {
+		bc.count++ // stuff bit, complement of b
+		bc.last = !b
+		bc.run = 1
+	}
+}
+
+// bit feeds one header/data bit: CRC-covered and stuffed.
+func (bc *bitCounter) bit(b bool) {
+	bc.crcOnly(b)
+	bc.stuffOnly(b)
+}
+
+// bits feeds the low n bits of v, MSB first.
+func (bc *bitCounter) bits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bc.bit(v>>uint(i)&1 == 1)
+	}
+}
+
+// classicWireBits returns exactly what WireLength returns for a valid
+// classic frame — stuffed SOF..CRC region, 10 tail bits (CRC delimiter,
+// ACK slot, ACK delimiter, 7×EOF) and the 3-bit interframe space — with
+// no allocation.
+func classicWireBits(f *Frame) (int, error) {
+	if f.FD {
+		return 0, errors.New("can: bit-level codec models classic frames only")
+	}
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	var bc bitCounter
+	bc.bit(false) // SOF (dominant)
+	if !f.Extended {
+		bc.bits(uint64(f.ID), 11)
+		bc.bit(f.Remote) // RTR
+		bc.bit(false)    // IDE = standard
+		bc.bit(false)    // r0
+	} else {
+		bc.bits(uint64(f.ID>>18), 11) // base ID
+		bc.bit(true)                  // SRR (recessive)
+		bc.bit(true)                  // IDE = extended
+		bc.bits(uint64(f.ID)&0x3FFFF, 18)
+		bc.bit(f.Remote) // RTR
+		bc.bit(false)    // r1
+		bc.bit(false)    // r0
+	}
+	bc.bits(uint64(f.DLC()), 4)
+	if !f.Remote {
+		for _, b := range f.Data {
+			bc.bits(uint64(b), 8)
+		}
+	}
+	crc := bc.crc & 0x7FFF
+	for i := 14; i >= 0; i-- {
+		bc.stuffOnly(crc>>uint(i)&1 == 1)
+	}
+	return bc.count + 10 + 3, nil
+}
+
 // BitLength estimates on-wire bits for timing purposes, handling both
 // classic and FD frames. For classic frames it is exact (same as
 // WireLength). For FD frames it uses the standard field sizes with a
@@ -272,7 +370,7 @@ func WireLength(f *Frame) (int, error) {
 // data-phase bit counts separately so the bus can apply two bitrates.
 func BitLength(f *Frame) (arbBits, dataBits int, err error) {
 	if !f.FD {
-		n, err := WireLength(f)
+		n, err := classicWireBits(f)
 		return n, 0, err
 	}
 	if err := f.Validate(); err != nil {

@@ -270,3 +270,59 @@ func TestHeaderBitsRejectsFD(t *testing.T) {
 		t.Fatal("Marshal accepted an FD frame")
 	}
 }
+
+// Property: the streaming allocation-free bit counter used by the bus
+// timing hot path agrees exactly with the reference Marshal-based
+// WireLength for arbitrary valid classic frames (including remote frames),
+// and allocates nothing.
+func TestClassicWireBitsMatchesMarshal(t *testing.T) {
+	check := func(fr Frame) {
+		t.Helper()
+		want, err := WireLength(&fr)
+		if err != nil {
+			t.Fatalf("WireLength(%v): %v", &fr, err)
+		}
+		got, err := classicWireBits(&fr)
+		if err != nil {
+			t.Fatalf("classicWireBits(%v): %v", &fr, err)
+		}
+		if got != want {
+			t.Fatalf("classicWireBits(%v)=%d, WireLength=%d", &fr, got, want)
+		}
+	}
+	f := func(rawID uint32, ext, remote bool, data []byte) bool {
+		fr := Frame{Extended: ext, Remote: remote}
+		if ext {
+			fr.ID = ID(rawID) & MaxExtendedID
+		} else {
+			fr.ID = ID(rawID) & MaxStandardID
+		}
+		if len(data) > 8 {
+			data = data[:8]
+		}
+		if !remote {
+			fr.Data = data
+		}
+		check(fr)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case stuffing: long runs of identical bits.
+	check(Frame{ID: 0, Data: []byte{0, 0, 0, 0, 0, 0, 0, 0}})
+	check(Frame{ID: 0x7FF, Data: []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}})
+	check(Frame{ID: 0x1FFFFFFF, Extended: true, Data: []byte{0xAA, 0x55}})
+
+	fr := Frame{ID: 0x2A5, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := classicWireBits(&fr); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("classicWireBits allocates %v per call, want 0", allocs)
+	}
+	if _, err := classicWireBits(&Frame{ID: 1, FD: true}); err == nil {
+		t.Fatal("classicWireBits accepted an FD frame")
+	}
+}

@@ -52,7 +52,7 @@ type CPU struct {
 	ready      []*job
 	running    *job
 	runStart   sim.Time
-	completion *sim.Event
+	completion sim.Event
 	seq        uint64
 
 	busy      sim.Duration
@@ -168,9 +168,7 @@ func (c *CPU) reschedule() {
 		now := c.kernel.Now()
 		c.running.remaining -= now - c.runStart
 		c.busy += now - c.runStart
-		if c.completion != nil {
-			c.kernel.Cancel(c.completion)
-		}
+		c.kernel.Cancel(c.completion)
 		if c.running.remaining > 0 {
 			c.ready = append(c.ready, c.running)
 			sort.SliceStable(c.ready, func(i, j int) bool { return higher(c.ready[i], c.ready[j]) })
@@ -196,7 +194,7 @@ func (c *CPU) complete(j *job) {
 	now := c.kernel.Now()
 	c.busy += now - c.runStart
 	c.running = nil
-	c.completion = nil
+	c.completion = sim.Event{}
 
 	missed := j.deadline != sim.Never && now > j.deadline
 	c.JobsCompleted.Inc()

@@ -35,6 +35,7 @@ func E1BusDoS(seed uint64) *Table {
 		victim.MaxQueue = 16
 		bus.Attach(victim)
 		var lat sim.Summary
+		lat.Reserve(1000) // one sample per 10ms period over the 10s horizon
 		misses, sends := 0, 0
 		k.Every(0, 10*sim.Millisecond, func() {
 			sends++

@@ -119,6 +119,7 @@ func E7AuthenticatedCAN(seed uint64) *Table {
 			}
 			var cryptoMiss int
 			var cryptoLat sim.Summary
+			cryptoLat.Reserve(5 * fps) // one sample per frame over the 5s horizon
 			period := sim.Second / sim.Duration(fps)
 			k.Every(0, period, func() {
 				start := k.Now()

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkKernelDispatch measures raw event throughput: schedule-and-run
 // cycles through the binary heap.
@@ -34,6 +37,29 @@ func BenchmarkKernelFanOut(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		target += Microsecond
 		_ = k.RunUntil(target)
+	}
+}
+
+// BenchmarkKernelSchedule measures one steady-state schedule→dispatch
+// cycle with a pre-allocated callback, against an empty queue and against
+// a deep backlog of far-future events (heap depth exercises sift cost).
+// Allocations are reported: in steady state the kernel itself must not
+// allocate per event.
+func BenchmarkKernelSchedule(b *testing.B) {
+	for _, depth := range []int{0, 1024} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			k := NewKernel(1)
+			fn := func() {}
+			for i := 0; i < depth; i++ {
+				k.At(Time(1<<55)+Time(i), fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.After(Microsecond, fn)
+				_ = k.RunUntil(k.Now() + Microsecond)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the concrete 4-ary heap + free-list event queue to the
+// container/heap implementation it replaced: under randomized
+// schedule/cancel/run interleavings — including cancels through stale
+// handles whose nodes have been recycled — dispatch order must be
+// identical to the boxing reference, and the live-event count must match.
+
+// refEvent mirrors the pre-optimization *Event queue entry.
+type refEvent struct {
+	when      Time
+	seq       uint64
+	id        int
+	cancelled bool
+	popped    bool
+}
+
+// refQueue is the original heap.Interface implementation, boxing and all.
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// refKernel is the ordering oracle: same (when, seq) total order, same
+// lazy-cancel semantics, no recycling.
+type refKernel struct {
+	q   refQueue
+	now Time
+	seq uint64
+}
+
+func (r *refKernel) at(t Time, id int) *refEvent {
+	e := &refEvent{when: t, seq: r.seq, id: id}
+	r.seq++
+	heap.Push(&r.q, e)
+	return e
+}
+
+// runUntil pops events with deadline ≤ t, appending dispatched ids.
+func (r *refKernel) runUntil(t Time, out *[]int) {
+	for len(r.q) > 0 {
+		top := r.q[0]
+		if top.cancelled {
+			heap.Pop(&r.q)
+			top.popped = true
+			continue
+		}
+		if top.when > t {
+			break
+		}
+		heap.Pop(&r.q)
+		top.popped = true
+		r.now = top.when
+		*out = append(*out, top.id)
+	}
+	if t > r.now {
+		r.now = t
+	}
+}
+
+func (r *refKernel) pending() int {
+	n := 0
+	for _, e := range r.q {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func TestKernelDispatchOrderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		k := NewKernel(uint64(trial))
+		ref := &refKernel{}
+		var got, want []int
+		type pair struct {
+			ev Event
+			re *refEvent
+		}
+		var handles []pair
+		nextID := 0
+
+		for round := 0; round < 30; round++ {
+			// Schedule a batch with clustered deadlines so ties are common
+			// and nodes recycled from earlier rounds get reused.
+			for i, n := 0, rng.Intn(8); i < n; i++ {
+				d := Duration(rng.Intn(40) * 10) // multiples of 10ns force ties
+				id := nextID
+				nextID++
+				ev := k.At(k.Now()+d, func() { got = append(got, id) })
+				handles = append(handles, pair{ev: ev, re: ref.at(ref.now+d, id)})
+			}
+			// Cancel a random sample of handles — live, already-dispatched,
+			// or stale (recycled node): the kernel must treat the last two
+			// as no-ops exactly like the oracle does.
+			for i, n := 0, rng.Intn(4); i < n && len(handles) > 0; i++ {
+				p := handles[rng.Intn(len(handles))]
+				k.Cancel(p.ev)
+				if !p.re.popped {
+					p.re.cancelled = true
+				}
+			}
+			if k.Pending() != ref.pending() {
+				t.Fatalf("trial %d round %d: Pending()=%d, reference %d",
+					trial, round, k.Pending(), ref.pending())
+			}
+			// Advance both through the same partial horizon.
+			horizon := k.Now() + Duration(rng.Intn(150))
+			if err := k.RunUntil(horizon); err != nil {
+				t.Fatal(err)
+			}
+			ref.runUntil(horizon, &want)
+			if k.Now() != ref.now {
+				t.Fatalf("trial %d round %d: clock %v, reference %v",
+					trial, round, k.Now(), ref.now)
+			}
+		}
+		// Drain both queues completely.
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		ref.runUntil(Never-1, &want)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: dispatched %d events, reference %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dispatch order diverged at %d: got id %d, reference id %d",
+					trial, i, got[i], want[i])
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("trial %d: Pending()=%d after drain", trial, k.Pending())
+		}
+	}
+}
+
+// TestKernelSteadyStateAllocs pins the tentpole invariant: once the heap
+// and free list are warm, a schedule→dispatch→recycle cycle performs zero
+// allocations — including cycles that cancel and reclaim events.
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	// Warm-up: grow the queue backing array and the free list past any
+	// depth the measured loops reach.
+	for i := 0; i < 64; i++ {
+		k.After(Duration(i), fn)
+	}
+	_ = k.Run()
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		k.After(Microsecond, fn)
+		_ = k.Run()
+	}); allocs != 0 {
+		t.Fatalf("steady-state allocs/event = %v, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e := k.After(Microsecond, fn)
+		k.After(2*Microsecond, fn)
+		k.Cancel(e)
+		_ = k.Run()
+	}); allocs != 0 {
+		t.Fatalf("steady-state allocs with cancel+recycle = %v, want 0", allocs)
+	}
+}

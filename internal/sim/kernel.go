@@ -2,14 +2,21 @@
 // every timed subsystem in autosec: in-vehicle networks, ECU schedulers,
 // the V2X field model, OTA campaigns and drive cycles.
 //
-// The kernel is deliberately minimal: a virtual clock in nanoseconds, a
-// binary-heap event queue with deterministic tie-breaking, and named
-// deterministic random streams. Nothing in the library reads the wall
-// clock; two runs with the same scenario seed produce identical traces.
+// The kernel is deliberately minimal: a virtual clock in nanoseconds, an
+// event queue with deterministic tie-breaking, and named deterministic
+// random streams. Nothing in the library reads the wall clock; two runs
+// with the same scenario seed produce identical traces.
+//
+// The hot path is allocation-free in steady state: the queue is a concrete
+// 4-ary min-heap over event nodes (no interface boxing), and dispatched or
+// cancelled nodes return to a kernel-owned free list, so a
+// schedule→dispatch→recycle cycle touches no allocator once the heap and
+// free list are warm. Event handles carry a generation counter, so a
+// handle to an event whose node has since been recycled is inert: Cancel
+// on it is a no-op and can never affect the node's new occupant.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -59,50 +66,41 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. The callback runs exactly once, at its
-// deadline, unless cancelled first.
-type Event struct {
+// eventNode is the kernel-owned storage for one scheduled callback. Nodes
+// are pooled: after dispatch (or after a cancelled node is reclaimed from
+// the queue) the node's generation is bumped and it returns to the free
+// list for the next schedule.
+type eventNode struct {
 	when   Time
 	seq    uint64 // tie-break: FIFO among equal deadlines
 	fn     func()
-	index  int // heap index, -1 when not queued
+	gen    uint64 // incremented on recycle; invalidates outstanding handles
 	cancel bool
 }
 
-// When reports the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.when }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
-
-// eventQueue implements heap.Interface ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
+// Event is a handle to a scheduled callback. The callback runs exactly
+// once, at its deadline, unless cancelled first. The zero Event is valid
+// and refers to nothing.
+//
+// Handles are values, not references: once the event has run (or a
+// cancelled event's slot has been reclaimed) the handle goes stale, and a
+// stale handle is inert — Cancel through it is a no-op and Cancelled
+// reports false.
+type Event struct {
+	node *eventNode
+	gen  uint64
+	when Time
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// When reports the virtual time the event was scheduled for.
+func (e Event) When() Time { return e.when }
+
+// Cancelled reports whether the event is currently cancelled and still
+// queued. Once the kernel reclaims the node (the event ran, or a
+// cancelled slot was recycled) the handle is stale and Cancelled reports
+// false.
+func (e Event) Cancelled() bool {
+	return e.node != nil && e.node.gen == e.gen && e.node.cancel
 }
 
 // ErrHalted is returned by Run variants when Halt stopped the simulation.
@@ -112,8 +110,10 @@ var ErrHalted = errors.New("sim: halted")
 // construct with NewKernel.
 type Kernel struct {
 	now     Time
-	queue   eventQueue
+	queue   []*eventNode // 4-ary min-heap ordered by (when, seq)
+	free    []*eventNode // recycled nodes ready for the next schedule
 	seq     uint64
+	pending int // live (non-cancelled) queued events, maintained incrementally
 	halted  bool
 	stepped uint64
 	seed    uint64
@@ -132,31 +132,29 @@ func (k *Kernel) Now() Time { return k.now }
 // Steps reports how many events have been dispatched so far.
 func (k *Kernel) Steps() uint64 { return k.stepped }
 
-// Pending reports the number of queued (non-cancelled) events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.queue {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of queued (non-cancelled) events. O(1): the
+// count is maintained on schedule, cancel and dispatch.
+func (k *Kernel) Pending() int { return k.pending }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past (t < Now) panics: it always indicates a model bug.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{when: t, seq: k.seq, fn: fn, index: -1}
+	n := k.alloc()
+	n.when = t
+	n.seq = k.seq
+	n.fn = fn
+	n.cancel = false
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.push(n)
+	k.pending++
+	return Event{node: n, gen: n.gen, when: t}
 }
 
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d Duration, fn func()) *Event {
+func (k *Kernel) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -171,7 +169,7 @@ func (k *Kernel) Every(start Time, period Duration, fn func()) (stop func()) {
 	}
 	stopped := false
 	var tick func()
-	var ev *Event
+	var ev Event
 	tick = func() {
 		if stopped {
 			return
@@ -182,34 +180,117 @@ func (k *Kernel) Every(start Time, period Duration, fn func()) (stop func()) {
 	ev = k.At(start, tick)
 	return func() {
 		stopped = true
-		if ev != nil {
-			k.Cancel(ev)
-		}
+		k.Cancel(ev)
 	}
 }
 
-// Cancel prevents a scheduled event from running. Safe to call on events
-// that already ran (no-op).
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.cancel {
+// Cancel prevents a scheduled event from running. Safe to call on the
+// zero handle, on handles whose event already ran, and on handles that
+// went stale after their node was recycled (all no-ops).
+func (k *Kernel) Cancel(e Event) {
+	n := e.node
+	if n == nil || n.gen != e.gen || n.cancel {
 		return
 	}
-	e.cancel = true
+	n.cancel = true
+	k.pending--
 }
 
 // Halt stops the current Run/RunUntil after the current event returns.
 func (k *Kernel) Halt() { k.halted = true }
 
+// alloc takes a node from the free list, or mints one when the pool is
+// dry (cold start, or queue growth beyond any previous depth).
+func (k *Kernel) alloc() *eventNode {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &eventNode{}
+}
+
+// recycle invalidates outstanding handles to n and returns it to the pool.
+func (k *Kernel) recycle(n *eventNode) {
+	n.fn = nil // release the callback's captures
+	n.gen++
+	k.free = append(k.free, n)
+}
+
+// less orders nodes by (when, seq): earliest deadline first, FIFO among
+// equal deadlines.
+func less(a, b *eventNode) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// push inserts n into the 4-ary heap.
+func (k *Kernel) push(n *eventNode) {
+	k.queue = append(k.queue, n)
+	q := k.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the heap minimum. The queue must be non-empty.
+func (k *Kernel) pop() *eventNode {
+	q := k.queue
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	q = q[:last]
+	k.queue = q
+	// Sift the displaced tail node down among up to four children.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= len(q) {
+			break
+		}
+		end := c + 4
+		if end > len(q) {
+			end = len(q)
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if less(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !less(q[best], q[i]) {
+			break
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+	return top
+}
+
 // step dispatches the next event. Reports false when the queue is empty.
 func (k *Kernel) step() bool {
 	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.cancel {
+		n := k.pop()
+		if n.cancel {
+			k.recycle(n)
 			continue
 		}
-		k.now = e.when
+		k.now = n.when
 		k.stepped++
-		e.fn()
+		k.pending--
+		fn := n.fn
+		k.recycle(n)
+		fn()
 		return true
 	}
 	return false
@@ -232,14 +313,8 @@ func (k *Kernel) Run() error {
 func (k *Kernel) RunUntil(t Time) error {
 	k.halted = false
 	for !k.halted {
-		if len(k.queue) == 0 {
-			break
-		}
 		next := k.peek()
-		if next == nil {
-			break
-		}
-		if next.when > t {
+		if next == nil || next.when > t {
 			break
 		}
 		k.step()
@@ -253,14 +328,15 @@ func (k *Kernel) RunUntil(t Time) error {
 	return nil
 }
 
-// peek returns the earliest non-cancelled event without removing it.
-func (k *Kernel) peek() *Event {
+// peek returns the earliest non-cancelled node without dispatching it,
+// reclaiming any cancelled nodes it skips over.
+func (k *Kernel) peek() *eventNode {
 	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if !e.cancel {
-			return e
+		n := k.queue[0]
+		if !n.cancel {
+			return n
 		}
-		heap.Pop(&k.queue)
+		k.recycle(k.pop())
 	}
 	return nil
 }

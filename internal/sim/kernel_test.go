@@ -46,13 +46,37 @@ func TestKernelCancel(t *testing.T) {
 	ran := false
 	e := k.At(Millisecond, func() { ran = true })
 	k.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
 	_ = k.Run()
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	// After the run the node has been reclaimed; the handle is stale and
+	// inert: it reports false and a second Cancel through it is a no-op.
+	if e.Cancelled() {
+		t.Fatal("stale handle still reports cancelled")
 	}
+	k.Cancel(e)
+}
+
+// A stale handle must never cancel the recycled node's new occupant.
+func TestKernelStaleHandleIsInert(t *testing.T) {
+	k := NewKernel(1)
+	first := k.At(Millisecond, func() {})
+	_ = k.Run() // first's node returns to the free list
+	ran := false
+	second := k.At(2*Millisecond, func() { ran = true }) // reuses the node
+	k.Cancel(first)                                      // stale: must not touch second
+	if k.Pending() != 1 {
+		t.Fatalf("pending=%d after stale cancel, want 1", k.Pending())
+	}
+	_ = k.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed a live event")
+	}
+	_ = second
 }
 
 func TestKernelSchedulingInsideEvents(t *testing.T) {

@@ -41,6 +41,19 @@ func (s *Summary) Observe(v float64) {
 	s.sorted = false
 }
 
+// Reserve pre-sizes the sample buffer for n further observations, so a
+// scenario that knows its sample count up front (e.g. a bus experiment
+// observing one latency per period over a fixed horizon) avoids the
+// append-regrowth copies. It never shrinks and never discards samples.
+func (s *Summary) Reserve(n int) {
+	if n <= 0 || cap(s.samples)-len(s.samples) >= n {
+		return
+	}
+	grown := make([]float64, len(s.samples), len(s.samples)+n)
+	copy(grown, s.samples)
+	s.samples = grown
+}
+
 // N reports the number of samples.
 func (s *Summary) N() int { return len(s.samples) }
 
@@ -107,11 +120,18 @@ func (s *Summary) Quantile(q float64) float64 {
 	return s.samples[idx]
 }
 
+// sort establishes sorted order once; back-to-back order-statistic reads
+// (Min, Max, a run of Quantile calls) share the one sort via the lazy
+// flag, and a buffer whose samples arrived already ordered is detected in
+// O(n) instead of being re-sorted.
 func (s *Summary) sort() {
-	if !s.sorted {
-		sort.Float64s(s.samples)
-		s.sorted = true
+	if s.sorted {
+		return
 	}
+	if !sort.Float64sAreSorted(s.samples) {
+		sort.Float64s(s.samples)
+	}
+	s.sorted = true
 }
 
 // String renders a one-line digest.

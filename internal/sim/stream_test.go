@@ -269,3 +269,45 @@ func TestRate(t *testing.T) {
 		t.Fatalf("zero-span rate=%v", got)
 	}
 }
+
+func TestSummaryReserve(t *testing.T) {
+	var s Summary
+	s.Observe(2)
+	s.Observe(1)
+	s.Reserve(2000)
+	if s.N() != 2 || s.Min() != 1 || s.Max() != 2 {
+		t.Fatalf("Reserve disturbed samples: n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+	// The reserved buffer must absorb 2000 further observations without
+	// reallocating (AllocsPerRun makes one warm-up call plus one measured
+	// call, 1000 observations each).
+	if allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 1000; i++ {
+			s.Observe(float64(i))
+		}
+	}); allocs != 0 {
+		t.Fatalf("Observe allocated %v times after Reserve, want 0", allocs)
+	}
+	s.Reserve(0)  // no-op
+	s.Reserve(-5) // no-op
+	if s.N() != 2002 {
+		t.Fatalf("n=%d after observes, want 2002", s.N())
+	}
+}
+
+// Back-to-back order-statistic reads share one sort; interleaved observes
+// invalidate it; pre-ordered sample sets are detected without re-sorting.
+func TestSummaryQuantileConsistency(t *testing.T) {
+	var s Summary
+	for i := 100; i > 0; i-- {
+		s.Observe(float64(i))
+	}
+	if s.Quantile(0.5) != 50 || s.Quantile(0.99) != 99 || s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("order statistics wrong: p50=%v p99=%v min=%v max=%v",
+			s.Quantile(0.5), s.Quantile(0.99), s.Min(), s.Max())
+	}
+	s.Observe(0.5)
+	if s.Min() != 0.5 || s.Quantile(1) != 100 {
+		t.Fatalf("post-observe order statistics wrong: min=%v max=%v", s.Min(), s.Quantile(1))
+	}
+}
