@@ -6,10 +6,18 @@
 // captured and printed in seed order, so the output is identical at any
 // parallelism.
 //
+// Observability: -trace FILE exports a Chrome trace_event JSON of the run
+// (open in chrome://tracing or Perfetto), -timeline FILE a plain-text
+// event timeline, and -metrics prints the obs registry snapshot as a
+// table. -trace/-timeline require a single seed (one timeline per
+// kernel); -metrics with -seeds N merges the per-seed snapshots into
+// mean ± 95% CI columns through the same deterministic fold as the
+// experiment tables.
+//
 // Usage:
 //
 //	autosim list
-//	autosim run [-seed N] [-seeds N] [-par N] <scenario>
+//	autosim run [-seed N] [-seeds N] [-par N] [-trace F] [-timeline F] [-metrics] <scenario>
 package main
 
 import (
@@ -24,9 +32,11 @@ import (
 
 	"autosec/internal/can"
 	"autosec/internal/core"
+	"autosec/internal/experiments"
 	"autosec/internal/gateway"
 	"autosec/internal/ids"
 	"autosec/internal/keyless"
+	"autosec/internal/obs"
 	"autosec/internal/policy"
 	"autosec/internal/runner"
 	"autosec/internal/she"
@@ -35,9 +45,16 @@ import (
 	"autosec/internal/workload"
 )
 
+// obsPair carries a scenario run's observability sinks; the zero value
+// (both nil) is "observability off" and costs the scenario nothing.
+type obsPair struct {
+	tr  *obs.Tracer
+	reg *obs.Registry
+}
+
 type scenario struct {
 	desc string
-	run  func(w io.Writer, seed uint64)
+	run  func(w io.Writer, seed uint64, ob obsPair)
 }
 
 var scenarios = map[string]scenario{
@@ -86,6 +103,9 @@ func main() {
 		seed := fs.Uint64("seed", 1, "base scenario seed")
 		nseeds := fs.Int("seeds", 1, "number of replicate seeds (seed, seed+1, ...)")
 		par := fs.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
+		traceFile := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (single seed only)")
+		timelineFile := fs.String("timeline", "", "write a plain-text event timeline to this file (single seed only)")
+		metrics := fs.Bool("metrics", false, "print the observability metrics snapshot after the run")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
@@ -99,41 +119,115 @@ func main() {
 			os.Exit(2)
 		}
 		if *nseeds <= 1 {
-			sc.run(os.Stdout, *seed)
+			runSingle(sc, *seed, *traceFile, *timelineFile, *metrics)
 			return
 		}
-		replicate(fs.Arg(0), sc, *seed, *nseeds, *par)
+		if *traceFile != "" || *timelineFile != "" {
+			fmt.Fprintln(os.Stderr, "autosim: -trace/-timeline need a single seed (one timeline per kernel); drop -seeds or use -seed")
+			os.Exit(2)
+		}
+		replicate(fs.Arg(0), sc, *seed, *nseeds, *par, *metrics)
 	default:
 		usage()
 	}
 }
 
+// runSingle executes one replicate with whatever observability the flags
+// asked for.
+func runSingle(sc scenario, seed uint64, traceFile, timelineFile string, metrics bool) {
+	var ob obsPair
+	if traceFile != "" || timelineFile != "" {
+		ob.tr = obs.NewTracer(0)
+	}
+	if metrics {
+		ob.reg = obs.NewRegistry()
+	}
+	sc.run(os.Stdout, seed, ob)
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ob.tr.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events (%d dropped) -> %s\n", ob.tr.Len(), ob.tr.Dropped(), traceFile)
+	}
+	if timelineFile != "" {
+		f, err := os.Create(timelineFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ob.tr.WriteTimeline(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metrics {
+		fmt.Println()
+		fmt.Print(experiments.MetricsTable(ob.reg.Snapshot()))
+	}
+}
+
 // replicate runs one scenario across consecutive seeds on the worker
 // pool, capturing each replicate's narrative, and prints them in seed
-// order — byte-identical output at any -par.
-func replicate(name string, sc scenario, seed uint64, nseeds, par int) {
+// order — byte-identical output at any -par. With metrics on, each
+// replicate fills its own registry and the per-seed snapshots fold into
+// one mean ± CI table.
+func replicate(name string, sc scenario, seed uint64, nseeds, par int, metrics bool) {
+	type rep struct {
+		narrative string
+		metrics   *experiments.Table
+	}
 	seeds := runner.Seeds(seed, nseeds)
 	results, err := runner.Map(context.Background(), seeds, par,
-		func(_ context.Context, s uint64) (string, error) {
+		func(_ context.Context, s uint64) (rep, error) {
 			var buf bytes.Buffer
-			sc.run(&buf, s)
-			return buf.String(), nil
+			var ob obsPair
+			if metrics {
+				ob.reg = obs.NewRegistry()
+			}
+			sc.run(&buf, s, ob)
+			r := rep{narrative: buf.String()}
+			if metrics {
+				r.metrics = experiments.MetricsTable(ob.reg.Snapshot())
+			}
+			return r, nil
 		})
 	if err != nil {
 		fatal(err)
 	}
+	perSeed := make([][]*experiments.Table, 0, len(results))
 	for _, r := range results {
 		fmt.Printf("=== %s seed=%d ===\n", name, r.Seed)
 		if r.Err != nil {
 			fatal(r.Err)
 		}
-		fmt.Print(r.Value)
+		fmt.Print(r.Value.narrative)
 		fmt.Println()
+		if metrics {
+			perSeed = append(perSeed, []*experiments.Table{r.Value.metrics})
+		}
+	}
+	if metrics {
+		agg, err := runner.Aggregate(perSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== metrics across %d seeds ===\n", nseeds)
+		for _, t := range agg {
+			fmt.Print(t.String())
+		}
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: autosim list | autosim run [-seed N] [-seeds N] [-par N] <scenario>")
+	fmt.Fprintln(os.Stderr, "usage: autosim list | autosim run [-seed N] [-seeds N] [-par N] [-trace F] [-timeline F] [-metrics] <scenario>")
 	os.Exit(2)
 }
 
@@ -145,8 +239,9 @@ func mustVehicle(seed uint64, policyKey []byte) *core.Vehicle {
 	return v
 }
 
-func runBaseline(w io.Writer, seed uint64) {
+func runBaseline(w io.Writer, seed uint64, ob obsPair) {
 	v := mustVehicle(seed, nil)
+	v.Instrument(ob.tr, ob.reg)
 	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01))
 	v.StartTraffic()
 	_ = v.Kernel.RunUntil(10 * sim.Second)
@@ -166,8 +261,9 @@ func runBaseline(w io.Writer, seed uint64) {
 	fmt.Fprintf(w, "  IDS: %s\n", v.IDS.Summary())
 }
 
-func runHeadunitCompromise(w io.Writer, seed uint64) {
+func runHeadunitCompromise(w io.Writer, seed uint64, ob obsPair) {
 	v := mustVehicle(seed, nil)
+	v.Instrument(ob.tr, ob.reg)
 	v.Gateway.DefaultAction = gateway.Allow // the weak pre-hardening baseline
 	// In permissive mode the gateway forwards body-domain traffic into the
 	// powertrain, so the clean baseline the IDS learns must include it.
@@ -205,12 +301,13 @@ func runHeadunitCompromise(w io.Writer, seed uint64) {
 		v.IDS.Summary(), v.Gateway.Quarantined(core.DomainInfotainment), v.Gateway.QuarDrops.Value)
 }
 
-func runPolicyUpgrade(w io.Writer, seed uint64) {
+func runPolicyUpgrade(w io.Writer, seed uint64, ob obsPair) {
 	auth, err := policy.NewAuthority()
 	if err != nil {
 		fatal(err)
 	}
 	v := mustVehicle(seed, auth.PublicKey())
+	v.Instrument(ob.tr, ob.reg)
 	fmt.Fprintf(w, "vehicle built; MACBits=%d, gateway rules=%d, detectors=%v\n",
 		v.MACBits, len(v.Gateway.Rules()), v.IDS.Detectors())
 
@@ -240,7 +337,7 @@ func runPolicyUpgrade(w io.Writer, seed uint64) {
 	}
 }
 
-func runRelayTheft(w io.Writer, seed uint64) {
+func runRelayTheft(w io.Writer, seed uint64, ob obsPair) {
 	_ = seed
 	var key [16]byte
 	copy(key[:], "autosim-pkes-key")
@@ -253,12 +350,14 @@ func runRelayTheft(w io.Writer, seed uint64) {
 	}
 
 	plain := keyless.NewCar(key)
+	plain.Instrument(ob.tr, ob.reg, nil)
 	rtt, err := plain.TryRelayUnlock(relay, fob)
 	fmt.Fprintf(w, "legacy PKES: relay attack rtt=%v -> unlocked=%v\n", rtt, err == nil)
 
 	hardened := keyless.NewCar(key)
 	hardened.DistanceBounding = true
 	hardened.RTTBudget = 2*sim.Millisecond + 200*sim.Nanosecond
+	hardened.Instrument(ob.tr, nil, nil) // one registry owner: the legacy car
 	rtt, err = hardened.TryRelayUnlock(relay, fob)
 	fmt.Fprintf(w, "distance-bounded PKES: relay attack rtt=%v -> unlocked=%v (%v)\n", rtt, err == nil, err)
 
@@ -267,8 +366,9 @@ func runRelayTheft(w io.Writer, seed uint64) {
 	fmt.Fprintf(w, "owner at the door: rtt=%v -> unlocked=%v\n", rtt, err == nil)
 }
 
-func runBusOffAttack(w io.Writer, seed uint64) {
+func runBusOffAttack(w io.Writer, seed uint64, ob obsPair) {
 	v := mustVehicle(seed, nil)
+	v.Instrument(ob.tr, ob.reg)
 	bus := v.Buses[core.DomainPowertrain]
 	victim := can.NewController("brake-ecu")
 	bystander := can.NewController("engine-ecu")
@@ -305,9 +405,10 @@ func runBusOffAttack(w io.Writer, seed uint64) {
 	fmt.Fprintln(w, "(the error-handling that gives CAN its safety is itself the DoS lever)")
 }
 
-func runDiagnosticAttack(w io.Writer, seed uint64) {
+func runDiagnosticAttack(w io.Writer, seed uint64, ob obsPair) {
 	weak := uds.WeakXOR{Constant: 0x5EC0DE42}
 	v := mustVehicle(seed, nil)
+	v.Instrument(ob.tr, ob.reg)
 	d := v.AttachDiagnostics(core.DomainInfotainment, weak)
 
 	var seedBytes, keyBytes []byte

@@ -10,9 +10,18 @@
 //
 // With -json FILE (single-seed mode) it additionally emits a
 // machine-readable report: wall-clock nanoseconds and a SHA-256 hash of
-// the rendered table for every experiment, so perf PRs can pin both the
-// speed and the byte-identity of the suite (see BENCH_PR2.json at the
+// the rendered table for every experiment, plus a runtime/metrics
+// snapshot (live heap bytes, cumulative allocation, GC cycles) taken
+// after the run, so perf PRs can pin speed, byte-identity and the memory
+// trajectory of the suite in one artifact (see BENCH_PR2.json at the
 // repo root for the committed trajectory).
+//
+// Observability: -trace FILE installs a process-default trace sink
+// (sim.SetDefaultTraceSink) before any experiment builds its kernel, so
+// every kernel's dispatch events land in one Chrome trace_event JSON —
+// single-seed mode only, where experiments run sequentially and the
+// interleaving is deterministic. -metrics prints the runtime/metrics
+// snapshot as a table after the run.
 //
 // -cpuprofile / -memprofile write pprof profiles of the run, so future
 // perf work can grab flame graphs without editing code:
@@ -23,7 +32,7 @@
 // Usage:
 //
 //	benchreport [-seed N] [-seeds N] [-par N] [-only E3,E8] [-json FILE]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-trace FILE] [-metrics] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -35,19 +44,25 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"autosec/internal/experiments"
+	"autosec/internal/obs"
 	"autosec/internal/runner"
+	"autosec/internal/sim"
 )
 
-// jsonReport is the schema written by -json.
+// jsonReport is the schema written by -json. Runtime is the
+// runtime/metrics snapshot taken after the suite finishes
+// (heap_bytes, total_alloc_bytes, gc_cycles).
 type jsonReport struct {
-	Seed        uint64           `json:"seed"`
-	GoVersion   string           `json:"go_version"`
-	Experiments []jsonExperiment `json:"experiments"`
-	TotalNS     int64            `json:"total_ns"`
+	Seed        uint64            `json:"seed"`
+	GoVersion   string            `json:"go_version"`
+	Experiments []jsonExperiment  `json:"experiments"`
+	TotalNS     int64             `json:"total_ns"`
+	Runtime     map[string]uint64 `json:"runtime"`
 }
 
 // jsonExperiment pins one experiment's regeneration cost and output hash.
@@ -63,6 +78,8 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
 	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of every kernel's dispatch activity to this file; single-seed mode only")
+	showMetrics := flag.Bool("metrics", false, "print a runtime/metrics snapshot (heap, allocs, GC) after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -72,6 +89,17 @@ func main() {
 	if *jsonOut != "" && *nseeds > 1 {
 		fmt.Fprintln(os.Stderr, "benchreport: -json requires single-seed mode (drop -seeds)")
 		os.Exit(1)
+	}
+	if *traceFile != "" && *nseeds > 1 {
+		fmt.Fprintln(os.Stderr, "benchreport: -trace requires single-seed mode (replicates interleave nondeterministically)")
+		os.Exit(1)
+	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		// The experiments build their kernels internally, so the only
+		// tracing hook is the process default every NewKernel picks up.
+		tracer = obs.NewTracer(0)
+		sim.SetDefaultTraceSink(tracer)
 	}
 
 	if *cpuProfile != "" {
@@ -163,11 +191,26 @@ func main() {
 				fmt.Printf("  (regenerated in %v)\n\n", elapsed.Round(time.Millisecond))
 			}
 		}
+		report.Runtime = obs.RuntimeMetrics()
 		if *jsonOut != "" {
 			if err := writeJSON(*jsonOut, &report); err != nil {
 				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		if tracer != nil {
+			if err := writeTrace(*traceFile, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+				os.Exit(1)
+			}
+			if !quiet {
+				fmt.Printf("trace: %d events (%d dropped) -> %s\n", tracer.Len(), tracer.Dropped(), *traceFile)
+			}
+		}
+		if *showMetrics && !quiet {
+			// with -json - the runtime block is already in the JSON and
+			// stdout must stay parseable
+			printRuntimeMetrics(report.Runtime)
 		}
 		return
 	}
@@ -194,6 +237,38 @@ func main() {
 	}
 	fmt.Printf("  (%d experiments x %d seeds on %d workers in %v)\n",
 		len(selected), *nseeds, *par, elapsed)
+	if *showMetrics {
+		printRuntimeMetrics(obs.RuntimeMetrics())
+	}
+}
+
+// printRuntimeMetrics renders the runtime snapshot through the same
+// table machinery as every other metric surface.
+func printRuntimeMetrics(rt map[string]uint64) {
+	keys := make([]string, 0, len(rt))
+	for k := range rt {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := make([]obs.Metric, 0, len(keys))
+	for _, k := range keys {
+		snap = append(snap, obs.Metric{Key: "runtime/" + k, Kind: "probe", Value: float64(rt[k])})
+	}
+	fmt.Println()
+	fmt.Print(experiments.MetricsTable(snap))
+}
+
+// writeTrace dumps the collected dispatch events as Chrome trace JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSON marshals the report with stable indentation to path or stdout.

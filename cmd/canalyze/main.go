@@ -6,9 +6,12 @@
 //	canalyze gen -dur 20 > clean.trace
 //	canalyze gen -dur 30 -attack flood > live.trace
 //	canalyze detect -train clean.trace live.trace
+//	canalyze export -format chrome live.trace > live.json
 //
 // Trace format: one frame per line, "<seconds> <sender> <hex-id>
-// <hex-payload|-> [flags]"; '#' starts a comment.
+// <hex-payload|-> [flags]"; '#' starts a comment. export converts a
+// trace into the observability layer's Chrome trace_event JSON (open in
+// chrome://tracing / Perfetto) or plain-text timeline.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"autosec/internal/can"
 	"autosec/internal/ids"
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 	"autosec/internal/workload"
 )
@@ -32,6 +36,8 @@ func main() {
 		cmdGen(os.Args[2:])
 	case "detect":
 		cmdDetect(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
 	default:
 		usage()
 	}
@@ -41,6 +47,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   canalyze gen [-dur SECONDS] [-seed N] [-attack none|flood|fuzz|suspend|unknown]   write a trace to stdout
   canalyze detect -train FILE [-detectors all|frequency,spec,...] FILE              replay FILE through the IDS
+  canalyze export [-format chrome|timeline] FILE                                    convert a trace for viewers
 `)
 	os.Exit(2)
 }
@@ -142,6 +149,47 @@ func cmdDetect(args []string) {
 	}
 	fmt.Printf("-- %s over %d frames (%v of traffic)\n",
 		eng.Summary(), live.Len(), lastTime(live))
+}
+
+// cmdExport replays a candump-style trace into the observability tracer
+// and re-exports it for trace viewers — the same event pipeline the live
+// simulator uses, so offline captures and simulated runs render
+// identically.
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	format := fs.String("format", "chrome", "output format: chrome (trace_event JSON) or timeline (plain text)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := loadTrace(fs.Arg(0))
+	sink := obs.NewTracer(nextPow2(tr.Len()))
+	tr.EmitObs(sink)
+	if dropped := sink.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "canalyze: warning: %d events dropped\n", dropped)
+	}
+	var err error
+	switch *format {
+	case "chrome":
+		err = sink.WriteChromeTrace(os.Stdout)
+	case "timeline":
+		err = sink.WriteTimeline(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "canalyze: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// nextPow2 sizes the tracer ring to hold the whole trace.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func loadTrace(path string) *can.Trace {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -56,6 +57,21 @@ type Log struct {
 	// seal support
 	sealMAC func(msg []byte) ([]byte, error)
 	seals   []Seal
+
+	// Observability counters (nil when off): appends, seals taken, and
+	// chain/seal verification failures — audit-log health at a glance.
+	cAppends   *obs.Counter
+	cSeals     *obs.Counter
+	cChainFail *obs.Counter
+}
+
+// Instrument registers the log's health counters (audit/appends,
+// audit/seals, audit/chain_failures) with the registry. A nil registry
+// yields nil counters, which are no-ops.
+func (l *Log) Instrument(reg *obs.Registry) {
+	l.cAppends = reg.Counter("audit/appends")
+	l.cSeals = reg.Counter("audit/seals")
+	l.cChainFail = reg.Counter("audit/chain_failures")
 }
 
 // Seal is a MAC over the chain head at a point in time, anchoring every
@@ -81,6 +97,7 @@ func (l *Log) Append(at sim.Time, source, event string) {
 	e := Entry{At: at, Source: source, Event: event, prev: prev}
 	e.hash = computeHash(prev, at, source, event)
 	l.entries = append(l.entries, e)
+	l.cAppends.Inc()
 }
 
 // Len reports the number of entries.
@@ -103,9 +120,11 @@ func (l *Log) VerifyChain() error {
 	for i := range l.entries {
 		e := &l.entries[i]
 		if e.prev != prev {
+			l.cChainFail.Inc()
 			return fmt.Errorf("%w: entry %d prev-hash mismatch", ErrChainBroken, i)
 		}
 		if computeHash(prev, e.At, e.Source, e.Event) != e.hash {
+			l.cChainFail.Inc()
 			return fmt.Errorf("%w: entry %d content mismatch", ErrChainBroken, i)
 		}
 		prev = e.hash
@@ -127,6 +146,7 @@ func (l *Log) SealNow(at sim.Time) error {
 		return err
 	}
 	l.seals = append(l.seals, Seal{At: at, Index: len(l.entries), Head: head, MAC: mac})
+	l.cSeals.Inc()
 	return nil
 }
 
@@ -143,6 +163,7 @@ func (l *Log) VerifySeals() error {
 	}
 	for i, s := range l.seals {
 		if s.Index > len(l.entries) {
+			l.cChainFail.Inc()
 			return fmt.Errorf("%w: seal %d covers %d entries, log has %d", ErrSealBroken, i, s.Index, len(l.entries))
 		}
 		var head [32]byte
@@ -150,6 +171,7 @@ func (l *Log) VerifySeals() error {
 			head = l.entries[s.Index-1].hash
 		}
 		if head != s.Head {
+			l.cChainFail.Inc()
 			return fmt.Errorf("%w: seal %d head mismatch", ErrSealBroken, i)
 		}
 		mac, err := l.sealMAC(head[:])
@@ -157,6 +179,7 @@ func (l *Log) VerifySeals() error {
 			return err
 		}
 		if subtle.ConstantTimeCompare(mac, s.MAC) != 1 {
+			l.cChainFail.Inc()
 			return fmt.Errorf("%w: seal %d MAC mismatch", ErrSealBroken, i)
 		}
 	}

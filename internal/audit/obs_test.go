@@ -1,0 +1,79 @@
+package audit
+
+import (
+	"testing"
+
+	"autosec/internal/obs"
+	"autosec/internal/sim"
+)
+
+func TestObsCountersMove(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := New(func(msg []byte) ([]byte, error) { return append([]byte("mac:"), msg...), nil })
+	l.Instrument(reg)
+
+	l.Append(10, "gateway", "deny:chassis-writes")
+	l.Append(20, "ids", "alert: spec id=0x666")
+	if err := l.SealNow(30); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(40, "ota", "install ok")
+
+	snap := func() map[string]float64 {
+		out := map[string]float64{}
+		for _, m := range reg.Snapshot() {
+			out[m.Key] = m.Value
+		}
+		return out
+	}
+
+	s := snap()
+	if s["audit/appends"] != 3 {
+		t.Fatalf("appends = %v, want 3", s["audit/appends"])
+	}
+	if s["audit/seals"] != 1 {
+		t.Fatalf("seals = %v, want 1", s["audit/seals"])
+	}
+	if s["audit/chain_failures"] != 0 {
+		t.Fatalf("chain_failures = %v, want 0 before tampering", s["audit/chain_failures"])
+	}
+	if err := l.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	if s = snap(); s["audit/chain_failures"] != 0 {
+		t.Fatalf("chain_failures = %v after clean verify, want 0", s["audit/chain_failures"])
+	}
+
+	l.TamperWith(1, "alert: nothing to see here")
+	if err := l.VerifyChain(); err == nil {
+		t.Fatal("tampered chain must fail verification")
+	}
+	if s = snap(); s["audit/chain_failures"] != 1 {
+		t.Fatalf("chain_failures = %v after tamper, want 1", s["audit/chain_failures"])
+	}
+
+	l.Truncate(1)
+	if err := l.VerifySeals(); err == nil {
+		t.Fatal("truncated log must fail seal verification")
+	}
+	if s = snap(); s["audit/chain_failures"] != 2 {
+		t.Fatalf("chain_failures = %v after truncation, want 2", s["audit/chain_failures"])
+	}
+}
+
+func TestUninstrumentedLogStillWorks(t *testing.T) {
+	l := New(nil)
+	l.Append(sim.Time(1), "x", "y")
+	if err := l.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	// Instrumenting against a nil registry is also a no-op.
+	l.Instrument(nil)
+	l.Append(sim.Time(2), "x", "z")
+	if err := l.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}

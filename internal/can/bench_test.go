@@ -3,6 +3,7 @@ package can
 import (
 	"testing"
 
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -67,6 +68,43 @@ func BenchmarkBusSaturated(b *testing.B) {
 	b.StopTimer()
 	if bus.FramesOK.Value == 0 {
 		b.Fatal("no frames completed")
+	}
+}
+
+// BenchmarkBusSaturatedObs is BenchmarkBusSaturated with full
+// observability enabled: kernel dispatch tracing, per-frame bus spans and
+// the frame-time histogram. Comparing the pair measures the enabled-path
+// overhead (the acceptance bar is < 10%); the disabled path is the plain
+// BenchmarkBusSaturated, which must show identical allocs with obs off
+// since the hook is a single nil check.
+func BenchmarkBusSaturatedObs(b *testing.B) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "bench", 500_000)
+	bus.BitErrorRate = 1e-6
+	tr := obs.NewTracer(1 << 12)
+	reg := obs.NewRegistry()
+	k.SetTraceSink(tr)
+	bus.Instrument(tr, reg)
+	tx := NewController("tx")
+	rx := NewController("rx")
+	bus.Attach(tx)
+	bus.Attach(rx)
+	f := Frame{ID: 0x100, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	var refill func(at sim.Time)
+	refill = func(at sim.Time) { _ = tx.Send(f, refill) }
+	refill(0)
+	_ = k.RunUntil(100 * sim.Millisecond) // warm up queues, free lists and the ring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.RunUntil(k.Now() + 100*sim.Millisecond)
+	}
+	b.StopTimer()
+	if bus.FramesOK.Value == 0 {
+		b.Fatal("no frames completed")
+	}
+	if tr.Total() == 0 {
+		b.Fatal("tracer saw no events")
 	}
 }
 

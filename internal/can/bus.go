@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -73,6 +74,15 @@ type Bus struct {
 	startedAt     sim.Time
 
 	sniffers []SnifferFunc
+
+	// Observability (nil when off): labels are interned once in
+	// Instrument, so the per-frame emit in complete is allocation-free.
+	obsTr      *obs.Tracer
+	obsSub     obs.Label // "can"
+	obsTx      obs.Label // "tx"
+	obsTxErr   obs.Label // "tx-error"
+	obsBus     obs.Label // the bus name
+	obsFrameUS *obs.Histogram
 }
 
 // SnifferFunc observes every frame that completes on the bus (whether or
@@ -254,6 +264,14 @@ func (b *Bus) complete(c *Controller, bits int) {
 	for _, fn := range b.sniffers {
 		fn(now, &tx.frame, c, corrupted)
 	}
+	if b.obsTr != nil {
+		name := b.obsTx
+		if corrupted {
+			name = b.obsTxErr
+		}
+		b.obsTr.Span(now-b.txDur, b.txDur, b.obsSub, name, b.obsBus, int64(tx.frame.ID), int64(bits))
+	}
+	b.obsFrameUS.Observe(float64(b.txDur) / 1e3)
 	if corrupted {
 		b.FramesErrored.Inc()
 		tx.done = nil

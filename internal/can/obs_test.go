@@ -1,0 +1,160 @@
+package can
+
+import (
+	"strings"
+	"testing"
+
+	"autosec/internal/obs"
+	"autosec/internal/sim"
+)
+
+func TestBusInstrumentEmitsSpansAndMetrics(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "powertrain", 500_000)
+	tr := obs.NewTracer(256)
+	reg := obs.NewRegistry()
+	bus.Instrument(tr, reg)
+
+	tx := NewController("ecu")
+	rx := NewController("rx")
+	bus.Attach(tx)
+	bus.Attach(rx)
+	for i := 0; i < 5; i++ {
+		if err := tx.Send(Frame{ID: 0x100, Data: []byte{byte(i)}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var spans int
+	for _, e := range tr.Events() {
+		if tr.LabelString(e.Sub) != "can" || tr.LabelString(e.Name) != "tx" {
+			continue
+		}
+		spans++
+		if e.Kind != obs.Span {
+			t.Fatal("tx events must be spans")
+		}
+		if e.Dur <= 0 {
+			t.Fatalf("span duration %v, want > 0", e.Dur)
+		}
+		if tr.LabelString(e.Str) != "powertrain" || e.Arg1 != 0x100 {
+			t.Fatalf("span payload: str=%q arg1=%#x", tr.LabelString(e.Str), e.Arg1)
+		}
+		if e.At+e.Dur > k.Now() {
+			t.Fatal("span must end at or before the current time")
+		}
+	}
+	if spans != 5 {
+		t.Fatalf("saw %d tx spans, want 5", spans)
+	}
+
+	byKey := map[string]obs.Metric{}
+	for _, m := range reg.Snapshot() {
+		byKey[m.Key] = m
+	}
+	if m := byKey["can/powertrain/frames_ok"]; m.Value != 5 {
+		t.Fatalf("frames_ok = %v, want 5", m.Value)
+	}
+	if m := byKey["can/powertrain/frame_time_us/count"]; m.Value != 5 {
+		t.Fatalf("frame_time_us/count = %v, want 5", m.Value)
+	}
+	if m := byKey["can/powertrain/bits_on_wire"]; m.Value <= 0 {
+		t.Fatalf("bits_on_wire = %v, want > 0", m.Value)
+	}
+}
+
+func TestBusInstrumentMarksCorruptedFrames(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "chassis", 500_000)
+	tr := obs.NewTracer(64)
+	bus.Instrument(tr, nil)
+	hit := false
+	bus.TargetedError = func(f *Frame, sender *Controller) bool {
+		if !hit {
+			hit = true
+			return true
+		}
+		return false
+	}
+	tx := NewController("victim")
+	bus.Attach(tx)
+	bus.Attach(NewController("rx"))
+	if err := tx.Send(Frame{ID: 0x2A0, Data: []byte{1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range tr.Events() {
+		if tr.LabelString(e.Sub) == "can" {
+			names = append(names, tr.LabelString(e.Name))
+		}
+	}
+	// The targeted hit corrupts the first attempt; the retransmission
+	// succeeds.
+	if len(names) != 2 || names[0] != "tx-error" || names[1] != "tx" {
+		t.Fatalf("event names = %v, want [tx-error tx]", names)
+	}
+}
+
+func TestTraceStringMatchesWriteTrace(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{At: 10 * sim.Millisecond, Sender: "engine", Frame: Frame{ID: 0xC0, Data: []byte{0xDE, 0xAD}}},
+		{At: 20 * sim.Millisecond, Sender: "atk", Frame: Frame{ID: 0x1FFFFFFF, Extended: true}, Corrupted: true},
+	}}
+	var b strings.Builder
+	if err := WriteTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != b.String() {
+		t.Fatalf("String() diverged from WriteTrace:\n%q\nvs\n%q", tr.String(), b.String())
+	}
+	// And the rendering round-trips through the parser.
+	parsed, err := ParseTrace(strings.NewReader(tr.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != 2 || parsed.Records[1].Corrupted != true {
+		t.Fatalf("round-trip lost records: %+v", parsed.Records)
+	}
+}
+
+func TestTraceEmitObsUnifiesEventSource(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, "body", 500_000)
+	tx := NewController("door")
+	bus.Attach(tx)
+	bus.Attach(NewController("rx"))
+	captured := Recorder(bus)
+	for i := 0; i < 3; i++ {
+		if err := tx.Send(Frame{ID: 0x4B0, Data: []byte{byte(i)}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTracer(64)
+	captured.EmitObs(tr)
+	ev := tr.Events()
+	if len(ev) != captured.Len() {
+		t.Fatalf("obs got %d events for %d records", len(ev), captured.Len())
+	}
+	for i, e := range ev {
+		r := captured.Records[i]
+		if e.At != r.At || e.Arg1 != int64(r.Frame.ID) || tr.LabelString(e.Str) != r.Sender {
+			t.Fatalf("event %d = %+v does not match record %+v", i, e, r)
+		}
+		if tr.LabelString(e.Name) != "frame" {
+			t.Fatalf("event %d name = %q", i, tr.LabelString(e.Name))
+		}
+	}
+
+	// A nil tracer is a no-op.
+	captured.EmitObs(nil)
+}

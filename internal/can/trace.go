@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -91,17 +92,36 @@ func (t *Trace) Intervals(id ID) []sim.Duration {
 	return out
 }
 
-// String renders the trace in a candump-like format.
+// String renders the trace in the candump-style text format — the same
+// bytes WriteTrace produces, so there is exactly one trace rendering
+// (and one timestamp format) in the package.
 func (t *Trace) String() string {
 	var b strings.Builder
-	for _, r := range t.Records {
-		mark := ""
-		if r.Corrupted {
-			mark = " !ERR"
-		}
-		fmt.Fprintf(&b, "(%v) %s %s%s\n", r.At, r.Sender, r.Frame.String(), mark)
-	}
+	_ = WriteTrace(&b, t) // strings.Builder never errors
 	return b.String()
+}
+
+// EmitObs replays the trace into an obs tracer, one instant per record,
+// making a captured (or parsed) CAN trace an ordinary obs event source:
+// subsystem "can", name "frame" (or "frame-error" for corrupted records),
+// Str = sender, Arg1 = frame ID, Arg2 = payload length. Combined with
+// Recorder this unifies the frame trace with the cross-layer tracer —
+// the candump text format (WriteTrace) and the Chrome/timeline exports
+// all render the same records. No-op on a nil tracer.
+func (t *Trace) EmitObs(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	sub := tr.Label("can")
+	frame := tr.Label("frame")
+	frameErr := tr.Label("frame-error")
+	for _, r := range t.Records {
+		name := frame
+		if r.Corrupted {
+			name = frameErr
+		}
+		tr.Instant(r.At, sub, name, tr.Label(r.Sender), int64(r.Frame.ID), int64(len(r.Frame.Data)))
+	}
 }
 
 // PeriodicSender schedules frame transmissions with a fixed period and

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"autosec/internal/obs"
+)
+
+// Instrument wires the whole vehicle into the observability layer in one
+// call: kernel dispatch tracing, per-domain bus spans and metrics,
+// gateway verdicts, IDS alerts, audit-log health, OTA outcomes (when a
+// client is attached) and the PKES unit. Either argument may be nil —
+// tracing and metrics enable independently — and a vehicle that is never
+// instrumented pays only nil checks on its hot paths.
+//
+// Buses instrument in fixed domain order so label interning (and
+// therefore trace bytes) is deterministic.
+func (v *Vehicle) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	if tr != nil {
+		v.Kernel.SetTraceSink(tr)
+	}
+	if reg != nil {
+		reg.Probe("kernel/steps", func() float64 { return float64(v.Kernel.Steps()) })
+		reg.Probe("kernel/pending", func() float64 { return float64(v.Kernel.Pending()) })
+	}
+	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+		v.Buses[name].Instrument(tr, reg)
+	}
+	v.Gateway.Instrument(tr, reg)
+	v.IDS.Instrument(tr, reg)
+	v.Audit.Instrument(reg)
+	if v.OTA != nil {
+		v.OTA.Instrument(tr, reg)
+	}
+	v.Keyless.Instrument(tr, reg, v.Kernel.Now)
+	if reg != nil {
+		reg.Probe("core/auth_failures", func() float64 { return float64(v.AuthFailures.Value) })
+	}
+}

@@ -97,10 +97,11 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 		v.Buses[d] = can.NewBus(k, d, 500_000)
 	}
 
-	// Secure Gateway.
+	// Secure Gateway. Domains attach in a fixed order (not map order) so
+	// gateway fan-out, kernel dispatch and traces are seed-deterministic.
 	v.Gateway = gateway.New(k, "central")
-	for name, bus := range v.Buses {
-		if err := v.Gateway.AttachDomain(name, bus); err != nil {
+	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+		if err := v.Gateway.AttachDomain(name, v.Buses[name]); err != nil {
 			return nil, err
 		}
 	}

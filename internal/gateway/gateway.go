@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"autosec/internal/can"
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -107,7 +108,12 @@ type Gateway struct {
 	kernel *sim.Kernel
 
 	domains map[string]*domain
-	rules   []*Rule
+	// order lists domain names in attach order: forward fans out over this
+	// slice, not the map, so routing order (and everything downstream of
+	// it — kernel dispatch order, bus arbitration, traces) is
+	// deterministic.
+	order []string
+	rules []*Rule
 	// DefaultAction applies when no rule matches (Deny is the secure
 	// default; a permissive gateway is the "no gateway" baseline).
 	DefaultAction Action
@@ -121,6 +127,12 @@ type Gateway struct {
 	QuarDrops   sim.Counter
 
 	observers []func(at sim.Time, from string, f *can.Frame, verdict string)
+
+	// Observability (nil when off). Verdict and domain labels intern on
+	// first sight and hit the tracer's label map afterwards, so the
+	// per-frame emit is allocation-free once the verdict set is warm.
+	obsTr  *obs.Tracer
+	obsSub obs.Label // "gateway"
 }
 
 // New creates a gateway with a deny-by-default policy.
@@ -144,6 +156,7 @@ func (g *Gateway) AttachDomain(name string, bus *can.Bus) error {
 	bus.Attach(ctrl)
 	d := &domain{name: name, ctrl: ctrl}
 	g.domains[name] = d
+	g.order = append(g.order, name)
 	ctrl.OnReceive(func(at sim.Time, f *can.Frame, sender *can.Controller) {
 		g.route(at, d, f)
 	})
@@ -194,8 +207,34 @@ func (g *Gateway) Observe(fn func(at sim.Time, from string, f *can.Frame, verdic
 }
 
 func (g *Gateway) notify(at sim.Time, from string, f *can.Frame, verdict string) {
+	if g.obsTr != nil {
+		g.obsTr.Instant(at, g.obsSub, g.obsTr.Label(verdict), g.obsTr.Label(from), int64(f.ID), 0)
+	}
 	for _, fn := range g.observers {
 		fn(at, from, f, verdict)
+	}
+}
+
+// Instrument attaches the gateway to the observability layer (either
+// argument may be nil).
+//
+// Trace events (subsystem "gateway"): one instant per verdict, named with
+// the verdict string ("allow:<rule>", "deny:<rule>", "rate:<rule>",
+// "allow:default", "deny:default", "quarantined"), with Str = source
+// domain and Arg1 = frame ID.
+//
+// Metrics: gateway/forwarded, gateway/blocked, gateway/rate_limited and
+// gateway/quarantine_drops probe the existing counters.
+func (g *Gateway) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	if tr != nil {
+		g.obsTr = tr
+		g.obsSub = tr.Label("gateway")
+	}
+	if reg != nil {
+		reg.Probe("gateway/forwarded", func() float64 { return float64(g.Forwarded.Value) })
+		reg.Probe("gateway/blocked", func() float64 { return float64(g.Blocked.Value) })
+		reg.Probe("gateway/rate_limited", func() float64 { return float64(g.RateLimited.Value) })
+		reg.Probe("gateway/quarantine_drops", func() float64 { return float64(g.QuarDrops.Value) })
 	}
 }
 
@@ -256,8 +295,8 @@ func (g *Gateway) forward(at sim.Time, from *domain, f *can.Frame, dsts []string
 		}
 	}
 	if len(dsts) == 0 {
-		for _, d := range g.domains {
-			send(d)
+		for _, name := range g.order {
+			send(g.domains[name])
 		}
 		return
 	}

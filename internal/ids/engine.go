@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"autosec/internal/can"
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -17,6 +18,16 @@ type Engine struct {
 	Alerts    []Alert
 
 	onAlert []func(Alert)
+
+	observed int64 // records fed to Observe
+
+	// Observability (nil when off). Detector-name labels intern on first
+	// alert; lastAlert feeds the alert-gap histogram.
+	obsTr     *obs.Tracer
+	obsSub    obs.Label // "ids"
+	obsGapUS  *obs.Histogram
+	lastAlert sim.Time
+	hasAlert  bool
 }
 
 // NewEngine creates an engine with the given initial detectors.
@@ -60,17 +71,53 @@ func (e *Engine) OnAlert(fn func(Alert)) { e.onAlert = append(e.onAlert, fn) }
 
 // Observe feeds one record to all detectors.
 func (e *Engine) Observe(rec can.Record) []Alert {
+	e.observed++
 	var out []Alert
 	for _, d := range e.detectors {
 		out = append(out, d.Observe(rec)...)
 	}
 	e.Alerts = append(e.Alerts, out...)
 	for _, a := range out {
+		if e.obsTr != nil {
+			e.obsTr.Instant(a.At, e.obsSub, e.obsTr.Label(a.Detector), e.obsTr.Label(a.Reason), int64(a.ID), 0)
+		}
+		if e.obsGapUS != nil {
+			if e.hasAlert {
+				e.obsGapUS.Observe(float64(a.At-e.lastAlert) / 1e3)
+			}
+			e.hasAlert = true
+			e.lastAlert = a.At
+		}
 		for _, fn := range e.onAlert {
 			fn(a)
 		}
 	}
 	return out
+}
+
+// Observed reports how many records the engine has been fed.
+func (e *Engine) Observed() int64 { return e.observed }
+
+// Instrument attaches the engine to the observability layer (either
+// argument may be nil).
+//
+// Trace events (subsystem "ids"): one instant per alert, named with the
+// detector, with Str = the alert reason and Arg1 = the offending frame
+// ID.
+//
+// Metrics: ids/alerts_total and ids/observed probe the engine's state;
+// ids/alert_gap_us is a histogram of the time between consecutive alerts
+// in microseconds (a burst-vs-trickle signature).
+func (e *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	if tr != nil {
+		e.obsTr = tr
+		e.obsSub = tr.Label("ids")
+	}
+	if reg != nil {
+		reg.Probe("ids/alerts_total", func() float64 { return float64(len(e.Alerts)) })
+		reg.Probe("ids/observed", func() float64 { return float64(e.observed) })
+		e.obsGapUS = reg.Histogram("ids/alert_gap_us", nil)
+	}
 }
 
 // AttachToBus taps the engine into live bus traffic.

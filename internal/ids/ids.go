@@ -18,6 +18,7 @@ package ids
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"autosec/internal/can"
 	"autosec/internal/sim"
@@ -52,7 +53,10 @@ type FrequencyDetector struct {
 	// Slack widens the learned [min,max] count band multiplicatively.
 	Slack float64
 
-	bounds     map[can.ID][2]float64 // learned min/max per window
+	bounds map[can.ID][2]float64 // learned min/max per window
+	// boundIDs holds the learned IDs sorted ascending: the window-close
+	// sweep walks this slice, not the map, so alert order is deterministic.
+	boundIDs   []can.ID
 	winStart   sim.Time
 	counts     map[can.ID]int
 	suppressed map[can.ID]bool
@@ -111,6 +115,11 @@ func (d *FrequencyDetector) Train(trace *can.Trace) {
 		// depending on phase, without that being an anomaly.
 		d.bounds[id] = [2]float64{lo*(1-d.Slack) - 1, hi*(1+d.Slack) + 1}
 	}
+	d.boundIDs = d.boundIDs[:0]
+	for id := range d.bounds {
+		d.boundIDs = append(d.boundIDs, id)
+	}
+	sort.Slice(d.boundIDs, func(i, j int) bool { return d.boundIDs[i] < d.boundIDs[j] })
 	d.counts = make(map[can.ID]int)
 	d.suppressed = make(map[can.ID]bool)
 }
@@ -133,7 +142,8 @@ func (d *FrequencyDetector) Observe(rec can.Record) []Alert {
 	if rec.At-d.winStart >= d.Window {
 		// Close the window: check all learned IDs, including silent ones
 		// (suspension attack shows as counts below the learned minimum).
-		for id, b := range d.bounds {
+		for _, id := range d.boundIDs {
+			b := d.bounds[id]
 			c := float64(d.counts[id])
 			switch {
 			case c > b[1]:

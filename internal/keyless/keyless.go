@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"autosec/internal/obs"
 	"autosec/internal/she"
 	"autosec/internal/sim"
 )
@@ -84,6 +85,13 @@ type Car struct {
 	BoundingTrips sim.Counter
 	ReplayRejects sim.Counter
 	seenResponses map[[8]byte]bool
+
+	// Observability (nil when off); see Instrument in obs.go.
+	obsTr     *obs.Tracer
+	obsSub    obs.Label
+	obsUnlock obs.Label
+	obsReject obs.Label
+	obsClock  func() sim.Time
 }
 
 // NewCar creates a car with production-like ranges.
@@ -140,12 +148,14 @@ func (c *Car) TryUnlock(f *Fob) (rtt sim.Duration, err error) {
 	d := c.Pos.Dist(f.Pos)
 	if d > c.LFRangeM {
 		c.Rejections.Inc()
+		c.emitVerdict(false, "range", 0)
 		return 0, fmt.Errorf("%w: %.1fm > %.1fm", ErrOutOfRange, d, c.LFRangeM)
 	}
 	ch := c.challenge()
 	resp, err := f.respond(ch)
 	if err != nil {
 		c.Rejections.Inc()
+		c.emitVerdict(false, "no-response", 0)
 		return 0, err
 	}
 	rtt = sim.Duration(2*d*PropagationPerM) + f.ProcessingTime
@@ -172,16 +182,19 @@ func (c *Car) TryRelayUnlock(r *Relay, f *Fob) (rtt sim.Duration, err error) {
 	dBFob := r.PosB.Dist(f.Pos)
 	if dCarA > c.LFRangeM {
 		c.Rejections.Inc()
+		c.emitVerdict(false, "range", 0)
 		return 0, fmt.Errorf("%w: relay antenna %.1fm from car", ErrOutOfRange, dCarA)
 	}
 	if dBFob > c.LFRangeM {
 		c.Rejections.Inc()
+		c.emitVerdict(false, "range", 0)
 		return 0, fmt.Errorf("%w: fob %.1fm from relay antenna", ErrOutOfRange, dBFob)
 	}
 	ch := c.challenge()
 	resp, err := f.respond(ch)
 	if err != nil {
 		c.Rejections.Inc()
+		c.emitVerdict(false, "no-response", 0)
 		return 0, err
 	}
 	dAB := r.PosA.Dist(r.PosB)
@@ -201,14 +214,21 @@ func (c *Car) finish(rtt sim.Duration, ch [8]byte, resp []byte) (sim.Duration, e
 		}
 		if rtt > budget {
 			c.Rejections.Inc()
+			c.emitVerdict(false, "rtt", rtt)
 			return rtt, fmt.Errorf("%w: %v > %v", ErrRTTExceeded, rtt, budget)
 		}
 	}
 	if err := c.verify(ch, resp); err != nil {
 		c.Rejections.Inc()
+		reason := "crypto"
+		if errors.Is(err, ErrReplay) {
+			reason = "replay"
+		}
+		c.emitVerdict(false, reason, rtt)
 		return rtt, err
 	}
 	c.Unlocks.Inc()
+	c.emitVerdict(true, "", rtt)
 	return rtt, nil
 }
 

@@ -1,0 +1,50 @@
+package keyless
+
+import (
+	"autosec/internal/obs"
+	"autosec/internal/sim"
+)
+
+// Instrument attaches the car's PKES unit to the observability layer. The
+// keyless exchange has no kernel of its own, so the caller supplies a
+// clock (Kernel.Now, or nil for t=0 timestamps). Either of tr/reg may be
+// nil.
+//
+// Trace events (subsystem "keyless"): one instant per unlock attempt,
+// named "unlock" or "reject", with Str = the rejection reason (range,
+// no-response, rtt, crypto, replay) and Arg1 = the measured RTT in
+// nanoseconds (0 when the exchange died before an RTT existed).
+//
+// Metrics: keyless/unlocks, keyless/rejections, keyless/replay_rejects
+// and keyless/bounding_trips probe the car's counters.
+func (c *Car) Instrument(tr *obs.Tracer, reg *obs.Registry, clock func() sim.Time) {
+	if tr != nil {
+		c.obsTr = tr
+		c.obsSub = tr.Label("keyless")
+		c.obsUnlock = tr.Label("unlock")
+		c.obsReject = tr.Label("reject")
+		c.obsClock = clock
+	}
+	if reg != nil {
+		reg.Probe("keyless/unlocks", func() float64 { return float64(c.Unlocks.Value) })
+		reg.Probe("keyless/rejections", func() float64 { return float64(c.Rejections.Value) })
+		reg.Probe("keyless/replay_rejects", func() float64 { return float64(c.ReplayRejects.Value) })
+		reg.Probe("keyless/bounding_trips", func() float64 { return float64(c.BoundingTrips.Value) })
+	}
+}
+
+// emitVerdict records one unlock attempt's outcome.
+func (c *Car) emitVerdict(ok bool, reason string, rtt sim.Duration) {
+	if c.obsTr == nil {
+		return
+	}
+	var at sim.Time
+	if c.obsClock != nil {
+		at = c.obsClock()
+	}
+	name := c.obsReject
+	if ok {
+		name = c.obsUnlock
+	}
+	c.obsTr.Instant(at, c.obsSub, name, c.obsTr.Label(reason), int64(rtt), 0)
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace exports the retained events as Chrome trace_event JSON
+// (the "JSON Array Format"), loadable in chrome://tracing and Perfetto.
+//
+// Mapping: pid is always 1 (one simulation), tid is the subsystem —
+// each subsystem renders as its own named track (an "M" thread_name
+// metadata event per subsystem). Spans become "X" complete events,
+// instants become "i" thread-scoped events. Timestamps are sim-time
+// microseconds with nanosecond precision kept as fractional digits, so
+// the export is a pure function of the event ring: same events, same
+// bytes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	events := t.Events()
+
+	// One metadata record per subsystem, in first-appearance order, so
+	// track names are stable and tracks sort by first activity.
+	seen := map[Label]bool{}
+	first := true
+	writeRecord := func(s string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(s)
+		return err
+	}
+	for _, e := range events {
+		if seen[e.Sub] {
+			continue
+		}
+		seen[e.Sub] = true
+		rec := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			uint32(e.Sub), quoteJSON(t.LabelString(e.Sub)))
+		if err := writeRecord(rec); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		name := t.LabelString(e.Name)
+		cat := t.LabelString(e.Sub)
+		args := fmt.Sprintf(`{"arg1":%d,"arg2":%d`, e.Arg1, e.Arg2)
+		if e.Str != 0 {
+			args += `,"str":` + quoteJSON(t.LabelString(e.Str))
+		}
+		args += "}"
+		var rec string
+		switch e.Kind {
+		case Span:
+			rec = fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":%s}`,
+				quoteJSON(name), quoteJSON(cat), micros(int64(e.At)), micros(int64(e.Dur)), uint32(e.Sub), args)
+		default:
+			rec = fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,"args":%s}`,
+				quoteJSON(name), quoteJSON(cat), micros(int64(e.At)), uint32(e.Sub), args)
+		}
+		if err := writeRecord(rec); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteTimeline exports the retained events as a plain-text timeline, one
+// line per event, ordered as emitted:
+//
+//	+12.345678ms  gateway  deny:chassis-writes  str=HU arg1=0x300 arg2=0
+//	+12.500000ms  can      tx                   str=powertrain arg1=0x100 arg2=125 dur=125µs
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Events() {
+		ts := fmt.Sprintf("+%sms", millis(int64(e.At)))
+		line := fmt.Sprintf("%-16s %-9s %-24s arg1=%d arg2=%d", ts,
+			t.LabelString(e.Sub), t.LabelString(e.Name), e.Arg1, e.Arg2)
+		if e.Str != 0 {
+			line += " str=" + t.LabelString(e.Str)
+		}
+		if e.Kind == Span {
+			line += fmt.Sprintf(" dur=%sµs", micros(int64(e.Dur)))
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// micros renders ns as microseconds with exactly three fractional digits
+// ("12.345"): integer arithmetic only, so formatting is deterministic and
+// float-rounding-free.
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// millis renders ns as milliseconds with six fractional digits.
+func millis(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%06d", neg, ns/1_000_000, ns%1_000_000)
+}
+
+// quoteJSON renders s as a JSON string literal.
+func quoteJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `""`
+	}
+	return string(b)
+}

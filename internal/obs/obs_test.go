@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+func TestNilTracerAndInstrumentsAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Instant(1, 0, 0, 0, 0, 0)
+	tr.Span(1, 2, 0, 0, 0, 0, 0)
+	tr.KernelDispatch(3, 4)
+	if tr.Label("x") != 0 || tr.LabelString(5) != "" {
+		t.Fatal("nil tracer label ops must return zero values")
+	}
+	if tr.Total() != 0 || tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must report empty state")
+	}
+	tr.Reset()
+
+	var c *Counter
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must stay 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must stay 0")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+
+	var r *Registry
+	if r.Counter("a/b") != nil || r.Gauge("a/b") != nil || r.Histogram("a/b", nil) != nil {
+		t.Fatal("nil registry constructors must return nil instruments")
+	}
+	r.Probe("a/b", func() float64 { return 1 })
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestTracerRingWrapKeepsMostRecent(t *testing.T) {
+	tr := NewTracer(4) // capacity 4
+	sub, name := tr.Label("s"), tr.Label("e")
+	for i := 0; i < 10; i++ {
+		tr.Instant(sim.Time(i), sub, name, 0, int64(i), 0)
+	}
+	if tr.Total() != 10 || tr.Len() != 4 || tr.Dropped() != 6 {
+		t.Fatalf("total=%d len=%d dropped=%d, want 10/4/6", tr.Total(), tr.Len(), tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := int64(6 + i); e.Arg1 != want {
+			t.Fatalf("event %d: Arg1=%d, want %d (most-recent window in order)", i, e.Arg1, want)
+		}
+	}
+}
+
+func TestLabelInterningIsStable(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.Label("alpha")
+	b := tr.Label("beta")
+	if a2 := tr.Label("alpha"); a2 != a {
+		t.Fatalf("re-interning changed the handle: %d vs %d", a2, a)
+	}
+	if tr.LabelString(a) != "alpha" || tr.LabelString(b) != "beta" {
+		t.Fatal("LabelString must round-trip")
+	}
+	if tr.LabelString(0) != "" {
+		t.Fatal("label 0 must be the empty string")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("can/frames")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter=%d, want 3", c.Value())
+	}
+	if r.Counter("can/frames") != c {
+		t.Fatal("Counter must be get-or-create")
+	}
+
+	g := r.Gauge("can/load")
+	g.Set(0.5)
+	g.Add(0.25)
+	if g.Value() != 0.75 {
+		t.Fatalf("gauge=%v, want 0.75", g.Value())
+	}
+
+	h := r.Histogram("can/frame_us", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count=%d, want 5", h.Count())
+	}
+	if h.Max() != 5000 {
+		t.Fatalf("hist max=%v, want 5000", h.Max())
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("p50=%v, want 100 (bucket upper bound)", got)
+	}
+	if got := h.Quantile(0.99); got != 5000 {
+		t.Fatalf("p99=%v, want 5000 (overflow bucket reports max)", got)
+	}
+
+	r.Probe("kernel/steps", func() float64 { return 17 })
+
+	snap := r.Snapshot()
+	keys := make([]string, len(snap))
+	for i, m := range snap {
+		keys[i] = m.Key
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("snapshot keys not strictly sorted: %q >= %q", keys[i-1], keys[i])
+		}
+	}
+	byKey := map[string]Metric{}
+	for _, m := range snap {
+		byKey[m.Key] = m
+	}
+	if m := byKey["can/frames"]; m.Kind != "counter" || m.Value != 3 {
+		t.Fatalf("can/frames = %+v", m)
+	}
+	if m := byKey["kernel/steps"]; m.Kind != "probe" || m.Value != 17 {
+		t.Fatalf("kernel/steps = %+v", m)
+	}
+	if m := byKey["can/frame_us/count"]; m.Kind != "histogram" || m.Value != 5 {
+		t.Fatalf("can/frame_us/count = %+v", m)
+	}
+	if _, ok := byKey["can/frame_us/p99"]; !ok {
+		t.Fatal("histogram must flatten into p99 sub-key")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{-2, "-2"},
+		{1234567, "1234567"},
+		{0.75, "0.75"},
+		{1.0 / 3.0, "0.333333"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestChromeTraceIsValidJSONAndDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer(64)
+		can, gw := tr.Label("can"), tr.Label("gateway")
+		tx, deny := tr.Label("tx"), tr.Label(`deny:"quoted"`)
+		bus := tr.Label("powertrain")
+		tr.KernelDispatch(1000, 3)
+		tr.Span(1000, 125_000, can, tx, bus, 0x100, 125)
+		tr.Instant(2000, gw, deny, bus, 0x300, 0)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical tracers must export byte-identical JSON")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", a.String())
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(a.Bytes(), &records); err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	for _, r := range records {
+		phases = append(phases, r["ph"].(string))
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "M") || !strings.Contains(joined, "X") || !strings.Contains(joined, "i") {
+		t.Fatalf("expected M, X and i records, got phases %v", phases)
+	}
+	// The span's µs formatting must preserve ns precision.
+	if !strings.Contains(a.String(), `"ts":1.000`) || !strings.Contains(a.String(), `"dur":125.000`) {
+		t.Fatalf("timestamp formatting wrong:\n%s", a.String())
+	}
+}
+
+func TestTimelineOutput(t *testing.T) {
+	tr := NewTracer(16)
+	can := tr.Label("can")
+	tx := tr.Label("tx")
+	bus := tr.Label("chassis")
+	tr.Span(1_500_000, 250_000, can, tx, bus, 0x2A0, 130)
+	tr.Instant(2_000_000, can, tx, 0, 1, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "+1.500000ms") {
+		t.Fatalf("missing span timestamp:\n%s", out)
+	}
+	if !strings.Contains(out, "str=chassis") || !strings.Contains(out, "dur=250.000µs") {
+		t.Fatalf("missing span payload:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("want 2 lines, got %d:\n%s", lines, out)
+	}
+}
+
+// TestTracerSteadyStateAllocs pins the enabled observability hot path at
+// zero allocations per event after warm-up: ring emits (instant, span,
+// kernel dispatch) and registry instruments (counter, gauge, histogram)
+// must all run without touching the allocator once labels are interned
+// and instruments created.
+func TestTracerSteadyStateAllocs(t *testing.T) {
+	tr := NewTracer(1024)
+	sub := tr.Label("can")
+	name := tr.Label("tx")
+	str := tr.Label("powertrain")
+
+	r := NewRegistry()
+	c := r.Counter("can/frames")
+	g := r.Gauge("can/load")
+	h := r.Histogram("can/frame_us", nil)
+
+	// Warm up: fill the ring past capacity so wrap-around is exercised.
+	for i := 0; i < 2048; i++ {
+		tr.Instant(sim.Time(i), sub, name, str, int64(i), 0)
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Instant(1, sub, name, str, 0x100, 64)
+		tr.Span(1, 125_000, sub, name, str, 0x100, 125)
+		tr.KernelDispatch(2, 7)
+		c.Inc()
+		g.Set(0.42)
+		h.Observe(125.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled obs hot path allocates %v allocs/op, want 0", allocs)
+	}
+
+	// Re-interning an existing label is also allocation-free.
+	allocs = testing.AllocsPerRun(1000, func() {
+		_ = tr.Label("powertrain")
+	})
+	if allocs != 0 {
+		t.Fatalf("re-interning allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import "runtime/metrics"
+
+// RuntimeMetrics samples the Go runtime's own metrics and returns the
+// memory-trajectory trio benchreport records next to timing numbers:
+//
+//	heap_bytes        live heap objects, bytes
+//	total_alloc_bytes cumulative bytes allocated (monotonic)
+//	gc_cycles         completed GC cycles (monotonic)
+//
+// Keys are stable strings so BENCH_*.json files diff cleanly across
+// captures.
+func RuntimeMetrics() map[string]uint64 {
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	metrics.Read(samples)
+	out := make(map[string]uint64, len(samples))
+	names := []string{"heap_bytes", "total_alloc_bytes", "gc_cycles"}
+	for i, s := range samples {
+		if s.Value.Kind() == metrics.KindUint64 {
+			out[names[i]] = s.Value.Uint64()
+		}
+	}
+	return out
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -173,6 +174,13 @@ type Client struct {
 
 	Installed sim.Counter
 	Rejected  sim.Counter
+
+	// Observability (nil when off); see Instrument in obs.go.
+	obsTr      *obs.Tracer
+	obsSub     obs.Label
+	obsVerify  obs.Label
+	obsInstall obs.Label
+	obsReject  obs.Label
 }
 
 // NewClient creates a client trusting the two repository keys.
@@ -214,11 +222,24 @@ func (c *Client) verifyMeta(m *Metadata, key ed25519.PublicKey, lastVersion uint
 // out, installs the targets into the matching ECUs. It is all-or-nothing:
 // any failure leaves every ECU untouched.
 func (c *Client) Apply(b *Bundle, now sim.Time) error {
+	if c.obsTr != nil {
+		c.obsTr.Instant(now, c.obsSub, c.obsVerify, 0, 0, 0)
+	}
 	if err := c.apply(b, now); err != nil {
 		c.Rejected.Inc()
+		if c.obsTr != nil {
+			c.obsTr.Instant(now, c.obsSub, c.obsReject, c.obsTr.Label(errClass(err)), 0, 0)
+		}
 		return err
 	}
 	c.Installed.Inc()
+	if c.obsTr != nil {
+		targets := 0
+		if b.Director != nil {
+			targets = len(b.Director.Targets)
+		}
+		c.obsTr.Instant(now, c.obsSub, c.obsInstall, c.obsTr.Label(c.VehicleID), int64(targets), 0)
+	}
 	return nil
 }
 

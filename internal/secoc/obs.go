@@ -1,0 +1,50 @@
+package secoc
+
+import (
+	"autosec/internal/obs"
+	"autosec/internal/sim"
+)
+
+// Instrument attaches the receiver to the observability layer. SecOC has
+// no clock of its own — verification is a pure function of the PDU — so
+// the caller supplies one (typically Kernel.Now) to timestamp events;
+// name distinguishes channels ("powertrain", "vdm", ...). Either of
+// tr/reg may be nil.
+//
+// Trace events (subsystem "secoc"): one instant per Verify, named
+// "verify-ok" or "verify-fail", with Str = channel name and Arg1 = the
+// receiver's last accepted freshness counter after the call.
+//
+// Metrics: secoc/<name>/accepted and secoc/<name>/rejected probe the
+// receiver's counters.
+func (r *Receiver) Instrument(name string, tr *obs.Tracer, reg *obs.Registry, clock func() sim.Time) {
+	if tr != nil {
+		r.obsTr = tr
+		r.obsSub = tr.Label("secoc")
+		r.obsOK = tr.Label("verify-ok")
+		r.obsFail = tr.Label("verify-fail")
+		r.obsName = tr.Label(name)
+		r.obsClock = clock
+	}
+	if reg != nil {
+		prefix := "secoc/" + name + "/"
+		reg.Probe(prefix+"accepted", func() float64 { return float64(r.Accepted) })
+		reg.Probe(prefix+"rejected", func() float64 { return float64(r.Rejected) })
+	}
+}
+
+// emitVerify records the outcome of one Verify call.
+func (r *Receiver) emitVerify(ok bool) {
+	if r.obsTr == nil {
+		return
+	}
+	var at sim.Time
+	if r.obsClock != nil {
+		at = r.obsClock()
+	}
+	name := r.obsFail
+	if ok {
+		name = r.obsOK
+	}
+	r.obsTr.Instant(at, r.obsSub, name, r.obsName, int64(r.last), 0)
+}

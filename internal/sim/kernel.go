@@ -106,6 +106,29 @@ func (e Event) Cancelled() bool {
 // ErrHalted is returned by Run variants when Halt stopped the simulation.
 var ErrHalted = errors.New("sim: halted")
 
+// TraceSink receives one callback per dispatched event. It is the
+// kernel's observability hook: internal/obs.Tracer implements it, but the
+// kernel depends only on this interface so sim stays import-free.
+// Implementations must not schedule or cancel events from the callback.
+type TraceSink interface {
+	// KernelDispatch is called as each event fires, with the event's
+	// deadline (the new kernel time) and the post-dispatch pending count.
+	KernelDispatch(at Time, pending int)
+}
+
+// defaultTraceSink, when non-nil, is attached to every kernel NewKernel
+// creates. It exists for tooling (benchreport -trace) that wants to
+// observe kernels constructed deep inside experiment code it does not
+// control; library code must use SetTraceSink on its own kernel instead,
+// and replicated runs must leave this unset (it would funnel every seed's
+// events into one sink).
+var defaultTraceSink TraceSink
+
+// SetDefaultTraceSink installs (or, with nil, removes) the process-wide
+// sink picked up by subsequent NewKernel calls. Not safe for concurrent
+// use with NewKernel; intended for single-seed CLI tooling only.
+func SetDefaultTraceSink(s TraceSink) { defaultTraceSink = s }
+
 // Kernel is a discrete-event simulator. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
@@ -118,13 +141,19 @@ type Kernel struct {
 	stepped uint64
 	seed    uint64
 	streams map[string]*Stream
+	trace   TraceSink // nil when tracing is off (the common case)
 }
 
 // NewKernel returns a kernel at time zero whose named random streams are
 // derived from seed.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{seed: seed, streams: make(map[string]*Stream)}
+	return &Kernel{seed: seed, streams: make(map[string]*Stream), trace: defaultTraceSink}
 }
+
+// SetTraceSink attaches (or, with nil, detaches) a per-dispatch trace
+// sink. The disabled path is a single nil check in step; see
+// TestKernelSteadyStateAllocs for the zero-cost guarantee.
+func (k *Kernel) SetTraceSink(s TraceSink) { k.trace = s }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -288,6 +317,9 @@ func (k *Kernel) step() bool {
 		k.now = n.when
 		k.stepped++
 		k.pending--
+		if k.trace != nil {
+			k.trace.KernelDispatch(n.when, k.pending)
+		}
 		fn := n.fn
 		k.recycle(n)
 		fn()
