@@ -41,6 +41,7 @@ func BenchmarkE12Lifetime(b *testing.B)      { benchTable(b, experiments.E12Life
 func BenchmarkE13Diagnostics(b *testing.B)   { benchTable(b, experiments.E13DiagnosticAccess) }
 func BenchmarkE14BusOff(b *testing.B)        { benchTable(b, experiments.E14BusOff) }
 func BenchmarkE15VerifyScaling(b *testing.B) { benchTable(b, experiments.E15VerifyScaling) }
+func BenchmarkE16CrossMedium(b *testing.B)   { benchTable(b, experiments.E16CrossMediumGateway) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
 

@@ -242,7 +242,7 @@ func mustVehicle(seed uint64, policyKey []byte) *core.Vehicle {
 func runBaseline(w io.Writer, seed uint64, ob obsPair) {
 	v := mustVehicle(seed, nil)
 	v.Instrument(ob.tr, ob.reg)
-	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01))
+	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01).Netif())
 	v.StartTraffic()
 	_ = v.Kernel.RunUntil(10 * sim.Second)
 	v.StopTraffic()
@@ -268,7 +268,7 @@ func runHeadunitCompromise(w io.Writer, seed uint64, ob obsPair) {
 	// In permissive mode the gateway forwards body-domain traffic into the
 	// powertrain, so the clean baseline the IDS learns must include it.
 	combined := append(workload.PowertrainMatrix(), workload.BodyMatrix()...)
-	v.TrainIDS(workload.SyntheticTrace(combined, 10*sim.Second, seed, 0.01))
+	v.TrainIDS(workload.SyntheticTrace(combined, 10*sim.Second, seed, 0.01).Netif())
 	v.ArmAutoQuarantine(core.DomainInfotainment)
 	v.StartTraffic()
 

@@ -1,4 +1,4 @@
-// Command benchreport regenerates the full experiment suite E1–E15 (plus
+// Command benchreport regenerates the full experiment suite E1–E16 (plus
 // ablations A1–A2) from DESIGN.md and prints each result table, paper
 // claim included.
 //
@@ -156,6 +156,7 @@ func main() {
 		{"E13", experiments.E13DiagnosticAccess},
 		{"E14", experiments.E14BusOff},
 		{"E15", experiments.E15VerifyScaling},
+		{"E16", experiments.E16CrossMediumGateway},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
 	}

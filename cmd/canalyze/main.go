@@ -141,8 +141,8 @@ func cmdDetect(args []string) {
 	}
 
 	eng := ids.NewEngine(detectors...)
-	eng.Train(train)
-	for _, r := range live.Records {
+	eng.Train(train.Netif())
+	for _, r := range live.Netif().Records {
 		for _, a := range eng.Observe(r) {
 			fmt.Println(a.String())
 		}

@@ -28,7 +28,7 @@ func main() {
 	if err := v.ProvisionMACKey(key); err != nil {
 		log.Fatal(err)
 	}
-	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, 42, 0.01))
+	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, 42, 0.01).Netif())
 
 	// Two application nodes on the chassis domain exchanging an
 	// authenticated message.

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/gateway"
+	"autosec/internal/netif"
+	"autosec/internal/sim"
+)
+
+// A mixed CAN+Ethernet vehicle builds in one call and routes across the
+// medium boundary through the central gateway: tunnel frames from the
+// Ethernet telematics domain reach the powertrain CAN bus, and allowed
+// powertrain frames are exported onto the backbone encapsulated.
+func TestMixedMediumVehicleRoutes(t *testing.T) {
+	v, err := NewVehicle(Config{
+		VIN:  "MIXED1",
+		Seed: 1,
+		ExtraDomains: []DomainSpec{
+			{Name: "telematics", Kind: netif.Ethernet},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, ok := v.Gateway.DomainKind("telematics"); !ok || kind != netif.Ethernet {
+		t.Fatalf("telematics domain kind = %v, %v", kind, ok)
+	}
+	if v.Switches["telematics"] == nil || v.Media["telematics"] == nil {
+		t.Fatal("native switch / fabric medium not exposed")
+	}
+
+	v.Gateway.SetRules([]*gateway.Rule{
+		{Name: "nav", From: "telematics", IDLo: 0x150, IDHi: 0x15F, To: []string{"powertrain"}, Action: gateway.Allow},
+		{Name: "export", From: "powertrain", IDLo: 0x1A0, IDHi: 0x1AF, To: []string{"telematics"}, Action: gateway.Allow},
+	})
+
+	// Ethernet -> CAN: a telematics unit tunnels a nav frame.
+	var ptSeen []can.ID
+	mon := can.NewController("monitor")
+	v.Buses[DomainPowertrain].Attach(mon)
+	mon.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
+		if f.ID == 0x155 { // ignore native powertrain traffic
+			ptSeen = append(ptSeen, f.ID)
+		}
+	})
+	nav, err := v.Media["telematics"].Open("nav-unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := netif.Frame{Medium: netif.CAN, ID: 0x155, Priority: 0x155, Payload: []byte{1, 2, 3, 4}}
+	var wire netif.Frame
+	var buf []byte
+	netif.Encapsulate(&wire, &inner, &buf)
+	if err := nav.Send(&wire); err != nil {
+		t.Fatal(err)
+	}
+
+	// CAN -> Ethernet: an allowed powertrain frame is exported tunnelled.
+	exported := 0
+	sink, err := v.Media["telematics"].Open("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.OnReceive(func(_ sim.Time, f *netif.Frame) {
+		var got netif.Frame
+		if netif.IsTunnel(f) && netif.Decapsulate(&got, f) == nil && got.ID == 0x1A0 {
+			exported++
+		}
+	})
+	abs := can.NewController("abs")
+	v.Buses[DomainPowertrain].Attach(abs)
+	if err := abs.Send(can.Frame{ID: 0x1A0, Data: []byte{5, 6, 7, 8}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := v.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ptSeen) != 1 || ptSeen[0] != 0x155 {
+		t.Fatalf("powertrain saw %v, want [0x155]", ptSeen)
+	}
+	if exported != 1 {
+		t.Fatalf("telematics sink decapsulated %d exported frames, want 1", exported)
+	}
+	if v.Gateway.Forwarded.Value != 2 {
+		t.Fatalf("gateway forwarded %d frames, want 2", v.Gateway.Forwarded.Value)
+	}
+
+	// Quarantine isolates the Ethernet domain like any CAN domain.
+	if err := v.Gateway.Quarantine("telematics"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nav.Send(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Kernel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ptSeen) != 1 {
+		t.Fatalf("quarantined telematics still routed: %v", ptSeen)
+	}
+}
+
+// Every extra-domain kind builds and attaches.
+func TestExtraDomainKinds(t *testing.T) {
+	v, err := NewVehicle(Config{
+		VIN:  "MIXED2",
+		Seed: 1,
+		ExtraDomains: []DomainSpec{
+			{Name: "body-lin", Kind: netif.LIN},
+			{Name: "chassis-fr", Kind: netif.FlexRay},
+			{Name: "backbone", Kind: netif.Ethernet},
+			{Name: "aux-can", Kind: netif.CAN},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]netif.Kind{
+		"body-lin": netif.LIN, "chassis-fr": netif.FlexRay,
+		"backbone": netif.Ethernet, "aux-can": netif.CAN,
+	} {
+		if kind, ok := v.Gateway.DomainKind(name); !ok || kind != want {
+			t.Fatalf("domain %s: kind=%v ok=%v, want %v", name, kind, ok, want)
+		}
+	}
+	if v.LINClusters["body-lin"] == nil || v.FlexRayClusters["chassis-fr"] == nil ||
+		v.Switches["backbone"] == nil || v.Buses["aux-can"] == nil {
+		t.Fatal("native handles not exposed")
+	}
+	// Duplicate names are rejected.
+	if _, err := NewVehicle(Config{VIN: "DUP", Seed: 1,
+		ExtraDomains: []DomainSpec{{Name: DomainPowertrain, Kind: netif.CAN}}}); err == nil {
+		t.Fatal("duplicate domain name accepted")
+	}
+}

@@ -8,9 +8,13 @@ import (
 	"autosec/internal/audit"
 	"autosec/internal/can"
 	"autosec/internal/ecu"
+	"autosec/internal/ethernet"
+	"autosec/internal/flexray"
 	"autosec/internal/gateway"
 	"autosec/internal/ids"
 	"autosec/internal/keyless"
+	"autosec/internal/lin"
+	"autosec/internal/netif"
 	"autosec/internal/ota"
 	"autosec/internal/policy"
 	"autosec/internal/sensors"
@@ -26,6 +30,14 @@ const (
 	DomainInfotainment = "infotainment"
 )
 
+// DomainSpec declares one additional IVN domain beyond the standard
+// three CAN domains. Kind selects the transport medium; the domain binds
+// to the central gateway through the netif fabric like any other.
+type DomainSpec struct {
+	Name string
+	Kind netif.Kind
+}
+
 // Config parameterizes a standard vehicle build.
 type Config struct {
 	VIN  string
@@ -37,6 +49,11 @@ type Config struct {
 	// PolicyKey is the trusted policy-authority key; nil disables the
 	// policy plane.
 	PolicyKey []byte
+	// ExtraDomains adds mixed-medium domains (Ethernet, LIN, FlexRay or
+	// further CAN buses) to the build. They attach to the gateway after
+	// the three standard domains, in declared order, so CAN-only builds
+	// stay byte-identical to earlier versions.
+	ExtraDomains []DomainSpec
 }
 
 // Vehicle composes the substrate packages into one car under the 4+1
@@ -47,15 +64,24 @@ type Vehicle struct {
 	Kernel *sim.Kernel
 	Arch   *Architecture
 
-	Buses   map[string]*can.Bus
-	Gateway *gateway.Gateway
-	IDS     *ids.Engine
-	SHE     *she.Engine
-	CPU     *ecu.CPU
-	Keyless *keyless.Car
-	Policy  *policy.Engine
-	OTA     *ota.Client
-	Fusion  *sensors.Fusion
+	Buses map[string]*can.Bus
+	// Media holds the netif fabric view of every attached domain (the
+	// three standard CAN domains plus any ExtraDomains), keyed by domain
+	// name. The gateway and IDS bind through these.
+	Media map[string]netif.Medium
+	// Switches, LINClusters and FlexRayClusters expose the native handles
+	// of non-CAN ExtraDomains so scenarios can attach hosts and nodes.
+	Switches        map[string]*ethernet.Switch
+	LINClusters     map[string]*lin.Cluster
+	FlexRayClusters map[string]*flexray.Cluster
+	Gateway         *gateway.Gateway
+	IDS             *ids.Engine
+	SHE             *she.Engine
+	CPU             *ecu.CPU
+	Keyless         *keyless.Car
+	Policy          *policy.Engine
+	OTA             *ota.Client
+	Fusion          *sensors.Fusion
 	// Audit is the tamper-evident security event log, sealed by the SHE.
 	// Gateway denials/quarantines and IDS alerts are recorded
 	// automatically; subsystems may Append their own events.
@@ -85,30 +111,49 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	}
 	k := sim.NewKernel(cfg.Seed)
 	v := &Vehicle{
-		VIN:     cfg.VIN,
-		Kernel:  k,
-		Arch:    NewArchitecture(),
-		Buses:   make(map[string]*can.Bus),
-		MACBits: cfg.MACBits,
+		VIN:             cfg.VIN,
+		Kernel:          k,
+		Arch:            NewArchitecture(),
+		Buses:           make(map[string]*can.Bus),
+		Media:           make(map[string]netif.Medium),
+		Switches:        make(map[string]*ethernet.Switch),
+		LINClusters:     make(map[string]*lin.Cluster),
+		FlexRayClusters: make(map[string]*flexray.Cluster),
+		MACBits:         cfg.MACBits,
 	}
 
 	// Secure Networks: the IVN domains.
 	for _, d := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
 		v.Buses[d] = can.NewBus(k, d, 500_000)
+		v.Media[d] = can.Netif(v.Buses[d])
+	}
+	// Mixed-medium extras build in declared order (kernel event
+	// scheduling, e.g. FlexRay cycles, must be deterministic).
+	for _, spec := range cfg.ExtraDomains {
+		if err := v.addExtraDomain(spec); err != nil {
+			return nil, err
+		}
 	}
 
 	// Secure Gateway. Domains attach in a fixed order (not map order) so
 	// gateway fan-out, kernel dispatch and traces are seed-deterministic.
+	// Standard CAN domains first — byte-compatible with CAN-only builds —
+	// then extras in declared order.
 	v.Gateway = gateway.New(k, "central")
 	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
-		if err := v.Gateway.AttachDomain(name, v.Buses[name]); err != nil {
+		if err := v.Gateway.AttachDomain(name, v.Media[name]); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range cfg.ExtraDomains {
+		if err := v.Gateway.AttachDomain(spec.Name, v.Media[spec.Name]); err != nil {
 			return nil, err
 		}
 	}
 
 	// Secure Networks compensating control: IDS on the powertrain.
 	v.IDS = ids.NewEngine(ids.NewFrequencyDetector(), ids.NewIntervalDetector(), ids.NewSpecDetector())
-	v.IDS.AttachToBus(v.Buses[DomainPowertrain])
+	v.IDS.Attach(v.Media[DomainPowertrain])
 
 	// Secure Processing: SHE engine + MCU scheduler.
 	var uid she.UID
@@ -133,11 +178,18 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	v.Audit = audit.New(func(msg []byte) ([]byte, error) {
 		return v.SHE.GenerateMAC(she.Key10, msg)
 	})
-	v.Gateway.Observe(func(at sim.Time, from string, f *can.Frame, verdict string) {
+	v.Gateway.Observe(func(at sim.Time, from string, f *netif.Frame, verdict string) {
 		// Denials and quarantine drops are security events; routine allows
 		// would swamp the log.
 		if len(verdict) >= 4 && (verdict[:4] == "deny" || verdict == "quarantined" || verdict[:4] == "rate") {
-			v.Audit.Append(at, "gateway", verdict+" id="+f.String()[:3]+" from="+from)
+			// Three hex digits identify the frame without bloating log
+			// entries (full extended IDs truncate to their top bits).
+			idw := 3
+			if f.Flags&netif.FlagExtended != 0 {
+				idw = 8
+			}
+			id3 := fmt.Sprintf("%0*X", idw, f.ID)[:3]
+			v.Audit.Append(at, "gateway", verdict+" id="+id3+" from="+from)
 		}
 	})
 	v.IDS.OnAlert(func(a ids.Alert) {
@@ -172,6 +224,41 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 		}
 	}
 	return v, nil
+}
+
+// addExtraDomain builds the native network for one ExtraDomains entry and
+// registers its fabric view in Media.
+func (v *Vehicle) addExtraDomain(spec DomainSpec) error {
+	if spec.Name == "" {
+		return errors.New("core: extra domain needs a name")
+	}
+	if _, dup := v.Media[spec.Name]; dup {
+		return fmt.Errorf("core: duplicate domain %q", spec.Name)
+	}
+	switch spec.Kind {
+	case netif.CAN:
+		b := can.NewBus(v.Kernel, spec.Name, 500_000)
+		v.Buses[spec.Name] = b
+		v.Media[spec.Name] = can.Netif(b)
+	case netif.Ethernet:
+		sw := ethernet.NewSwitch(v.Kernel, spec.Name, 2*sim.Microsecond)
+		v.Switches[spec.Name] = sw
+		v.Media[spec.Name] = ethernet.Netif(sw, 1)
+	case netif.LIN:
+		c := lin.NewCluster(v.Kernel, spec.Name, 19_200, lin.Enhanced)
+		v.LINClusters[spec.Name] = c
+		v.Media[spec.Name] = lin.Netif(c)
+	case netif.FlexRay:
+		c, err := flexray.NewCluster(v.Kernel, spec.Name, flexray.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		v.FlexRayClusters[spec.Name] = c
+		v.Media[spec.Name] = flexray.Netif(c)
+	default:
+		return fmt.Errorf("core: unknown medium kind %d for domain %q", spec.Kind, spec.Name)
+	}
+	return nil
 }
 
 // registerAppliers wires the policy directive kinds into the subsystems.
@@ -280,8 +367,8 @@ func parseGatewayRule(d policy.Directive) (*gateway.Rule, error) {
 	r := &gateway.Rule{
 		Name:       d.Param("name", "policy-rule"),
 		From:       d.Param("from", "*"),
-		IDLo:       can.ID(lo),
-		IDHi:       can.ID(hi),
+		IDLo:       uint32(lo),
+		IDHi:       uint32(hi),
 		Action:     action,
 		RatePerSec: rate,
 	}
@@ -323,7 +410,7 @@ func (v *Vehicle) StopTraffic() {
 }
 
 // TrainIDS trains the intrusion detectors on a clean reference trace.
-func (v *Vehicle) TrainIDS(trace *can.Trace) { v.IDS.Train(trace) }
+func (v *Vehicle) TrainIDS(trace *netif.Trace) { v.IDS.Train(trace) }
 
 // ArmAutoQuarantine wires IDS alerts on the given domain's traffic to an
 // automatic gateway quarantine of a source domain — the containment

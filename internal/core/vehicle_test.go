@@ -91,7 +91,7 @@ func TestAutoQuarantineOnIDSAlert(t *testing.T) {
 	// the powertrain and the IDS.
 	v.Gateway.DefaultAction = 1 // gateway.Allow
 	// Train the IDS on clean synthetic traffic.
-	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, 1, 0.01))
+	v.TrainIDS(workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, 1, 0.01).Netif())
 	v.ArmAutoQuarantine(DomainInfotainment)
 
 	v.StartTraffic()
@@ -280,7 +280,7 @@ func TestGatewayRuleParsingDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.From != "*" || r.Action != 0 || r.IDHi != can.MaxExtendedID {
+	if r.From != "*" || r.Action != 0 || r.IDHi != uint32(can.MaxExtendedID) {
 		t.Fatalf("defaults: %+v", r)
 	}
 }

@@ -1,0 +1,54 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary byte captures to the wire parser. Every
+// frame the parser accepts must survive a marshal/unmarshal round trip
+// with identical fields, and the re-marshalled bytes must be a fixpoint —
+// the normalised form a priority-only tag (VLAN id 0) collapses into.
+func FuzzUnmarshal(f *testing.F) {
+	// Untagged minimal frame.
+	f.Add([]byte{
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+		0x02, 0x00, 0x00, 0x00, 0x00, 0x01,
+		0x08, 0x00,
+	})
+	// Tagged frame, VLAN 5, with payload.
+	f.Add([]byte{
+		0x02, 0x00, 0x00, 0x00, 0x00, 0x02,
+		0x02, 0x00, 0x00, 0x00, 0x00, 0x01,
+		0x81, 0x00, 0x00, 0x05, 0x88, 0xB5,
+		0xDE, 0xAD, 0xBE, 0xEF,
+	})
+	// Truncated tag.
+	f.Add([]byte{
+		0x02, 0x00, 0x00, 0x00, 0x00, 0x02,
+		0x02, 0x00, 0x00, 0x00, 0x00, 0x01,
+		0x81, 0x00, 0x00,
+	})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		wire, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("parsed frame does not marshal: %v (%+v)", err, fr)
+		}
+		fr2, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("marshalled bytes do not re-parse: %v (% X)", err, wire)
+		}
+		if fr2.Src != fr.Src || fr2.Dst != fr.Dst || fr2.VLAN != fr.VLAN ||
+			fr2.EtherType != fr.EtherType || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round-trip mismatch:\n first %+v\nsecond %+v", fr, fr2)
+		}
+		wire2, err := fr2.Marshal()
+		if err != nil || !bytes.Equal(wire, wire2) {
+			t.Fatalf("marshal not a fixpoint:\n first % X\nsecond % X (err %v)", wire, wire2, err)
+		}
+	})
+}

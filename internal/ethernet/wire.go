@@ -1,0 +1,77 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire codec: the Ethernet II header with an optional 802.1Q tag, as a
+// diagnostic or capture tool would see it. The simulator's switch moves
+// Frame values directly; the codec exists for frame injection from byte
+// captures and for fuzzing the parser against adversarial input.
+
+// vlanTPID is the 802.1Q tag protocol identifier.
+const vlanTPID = 0x8100
+
+// ErrTruncated reports a byte slice too short to hold the declared header.
+var ErrTruncated = errors.New("ethernet: truncated frame")
+
+// Marshal renders the frame in wire order: destination, source, an
+// optional 802.1Q tag when VLAN is nonzero, EtherType, payload. FCS,
+// preamble and padding are transmission artifacts and are not encoded.
+func (f *Frame) Marshal() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if f.EtherType == vlanTPID {
+		// A payload EtherType equal to the TPID would re-parse as a
+		// (possibly nested) tag; the codec has no QinQ representation.
+		return nil, errors.New("ethernet: EtherType 0x8100 is reserved for the VLAN tag")
+	}
+	n := 14 + len(f.Payload)
+	if f.VLAN != 0 {
+		n += 4
+	}
+	out := make([]byte, 0, n)
+	out = append(out, f.Dst[:]...)
+	out = append(out, f.Src[:]...)
+	if f.VLAN != 0 {
+		out = binary.BigEndian.AppendUint16(out, vlanTPID)
+		out = binary.BigEndian.AppendUint16(out, f.VLAN) // PCP/DEI zero
+	}
+	out = binary.BigEndian.AppendUint16(out, f.EtherType)
+	return append(out, f.Payload...), nil
+}
+
+// Unmarshal parses a wire-order frame produced by Marshal (or captured
+// off a real link). The payload aliases b. A tagged frame whose TCI
+// carries priority bits keeps only the VLAN id — the simulator's Frame
+// has no PCP field.
+func Unmarshal(b []byte) (Frame, error) {
+	if len(b) < 14 {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	var f Frame
+	copy(f.Dst[:], b[:6])
+	copy(f.Src[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:14])
+	rest := b[14:]
+	if et == vlanTPID {
+		if len(rest) < 4 {
+			return Frame{}, fmt.Errorf("%w: tag cut short", ErrTruncated)
+		}
+		f.VLAN = binary.BigEndian.Uint16(rest[:2]) & 0x0FFF
+		et = binary.BigEndian.Uint16(rest[2:4])
+		rest = rest[4:]
+		if et == vlanTPID {
+			return Frame{}, errors.New("ethernet: nested VLAN tag (QinQ) not supported")
+		}
+	}
+	f.EtherType = et
+	f.Payload = rest
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

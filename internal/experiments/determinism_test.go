@@ -29,6 +29,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E13", E13DiagnosticAccess},
 		{"E14", E14BusOff},
 		{"E15", E15VerifyScaling},
+		{"E16", E16CrossMediumGateway},
 		{"A1", A1MACTruncation},
 		{"A2", A2BoundingThreshold},
 	}

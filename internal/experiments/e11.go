@@ -107,7 +107,7 @@ func E11IDS(seed uint64) *Table {
 		for _, ds := range detectorSets {
 			// Per-detector rows only for the combined row's components when
 			// they add signal; always include the "all four" engine.
-			m := ids.Evaluate(ds.build(), train, live, w, 200*sim.Millisecond)
+			m := ids.Evaluate(ds.build(), train.Netif(), live.Netif(), w, 200*sim.Millisecond)
 			t.AddRow(ac.name, ds.name, m.DetectionRate(), m.FalsePositiveRate())
 		}
 	}

@@ -56,8 +56,8 @@ func E1BusDoS(seed uint64) *Table {
 		eng := ids.NewEngine(ids.NewFrequencyDetector(), ids.NewSpecDetector())
 		clean := workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01)
 		appendPeriodic(clean, 0x0A0, 10*sim.Millisecond, 8, 10*sim.Second)
-		eng.Train(clean)
-		eng.AttachToBus(bus)
+		eng.Train(clean.Netif())
+		eng.Attach(can.Netif(bus))
 
 		// The attacker floods ID 0x000 (wins every arbitration round).
 		var stopAtk func()

@@ -164,13 +164,13 @@ func E8Gateway(seed uint64) *Table {
 			g.DefaultAction = gateway.Allow
 		}, false},
 		{"coarse allow-all rule", func(g *gateway.Gateway, _ *ids.Engine) {
-			g.AddRule(&gateway.Rule{Name: "coarse", From: "infotainment", IDLo: 0, IDHi: can.MaxStandardID, Action: gateway.Allow})
+			g.AddRule(&gateway.Rule{Name: "coarse", From: "infotainment", IDLo: 0, IDHi: uint32(can.MaxStandardID), Action: gateway.Allow})
 		}, false},
 		{"fine-grained rules", func(g *gateway.Gateway, _ *ids.Engine) {
 			g.AddRule(&gateway.Rule{Name: "nav-only", From: "infotainment", IDLo: 0x150, IDHi: 0x15F, Action: gateway.Allow, RatePerSec: 50})
 		}, false},
 		{"coarse + IDS quarantine reflex", func(g *gateway.Gateway, eng *ids.Engine) {
-			g.AddRule(&gateway.Rule{Name: "coarse", From: "infotainment", IDLo: 0, IDHi: can.MaxStandardID, Action: gateway.Allow})
+			g.AddRule(&gateway.Rule{Name: "coarse", From: "infotainment", IDLo: 0, IDHi: uint32(can.MaxStandardID), Action: gateway.Allow})
 			eng.OnAlert(func(ids.Alert) { _ = g.Quarantine("infotainment") })
 		}, true},
 	}
@@ -179,8 +179,8 @@ func E8Gateway(seed uint64) *Table {
 		info := can.NewBus(k, "infotainment", 500_000)
 		pt := can.NewBus(k, "powertrain", 500_000)
 		g := gateway.New(k, "central")
-		_ = g.AttachDomain("infotainment", info)
-		_ = g.AttachDomain("powertrain", pt)
+		_ = g.AttachDomain("infotainment", can.Netif(info))
+		_ = g.AttachDomain("powertrain", can.Netif(pt))
 
 		// Powertrain traffic + IDS.
 		_, stopTraffic := workload.StartSenders(k, pt, workload.PowertrainMatrix(), 0.01)
@@ -188,8 +188,8 @@ func E8Gateway(seed uint64) *Table {
 		clean := workload.SyntheticTrace(workload.PowertrainMatrix(), 10*sim.Second, seed, 0.01)
 		// The legit cross-domain nav message is part of the spec baseline.
 		appendPeriodic(clean, 0x155, 100*sim.Millisecond, 4, 10*sim.Second)
-		eng.Train(clean)
-		eng.AttachToBus(pt)
+		eng.Train(clean.Netif())
+		eng.Attach(can.Netif(pt))
 
 		c.setup(g, eng)
 

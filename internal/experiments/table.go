@@ -155,6 +155,7 @@ func All(seed uint64) []*Table {
 		E13DiagnosticAccess(seed),
 		E14BusOff(seed),
 		E15VerifyScaling(seed),
+		E16CrossMediumGateway(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

@@ -1,0 +1,106 @@
+package flexray
+
+import (
+	"fmt"
+
+	"autosec/internal/netif"
+	"autosec/internal/sim"
+)
+
+// This file adapts the FlexRay cluster to the netif transport fabric. Slot
+// numbers become the routable identifier and the cycle counter rides in
+// Aux, so rules and detectors can match on (FlexRay, slot).
+
+// FrameToNetif fills out with the fabric view of f. The payload aliases
+// f.Payload (zero-copy).
+func FrameToNetif(f *Frame, out *netif.Frame) {
+	var flags uint16
+	if f.NullFrame {
+		flags |= netif.FlagNull
+	}
+	*out = netif.Frame{
+		Medium:   netif.FlexRay,
+		ID:       uint32(f.Slot),
+		Flags:    flags,
+		Aux:      uint32(f.Cycle),
+		Priority: uint32(f.Slot),
+		Sender:   f.Sender,
+		Payload:  f.Payload,
+	}
+}
+
+// FrameFromNetif converts a fabric frame back to a native FlexRay frame.
+// The payload is aliased, not copied.
+func FrameFromNetif(nf *netif.Frame) (Frame, error) {
+	if nf.Medium != netif.FlexRay {
+		return Frame{}, fmt.Errorf("flexray: cannot convert %s frame", nf.Medium)
+	}
+	if nf.ID == 0 || nf.ID > 0x7FF {
+		return Frame{}, fmt.Errorf("%w: %d", ErrSlotRange, nf.ID)
+	}
+	if len(nf.Payload) > 254 || len(nf.Payload)%2 != 0 {
+		return Frame{}, fmt.Errorf("%w: %d", ErrPayloadRange, len(nf.Payload))
+	}
+	return Frame{
+		Slot:      SlotID(nf.ID),
+		Cycle:     int(nf.Aux),
+		Payload:   nf.Payload,
+		Sender:    nf.Sender,
+		NullFrame: nf.Flags&netif.FlagNull != 0,
+	}, nil
+}
+
+// netifMedium adapts a Cluster to netif.Medium.
+type netifMedium struct {
+	cluster    *Cluster
+	tapScratch netif.Frame
+}
+
+// Netif returns the fabric view of the cluster: ports transmit in the
+// dynamic segment (the slot number is the priority) and hear every frame.
+func Netif(c *Cluster) netif.Medium { return &netifMedium{cluster: c} }
+
+func (m *netifMedium) Kind() netif.Kind { return netif.FlexRay }
+func (m *netifMedium) Name() string     { return m.cluster.Name }
+
+func (m *netifMedium) Open(name string) (netif.Port, error) {
+	return &netifPort{cluster: m.cluster, name: name}, nil
+}
+
+func (m *netifMedium) Tap(fn netif.TapFunc) {
+	m.cluster.OnReceive(func(at sim.Time, f Frame) {
+		FrameToNetif(&f, &m.tapScratch)
+		// Collided slots deliver nothing, so every observed frame is intact.
+		fn(at, &m.tapScratch, false)
+	})
+}
+
+// netifPort is one fabric attachment on the cluster. FlexRay receivers see
+// every frame on the channel; the port filters its own transmissions by
+// sender name so gateways do not re-route what they just forwarded.
+type netifPort struct {
+	cluster     *Cluster
+	name        string
+	recvScratch netif.Frame
+}
+
+func (p *netifPort) Name() string     { return p.name }
+func (p *netifPort) Kind() netif.Kind { return netif.FlexRay }
+
+func (p *netifPort) Send(f *netif.Frame) error {
+	nf, err := FrameFromNetif(f)
+	if err != nil {
+		return err
+	}
+	return p.cluster.SendDynamic(nf.Slot, p.name, nf.Payload)
+}
+
+func (p *netifPort) OnReceive(fn netif.RecvFunc) {
+	p.cluster.OnReceive(func(at sim.Time, f Frame) {
+		if f.Sender == p.name {
+			return
+		}
+		FrameToNetif(&f, &p.recvScratch)
+		fn(at, &p.recvScratch)
+	})
+}

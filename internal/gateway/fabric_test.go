@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"testing"
+
+	"autosec/internal/netif"
+	"autosec/internal/sim"
+)
+
+// stubMedium is a minimal netif.Medium whose ports accept frames without
+// doing anything. It isolates the gateway's own forward path — rule match,
+// verdict, cross-medium translation — from any real medium's transmit
+// cost, which is what the steady-state allocation pin must measure.
+type stubMedium struct {
+	kind  netif.Kind
+	ports []*stubPort
+}
+
+func (m *stubMedium) Kind() netif.Kind { return m.kind }
+func (m *stubMedium) Name() string     { return "stub-" + m.kind.String() }
+
+func (m *stubMedium) Open(name string) (netif.Port, error) {
+	p := &stubPort{name: name, kind: m.kind}
+	m.ports = append(m.ports, p)
+	return p, nil
+}
+
+func (m *stubMedium) Tap(netif.TapFunc) {}
+
+type stubPort struct {
+	name string
+	kind netif.Kind
+	recv netif.RecvFunc
+	sent int
+}
+
+func (p *stubPort) Name() string     { return p.name }
+func (p *stubPort) Kind() netif.Kind { return p.kind }
+
+func (p *stubPort) Send(f *netif.Frame) error {
+	p.sent++
+	return nil
+}
+
+func (p *stubPort) OnReceive(fn netif.RecvFunc) { p.recv = fn }
+
+// fabricRig joins a CAN domain and an Ethernet domain over stub media and
+// returns the gateway plus each domain's gateway-side port (whose recv
+// callback injects ingress frames).
+func fabricRig(t testing.TB, allowAll bool) (g *Gateway, canGW, ethGW *stubPort) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	g = New(k, "central")
+	canM := &stubMedium{kind: netif.CAN}
+	ethM := &stubMedium{kind: netif.Ethernet}
+	if err := g.AttachDomain("powertrain", canM); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachDomain("telematics", ethM); err != nil {
+		t.Fatal(err)
+	}
+	if allowAll {
+		g.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: 0x7FF, Action: Allow})
+	}
+	return g, canM.ports[0], ethM.ports[0]
+}
+
+// TestGatewayFabricSteadyStateAllocs pins the forward path at zero
+// steady-state allocations per frame, in both directions across the
+// medium boundary: CAN ingress encapsulated onto Ethernet, and a tunnel
+// frame from the Ethernet backbone decapsulated back onto CAN. Scratch
+// buffers may grow during warm-up; after that every translation reuses
+// them.
+func TestGatewayFabricSteadyStateAllocs(t *testing.T) {
+	_, canGW, ethGW := fabricRig(t, true)
+
+	canFrame := netif.Frame{Medium: netif.CAN, ID: 0x100, Priority: 0x100, Payload: make([]byte, 8)}
+
+	inner := netif.Frame{Medium: netif.CAN, ID: 0x155, Priority: 0x155, Payload: make([]byte, 4)}
+	var tunnel netif.Frame
+	var encBuf []byte
+	netif.Encapsulate(&tunnel, &inner, &encBuf)
+
+	// Warm-up: grow the per-domain scratch state.
+	for i := 0; i < 16; i++ {
+		canGW.recv(0, &canFrame)
+		ethGW.recv(0, &tunnel)
+	}
+
+	if n := testing.AllocsPerRun(1000, func() { canGW.recv(0, &canFrame) }); n != 0 {
+		t.Fatalf("CAN->Ethernet forward allocates %.1f/frame, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { ethGW.recv(0, &tunnel) }); n != 0 {
+		t.Fatalf("Ethernet tunnel->CAN forward allocates %.1f/frame, want 0", n)
+	}
+	if canGW.sent == 0 || ethGW.sent == 0 {
+		t.Fatalf("frames were not forwarded: can=%d eth=%d", canGW.sent, ethGW.sent)
+	}
+}
+
+// BenchmarkGatewayCrossMedium compares the same-medium forward path with
+// the cross-medium (tunnel-translating) one over stub media, so ns/op and
+// allocs/op are the gateway fabric's own cost. CI runs this pair with an
+// allocs-regression check: both sides must report 0 allocs/op.
+func BenchmarkGatewayCrossMedium(b *testing.B) {
+	b.Run("same-medium", func(b *testing.B) {
+		k := sim.NewKernel(1)
+		g := New(k, "central")
+		a := &stubMedium{kind: netif.CAN}
+		c := &stubMedium{kind: netif.CAN}
+		_ = g.AttachDomain("powertrain", a)
+		_ = g.AttachDomain("chassis", c)
+		g.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: 0x7FF, Action: Allow})
+		f := netif.Frame{Medium: netif.CAN, ID: 0x100, Priority: 0x100, Payload: make([]byte, 8)}
+		in := a.ports[0]
+		in.recv(0, &f)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in.recv(0, &f)
+		}
+	})
+	b.Run("cross-medium", func(b *testing.B) {
+		_, canGW, _ := fabricRig(b, true)
+		f := netif.Frame{Medium: netif.CAN, ID: 0x100, Priority: 0x100, Payload: make([]byte, 8)}
+		canGW.recv(0, &f)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			canGW.recv(0, &f)
+		}
+	})
+}

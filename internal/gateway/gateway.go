@@ -3,13 +3,27 @@
 // (infotainment, powertrain, chassis, telematics, ...), applies an ordered
 // rule set with allow/deny/rate-limit actions, and can quarantine a
 // compromised domain so an attack does not propagate to the others.
+//
+// Domains bind to any netif.Medium — CAN buses, LIN clusters, FlexRay
+// channels, Ethernet VLANs — and the gateway translates frames at domain
+// boundaries: a CAN frame forwarded into an Ethernet domain is tunnelled
+// DoIP-style (netif.TunnelEtherType), a tunnel frame arriving from the
+// Ethernet backbone is decapsulated and routed by its inner identity.
+// Rules match on (medium, identifier range); a rule with the zero medium
+// selector matches every medium, so the historical CAN-only configurations
+// keep their exact semantics.
+//
+// The forward path keeps the repo's hot-path discipline: verdict strings
+// are precomputed per rule, translation reuses per-domain scratch buffers,
+// and with zero Latency the gateway performs no steady-state allocation
+// beyond the payload clone every medium makes on Send.
 package gateway
 
 import (
 	"errors"
 	"fmt"
 
-	"autosec/internal/can"
+	"autosec/internal/netif"
 	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
@@ -33,13 +47,22 @@ func (a Action) String() string {
 
 // Rule is one entry of the gateway's ordered rule set. The first matching
 // rule decides; with no match the gateway's default policy applies.
+//
+// A Rule holds configuration only: the token-bucket limiter state lives in
+// the gateway that installed the rule, so the same Rule value can be
+// installed into several gateways (or re-installed after SetRules) without
+// silently sharing limiter state.
 type Rule struct {
 	// Name labels the rule in logs and stats.
 	Name string
 	// From is the source domain, or "*" for any.
 	From string
-	// IDLo..IDHi is the matched identifier range (inclusive).
-	IDLo, IDHi can.ID
+	// Medium selects which media the rule applies to; the zero value
+	// matches every medium (the CAN-only legacy behaviour).
+	Medium netif.Selector
+	// IDLo..IDHi is the matched identifier range (inclusive): CAN IDs, LIN
+	// frame IDs, FlexRay slots or Ethernet EtherTypes, per the medium.
+	IDLo, IDHi uint32
 	// To lists destination domains for Allow rules; empty means "all other
 	// domains".
 	To []string
@@ -51,24 +74,34 @@ type Rule struct {
 	// BurstFrames is the token-bucket depth (default: RatePerSec).
 	BurstFrames float64
 
-	tokens float64
-	last   sim.Time
-	inited bool
-
 	Matched   sim.Counter
 	RateDrops sim.Counter
 }
 
 // matches reports whether the rule applies to the frame from the domain.
-func (r *Rule) matches(from string, f *can.Frame) bool {
+func (r *Rule) matches(from string, f *netif.Frame) bool {
 	if r.From != "*" && r.From != from {
+		return false
+	}
+	if !r.Medium.Matches(f.Medium) {
 		return false
 	}
 	return f.ID >= r.IDLo && f.ID <= r.IDHi
 }
 
+// ruleState is the gateway-owned mutable companion of one installed rule:
+// the token-bucket limiter and the precomputed verdict strings (built once
+// at install time so the per-frame notify path concatenates nothing).
+type ruleState struct {
+	allowV, denyV, rateV string
+
+	tokens float64
+	last   sim.Time
+	inited bool
+}
+
 // admit applies the rule's rate limit at virtual time now.
-func (r *Rule) admit(now sim.Time) bool {
+func (st *ruleState) admit(now sim.Time, r *Rule) bool {
 	if r.RatePerSec <= 0 {
 		return true
 	}
@@ -76,31 +109,38 @@ func (r *Rule) admit(now sim.Time) bool {
 	if burst <= 0 {
 		burst = r.RatePerSec
 	}
-	if !r.inited {
-		r.inited = true
-		r.tokens = burst
-		r.last = now
+	if !st.inited {
+		st.inited = true
+		st.tokens = burst
+		st.last = now
 	}
-	r.tokens += (now - r.last).Seconds() * r.RatePerSec
-	if r.tokens > burst {
-		r.tokens = burst
+	st.tokens += (now - st.last).Seconds() * r.RatePerSec
+	if st.tokens > burst {
+		st.tokens = burst
 	}
-	r.last = now
-	if r.tokens < 1 {
+	st.last = now
+	if st.tokens < 1 {
 		return false
 	}
-	r.tokens--
+	st.tokens--
 	return true
 }
 
-// domain is one attached IVN.
+// domain is one attached IVN, bound to the gateway through a netif port.
+// xlate/buf/in are per-domain scratch state so the zero-latency forward
+// path translates without allocating.
 type domain struct {
 	name        string
-	ctrl        *can.Controller
+	kind        netif.Kind
+	port        netif.Port
 	quarantined bool
+
+	xlate netif.Frame // egress translation scratch
+	buf   []byte      // egress encapsulation/padding scratch
+	in    netif.Frame // ingress decapsulation scratch
 }
 
-// Gateway joins CAN domains with an ordered, updatable rule set. Rule-set
+// Gateway joins IVN domains with an ordered, updatable rule set. Rule-set
 // updates at runtime are the extensibility hook: scenario E8 sweeps rule
 // granularity, and the policy engine installs new rules in-field.
 type Gateway struct {
@@ -114,6 +154,9 @@ type Gateway struct {
 	// deterministic.
 	order []string
 	rules []*Rule
+	// states runs parallel to rules: states[i] is the limiter state and
+	// verdict-string cache for rules[i].
+	states []*ruleState
 	// DefaultAction applies when no rule matches (Deny is the secure
 	// default; a permissive gateway is the "no gateway" baseline).
 	DefaultAction Action
@@ -125,8 +168,11 @@ type Gateway struct {
 	Blocked     sim.Counter
 	RateLimited sim.Counter
 	QuarDrops   sim.Counter
+	// XlateDrops counts frames that matched an Allow rule but could not be
+	// carried on a destination medium (payload too large, wrong tunnel).
+	XlateDrops sim.Counter
 
-	observers []func(at sim.Time, from string, f *can.Frame, verdict string)
+	observers []func(at sim.Time, from string, f *netif.Frame, verdict string)
 
 	// Observability (nil when off). Verdict and domain labels intern on
 	// first sight and hit the tracer's label map afterwards, so the
@@ -146,28 +192,59 @@ var (
 	ErrUnknownDomain = errors.New("gateway: unknown domain")
 )
 
-// AttachDomain connects the gateway to a bus as the given domain name.
-// The gateway joins the bus with its own CAN controller.
-func (g *Gateway) AttachDomain(name string, bus *can.Bus) error {
+// AttachDomain connects the gateway to a medium as the given domain name.
+// The gateway joins the medium with its own port (on CAN: a controller
+// named "gw-<gateway>-<domain>", preserving the historical node naming).
+func (g *Gateway) AttachDomain(name string, m netif.Medium) error {
 	if _, dup := g.domains[name]; dup {
 		return fmt.Errorf("%w: %s", ErrDupDomain, name)
 	}
-	ctrl := can.NewController("gw-" + g.Name + "-" + name)
-	bus.Attach(ctrl)
-	d := &domain{name: name, ctrl: ctrl}
+	port, err := m.Open("gw-" + g.Name + "-" + name)
+	if err != nil {
+		return err
+	}
+	d := &domain{name: name, kind: m.Kind(), port: port}
 	g.domains[name] = d
 	g.order = append(g.order, name)
-	ctrl.OnReceive(func(at sim.Time, f *can.Frame, sender *can.Controller) {
+	port.OnReceive(func(at sim.Time, f *netif.Frame) {
 		g.route(at, d, f)
 	})
 	return nil
 }
 
+// DomainKind reports the medium kind a domain is bound to.
+func (g *Gateway) DomainKind(name string) (netif.Kind, bool) {
+	d, ok := g.domains[name]
+	if !ok {
+		return 0, false
+	}
+	return d.kind, true
+}
+
+// newState builds the gateway-owned state for one installed rule.
+func newState(r *Rule) *ruleState {
+	return &ruleState{
+		allowV: "allow:" + r.Name,
+		denyV:  "deny:" + r.Name,
+		rateV:  "rate:" + r.Name,
+	}
+}
+
 // AddRule appends a rule to the ordered rule set.
-func (g *Gateway) AddRule(r *Rule) { g.rules = append(g.rules, r) }
+func (g *Gateway) AddRule(r *Rule) {
+	g.rules = append(g.rules, r)
+	g.states = append(g.states, newState(r))
+}
 
 // SetRules replaces the entire rule set — the in-field update primitive.
-func (g *Gateway) SetRules(rs []*Rule) { g.rules = rs }
+// Limiter state is reset: new policy, fresh buckets.
+func (g *Gateway) SetRules(rs []*Rule) {
+	g.rules = rs
+	g.states = make([]*ruleState, len(rs))
+	for i, r := range rs {
+		g.states[i] = newState(r)
+	}
+}
 
 // Rules returns the active rule set (callers must not mutate entries
 // concurrently with simulation).
@@ -202,11 +279,12 @@ func (g *Gateway) Quarantined(name string) bool {
 }
 
 // Observe registers a verdict observer (feeds the IDS and audit logs).
-func (g *Gateway) Observe(fn func(at sim.Time, from string, f *can.Frame, verdict string)) {
+// The *netif.Frame is only valid for the duration of the callback.
+func (g *Gateway) Observe(fn func(at sim.Time, from string, f *netif.Frame, verdict string)) {
 	g.observers = append(g.observers, fn)
 }
 
-func (g *Gateway) notify(at sim.Time, from string, f *can.Frame, verdict string) {
+func (g *Gateway) notify(at sim.Time, from string, f *netif.Frame, verdict string) {
 	if g.obsTr != nil {
 		g.obsTr.Instant(at, g.obsSub, g.obsTr.Label(verdict), g.obsTr.Label(from), int64(f.ID), 0)
 	}
@@ -224,7 +302,8 @@ func (g *Gateway) notify(at sim.Time, from string, f *can.Frame, verdict string)
 // domain and Arg1 = frame ID.
 //
 // Metrics: gateway/forwarded, gateway/blocked, gateway/rate_limited and
-// gateway/quarantine_drops probe the existing counters.
+// gateway/quarantine_drops probe the existing counters; gateway/xlate_drops
+// counts cross-medium translation failures.
 func (g *Gateway) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	if tr != nil {
 		g.obsTr = tr
@@ -235,34 +314,45 @@ func (g *Gateway) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 		reg.Probe("gateway/blocked", func() float64 { return float64(g.Blocked.Value) })
 		reg.Probe("gateway/rate_limited", func() float64 { return float64(g.RateLimited.Value) })
 		reg.Probe("gateway/quarantine_drops", func() float64 { return float64(g.QuarDrops.Value) })
+		reg.Probe("gateway/xlate_drops", func() float64 { return float64(g.XlateDrops.Value) })
 	}
 }
 
 // route applies the rule set to a frame received from a domain.
-func (g *Gateway) route(at sim.Time, from *domain, f *can.Frame) {
+func (g *Gateway) route(at sim.Time, from *domain, f *netif.Frame) {
+	// Ingress translation: a tunnel frame routes by its inner identity, so
+	// a CAN frame tunnelled over the Ethernet backbone is matched by the
+	// same rules as its native form — the decapsulation half of the
+	// DoIP-style bridging the egress path performs.
+	if netif.IsTunnel(f) {
+		if err := netif.Decapsulate(&from.in, f); err == nil {
+			f = &from.in
+		}
+	}
 	if from.quarantined {
 		g.QuarDrops.Inc()
 		g.notify(at, from.name, f, "quarantined")
 		return
 	}
-	for _, r := range g.rules {
+	for i, r := range g.rules {
 		if !r.matches(from.name, f) {
 			continue
 		}
+		st := g.states[i]
 		r.Matched.Inc()
 		if r.Action == Deny {
 			g.Blocked.Inc()
-			g.notify(at, from.name, f, "deny:"+r.Name)
+			g.notify(at, from.name, f, st.denyV)
 			return
 		}
-		if !r.admit(at) {
+		if !st.admit(at, r) {
 			r.RateDrops.Inc()
 			g.RateLimited.Inc()
-			g.notify(at, from.name, f, "rate:"+r.Name)
+			g.notify(at, from.name, f, st.rateV)
 			return
 		}
 		g.forward(at, from, f, r.To)
-		g.notify(at, from.name, f, "allow:"+r.Name)
+		g.notify(at, from.name, f, st.allowV)
 		return
 	}
 	if g.DefaultAction == Allow {
@@ -276,33 +366,47 @@ func (g *Gateway) route(at sim.Time, from *domain, f *can.Frame) {
 
 // forward relays the frame to the destination domains (all others when
 // dsts is empty), excluding the source and quarantined domains.
-func (g *Gateway) forward(at sim.Time, from *domain, f *can.Frame, dsts []string) {
+func (g *Gateway) forward(at sim.Time, from *domain, f *netif.Frame, dsts []string) {
 	g.Forwarded.Inc()
-	send := func(d *domain) {
-		if d == from || d.quarantined {
-			return
-		}
-		frame := f.Clone()
-		deliver := func() {
-			// Best effort: bus-off or queue-full drops are the destination
-			// controller's problem and show up in its counters.
-			_ = d.ctrl.Send(frame, nil)
-		}
-		if g.Latency > 0 {
-			g.kernel.After(g.Latency, deliver)
-		} else {
-			deliver()
-		}
-	}
 	if len(dsts) == 0 {
 		for _, name := range g.order {
-			send(g.domains[name])
+			g.send(from, g.domains[name], f)
 		}
 		return
 	}
 	for _, name := range dsts {
 		if d, ok := g.domains[name]; ok {
-			send(d)
+			g.send(from, d, f)
 		}
 	}
+}
+
+// send translates the frame for one destination domain and transmits it.
+// The zero-latency path translates into the domain's scratch state and
+// allocates nothing; the store-and-forward path clones per destination
+// (the frame view does not survive the delay).
+func (g *Gateway) send(from, d *domain, f *netif.Frame) {
+	if d == from || d.quarantined {
+		return
+	}
+	if g.Latency > 0 {
+		frame := f.Clone()
+		g.kernel.After(g.Latency, func() {
+			var out netif.Frame
+			var scratch []byte
+			if err := netif.Translate(&out, &frame, d.kind, &scratch); err != nil {
+				g.XlateDrops.Inc()
+				return
+			}
+			// Best effort: bus-off or queue-full drops are the destination
+			// port's problem and show up in its medium's counters.
+			_ = d.port.Send(&out)
+		})
+		return
+	}
+	if err := netif.Translate(&d.xlate, f, d.kind, &d.buf); err != nil {
+		g.XlateDrops.Inc()
+		return
+	}
+	_ = d.port.Send(&d.xlate)
 }

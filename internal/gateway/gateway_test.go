@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"autosec/internal/can"
+	"autosec/internal/netif"
 	"autosec/internal/sim"
 )
 
@@ -33,10 +34,10 @@ func newRig(t *testing.T) *rig {
 	}
 	r.infoBus.Attach(r.infoECU)
 	r.ptBus.Attach(r.ptECU)
-	if err := r.gw.AttachDomain("infotainment", r.infoBus); err != nil {
+	if err := r.gw.AttachDomain("infotainment", can.Netif(r.infoBus)); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.gw.AttachDomain("powertrain", r.ptBus); err != nil {
+	if err := r.gw.AttachDomain("powertrain", can.Netif(r.ptBus)); err != nil {
 		t.Fatal(err)
 	}
 	r.ptECU.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
@@ -77,7 +78,7 @@ func TestAllowRuleForwards(t *testing.T) {
 func TestFirstMatchWins(t *testing.T) {
 	r := newRig(t)
 	deny := &Rule{Name: "deny-diag", From: "*", IDLo: 0x700, IDHi: 0x7FF, Action: Deny}
-	allow := &Rule{Name: "allow-all", From: "*", IDLo: 0, IDHi: can.MaxStandardID, Action: Allow}
+	allow := &Rule{Name: "allow-all", From: "*", IDLo: 0, IDHi: uint32(can.MaxStandardID), Action: Allow}
 	r.gw.SetRules([]*Rule{deny, allow})
 	_ = r.infoECU.Send(can.Frame{ID: 0x7DF}, nil) // OBD broadcast: denied
 	_ = r.infoECU.Send(can.Frame{ID: 0x300}, nil) // allowed
@@ -92,7 +93,7 @@ func TestFirstMatchWins(t *testing.T) {
 
 func TestRateLimit(t *testing.T) {
 	r := newRig(t)
-	rule := &Rule{Name: "limited", From: "infotainment", IDLo: 0, IDHi: can.MaxStandardID,
+	rule := &Rule{Name: "limited", From: "infotainment", IDLo: 0, IDHi: uint32(can.MaxStandardID),
 		To: []string{"powertrain"}, Action: Allow, RatePerSec: 10, BurstFrames: 5}
 	r.gw.AddRule(rule)
 	// Fire 50 frames in the first 100ms: bucket of 5 + ~1 refill pass.
@@ -116,7 +117,7 @@ func TestRateLimit(t *testing.T) {
 
 func TestQuarantineBlocksBothDirections(t *testing.T) {
 	r := newRig(t)
-	r.gw.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: can.MaxStandardID, Action: Allow})
+	r.gw.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: uint32(can.MaxStandardID), Action: Allow})
 	if err := r.gw.Quarantine("infotainment"); err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestQuarantineUnknownDomain(t *testing.T) {
 
 func TestDuplicateDomain(t *testing.T) {
 	r := newRig(t)
-	if err := r.gw.AttachDomain("infotainment", r.infoBus); !errors.Is(err, ErrDupDomain) {
+	if err := r.gw.AttachDomain("infotainment", can.Netif(r.infoBus)); !errors.Is(err, ErrDupDomain) {
 		t.Fatalf("err=%v", err)
 	}
 }
@@ -174,7 +175,7 @@ func TestAllowToAllOtherDomains(t *testing.T) {
 	chassisECU.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
 		chassisSeen = append(chassisSeen, f.ID)
 	})
-	if err := r.gw.AttachDomain("chassis", chassisBus); err != nil {
+	if err := r.gw.AttachDomain("chassis", can.Netif(chassisBus)); err != nil {
 		t.Fatal(err)
 	}
 	r.gw.AddRule(&Rule{Name: "bc", From: "powertrain", IDLo: 0x100, IDHi: 0x100, Action: Allow})
@@ -192,7 +193,7 @@ func TestObserverVerdicts(t *testing.T) {
 	r := newRig(t)
 	r.gw.AddRule(&Rule{Name: "nav", From: "infotainment", IDLo: 0x100, IDHi: 0x100, To: []string{"powertrain"}, Action: Allow})
 	var verdicts []string
-	r.gw.Observe(func(_ sim.Time, _ string, _ *can.Frame, v string) { verdicts = append(verdicts, v) })
+	r.gw.Observe(func(_ sim.Time, _ string, _ *netif.Frame, v string) { verdicts = append(verdicts, v) })
 	_ = r.infoECU.Send(can.Frame{ID: 0x100}, nil)
 	_ = r.infoECU.Send(can.Frame{ID: 0x500}, nil)
 	_ = r.k.Run()
@@ -221,7 +222,7 @@ func TestActionString(t *testing.T) {
 func TestGatewayLatencyDelaysForwarding(t *testing.T) {
 	r := newRig(t)
 	r.gw.Latency = 2 * sim.Millisecond
-	r.gw.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: can.MaxStandardID, Action: Allow})
+	r.gw.AddRule(&Rule{Name: "open", From: "*", IDLo: 0, IDHi: uint32(can.MaxStandardID), Action: Allow})
 	var deliveredAt sim.Time
 	r.ptECU.OnReceive(func(at sim.Time, _ *can.Frame, _ *can.Controller) { deliveredAt = at })
 

@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strings"
 
-	"autosec/internal/can"
+	"autosec/internal/netif"
 	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
@@ -59,7 +59,7 @@ func (e *Engine) Detectors() []string {
 }
 
 // Train trains every installed detector on the clean reference trace.
-func (e *Engine) Train(trace *can.Trace) {
+func (e *Engine) Train(trace *netif.Trace) {
 	for _, d := range e.detectors {
 		d.Train(trace)
 	}
@@ -70,7 +70,7 @@ func (e *Engine) Train(trace *can.Trace) {
 func (e *Engine) OnAlert(fn func(Alert)) { e.onAlert = append(e.onAlert, fn) }
 
 // Observe feeds one record to all detectors.
-func (e *Engine) Observe(rec can.Record) []Alert {
+func (e *Engine) Observe(rec netif.Record) []Alert {
 	e.observed++
 	var out []Alert
 	for _, d := range e.detectors {
@@ -120,14 +120,11 @@ func (e *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	}
 }
 
-// AttachToBus taps the engine into live bus traffic.
-func (e *Engine) AttachToBus(b *can.Bus) {
-	b.Sniff(func(at sim.Time, f *can.Frame, sender *can.Controller, corrupted bool) {
-		name := ""
-		if sender != nil {
-			name = sender.Name
-		}
-		e.Observe(can.Record{At: at, Frame: f.Clone(), Sender: name, Corrupted: corrupted})
+// Attach taps the engine into live traffic on a medium. Records are
+// cloned off the tap's frame view, so detectors may retain payloads.
+func (e *Engine) Attach(m netif.Medium) {
+	m.Tap(func(at sim.Time, f *netif.Frame, corrupted bool) {
+		e.Observe(netif.Record{At: at, Frame: f.Clone(), Corrupted: corrupted})
 	})
 }
 
@@ -171,11 +168,11 @@ type Window struct {
 // Evaluate replays a trace through freshly trained detectors and scores
 // alerts against labelled windows. Alerts raised within (or up to grace
 // after) an attack window count as true positives for that window.
-func Evaluate(detectors []Detector, train, live *can.Trace, windows []Window, grace sim.Duration) Metrics {
+func Evaluate(detectors []Detector, train, live *netif.Trace, windows []Window, grace sim.Duration) Metrics {
 	eng := NewEngine(detectors...)
 	eng.Train(train)
-	for _, r := range live.Records {
-		eng.Observe(r)
+	for i := range live.Records {
+		eng.Observe(live.Records[i])
 	}
 	sort.Slice(eng.Alerts, func(i, j int) bool { return eng.Alerts[i].At < eng.Alerts[j].At })
 

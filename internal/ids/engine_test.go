@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"autosec/internal/can"
+	"autosec/internal/netif"
 	"autosec/internal/sim"
 )
 
@@ -31,7 +32,7 @@ func TestEngineAggregatesAndNotifies(t *testing.T) {
 	e.Train(makeTrace(sim.Second, cleanSpecs()))
 	var notified []Alert
 	e.OnAlert(func(a Alert) { notified = append(notified, a) })
-	e.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x999}})
+	e.Observe(canRec(0, 0x999, nil))
 	if len(e.Alerts) != 1 || len(notified) != 1 {
 		t.Fatalf("alerts=%d notified=%d", len(e.Alerts), len(notified))
 	}
@@ -40,7 +41,7 @@ func TestEngineAggregatesAndNotifies(t *testing.T) {
 	}
 }
 
-func TestEngineAttachToBus(t *testing.T) {
+func TestEngineAttachMedium(t *testing.T) {
 	k := sim.NewKernel(1)
 	bus := can.NewBus(k, "b", 500_000)
 	tx := can.NewController("legit")
@@ -49,9 +50,9 @@ func TestEngineAttachToBus(t *testing.T) {
 	bus.Attach(rx)
 
 	spec := NewSpecDetector()
-	spec.DLC[0x100] = 0
+	spec.DLC[netif.MakeKey(netif.CAN, 0x100)] = 0
 	e := NewEngine(spec)
-	e.AttachToBus(bus)
+	e.Attach(can.Netif(bus))
 
 	_ = tx.Send(can.Frame{ID: 0x100}, nil) // known
 	_ = tx.Send(can.Frame{ID: 0x400}, nil) // unknown -> alert
@@ -68,7 +69,7 @@ func TestEvaluateMetrics(t *testing.T) {
 	// then clean again to 10s.
 	live := makeTrace(10*sim.Second, cleanSpecs())
 	for at := 5 * sim.Second; at < 6*sim.Second; at += sim.Millisecond {
-		live.Records = append(live.Records, can.Record{At: at, Frame: can.Frame{ID: 0x100, Data: constPayload(0)}})
+		live.Records = append(live.Records, canRec(at, 0x100, constPayload(0)))
 	}
 	for i := 1; i < len(live.Records); i++ {
 		for j := i; j > 0 && live.Records[j].At < live.Records[j-1].At; j-- {

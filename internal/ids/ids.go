@@ -13,6 +13,12 @@
 // Detectors are trained on clean traffic and then observe a live stream;
 // they are installable and replaceable at runtime through the policy
 // layer, which is the extensibility story of experiment E11/E12.
+//
+// Detectors consume the netif transport fabric, not any one medium:
+// traffic is keyed by (medium, identifier), so the same statistical
+// models watch CAN IDs, LIN frames, FlexRay slots and Ethernet
+// EtherTypes. On CAN-only traffic the keys order and compare exactly as
+// the historical per-can.ID state did.
 package ids
 
 import (
@@ -20,7 +26,7 @@ import (
 	"math"
 	"sort"
 
-	"autosec/internal/can"
+	"autosec/internal/netif"
 	"autosec/internal/sim"
 )
 
@@ -28,12 +34,22 @@ import (
 type Alert struct {
 	At       sim.Time
 	Detector string
-	ID       can.ID
+	Medium   netif.Kind
+	ID       uint32
 	Reason   string
 }
 
 func (a Alert) String() string {
-	return fmt.Sprintf("[%v] %s id=%#x: %s", a.At, a.Detector, uint32(a.ID), a.Reason)
+	if a.Medium == netif.CAN {
+		// The historical CAN rendering, byte-for-byte.
+		return fmt.Sprintf("[%v] %s id=%#x: %s", a.At, a.Detector, a.ID, a.Reason)
+	}
+	return fmt.Sprintf("[%v] %s %s id=%#x: %s", a.At, a.Detector, a.Medium, a.ID, a.Reason)
+}
+
+// alertFor builds an alert for a traffic key.
+func alertFor(at sim.Time, detector string, k netif.Key, reason string) Alert {
+	return Alert{At: at, Detector: detector, Medium: k.Kind(), ID: k.ID(), Reason: reason}
 }
 
 // Detector is a streaming intrusion detector. Train consumes clean
@@ -41,8 +57,8 @@ func (a Alert) String() string {
 // alerts it raises.
 type Detector interface {
 	Name() string
-	Train(trace *can.Trace)
-	Observe(rec can.Record) []Alert
+	Train(trace *netif.Trace)
+	Observe(rec netif.Record) []Alert
 }
 
 // FrequencyDetector learns each identifier's frame rate over fixed
@@ -53,13 +69,14 @@ type FrequencyDetector struct {
 	// Slack widens the learned [min,max] count band multiplicatively.
 	Slack float64
 
-	bounds map[can.ID][2]float64 // learned min/max per window
-	// boundIDs holds the learned IDs sorted ascending: the window-close
-	// sweep walks this slice, not the map, so alert order is deterministic.
-	boundIDs   []can.ID
+	bounds map[netif.Key][2]float64 // learned min/max per window
+	// boundKeys holds the learned keys sorted ascending: the window-close
+	// sweep walks this slice, not the map, so alert order is deterministic
+	// (and, on CAN traffic, identical to ascending-ID order).
+	boundKeys  []netif.Key
 	winStart   sim.Time
-	counts     map[can.ID]int
-	suppressed map[can.ID]bool
+	counts     map[netif.Key]int
+	suppressed map[netif.Key]bool
 }
 
 // NewFrequencyDetector creates a detector with a 100ms window and 50%
@@ -72,12 +89,11 @@ func NewFrequencyDetector() *FrequencyDetector {
 func (d *FrequencyDetector) Name() string { return "frequency" }
 
 // Train implements Detector.
-func (d *FrequencyDetector) Train(trace *can.Trace) {
-	d.bounds = make(map[can.ID][2]float64)
+func (d *FrequencyDetector) Train(trace *netif.Trace) {
+	d.bounds = make(map[netif.Key][2]float64)
 	if trace.Len() == 0 {
 		return
 	}
-	counts := make(map[can.ID][]int)
 	// Min/max scan rather than first/last: training traces assembled from
 	// several sources are not necessarily time-sorted.
 	start, end := trace.Records[0].At, trace.Records[0].At
@@ -90,16 +106,16 @@ func (d *FrequencyDetector) Train(trace *can.Trace) {
 		}
 	}
 	nWin := int((end-start)/d.Window) + 1
-	perWin := make(map[can.ID][]int)
-	for id := range countIDs(trace) {
-		perWin[id] = make([]int, nWin)
+	perWin := make(map[netif.Key][]int)
+	for k := range countKeys(trace) {
+		perWin[k] = make([]int, nWin)
 	}
-	for _, r := range trace.Records {
+	for i := range trace.Records {
+		r := &trace.Records[i]
 		w := int((r.At - start) / d.Window)
-		perWin[r.Frame.ID][w]++
+		perWin[r.Frame.Key()][w]++
 	}
-	for id, wins := range perWin {
-		counts[id] = wins
+	for k, wins := range perWin {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, c := range wins {
 			fc := float64(c)
@@ -113,55 +129,55 @@ func (d *FrequencyDetector) Train(trace *can.Trace) {
 		// The ±1 absolute margin absorbs window-boundary drift: a message
 		// whose period equals the window lands 0 or 2 times in a window
 		// depending on phase, without that being an anomaly.
-		d.bounds[id] = [2]float64{lo*(1-d.Slack) - 1, hi*(1+d.Slack) + 1}
+		d.bounds[k] = [2]float64{lo*(1-d.Slack) - 1, hi*(1+d.Slack) + 1}
 	}
-	d.boundIDs = d.boundIDs[:0]
-	for id := range d.bounds {
-		d.boundIDs = append(d.boundIDs, id)
+	d.boundKeys = d.boundKeys[:0]
+	for k := range d.bounds {
+		d.boundKeys = append(d.boundKeys, k)
 	}
-	sort.Slice(d.boundIDs, func(i, j int) bool { return d.boundIDs[i] < d.boundIDs[j] })
-	d.counts = make(map[can.ID]int)
-	d.suppressed = make(map[can.ID]bool)
+	sort.Slice(d.boundKeys, func(i, j int) bool { return d.boundKeys[i] < d.boundKeys[j] })
+	d.counts = make(map[netif.Key]int)
+	d.suppressed = make(map[netif.Key]bool)
 }
 
-func countIDs(trace *can.Trace) map[can.ID]bool {
-	out := make(map[can.ID]bool)
-	for _, r := range trace.Records {
-		out[r.Frame.ID] = true
+func countKeys(trace *netif.Trace) map[netif.Key]bool {
+	out := make(map[netif.Key]bool)
+	for i := range trace.Records {
+		out[trace.Records[i].Frame.Key()] = true
 	}
 	return out
 }
 
 // Observe implements Detector.
-func (d *FrequencyDetector) Observe(rec can.Record) []Alert {
+func (d *FrequencyDetector) Observe(rec netif.Record) []Alert {
 	if d.counts == nil {
-		d.counts = make(map[can.ID]int)
-		d.suppressed = make(map[can.ID]bool)
+		d.counts = make(map[netif.Key]int)
+		d.suppressed = make(map[netif.Key]bool)
 	}
 	var alerts []Alert
 	if rec.At-d.winStart >= d.Window {
-		// Close the window: check all learned IDs, including silent ones
+		// Close the window: check all learned keys, including silent ones
 		// (suspension attack shows as counts below the learned minimum).
-		for _, id := range d.boundIDs {
-			b := d.bounds[id]
-			c := float64(d.counts[id])
+		for _, k := range d.boundKeys {
+			b := d.bounds[k]
+			c := float64(d.counts[k])
 			switch {
 			case c > b[1]:
-				alerts = append(alerts, Alert{At: rec.At, Detector: d.Name(), ID: id,
-					Reason: fmt.Sprintf("rate high: %d > %.1f per window", int(c), b[1])})
-			case c < b[0] && !d.suppressed[id]:
+				alerts = append(alerts, alertFor(rec.At, d.Name(), k,
+					fmt.Sprintf("rate high: %d > %.1f per window", int(c), b[1])))
+			case c < b[0] && !d.suppressed[k]:
 				// Alert once per suppression episode to bound alert volume.
-				d.suppressed[id] = true
-				alerts = append(alerts, Alert{At: rec.At, Detector: d.Name(), ID: id,
-					Reason: fmt.Sprintf("rate low: %d < %.1f per window", int(c), b[0])})
+				d.suppressed[k] = true
+				alerts = append(alerts, alertFor(rec.At, d.Name(), k,
+					fmt.Sprintf("rate low: %d < %.1f per window", int(c), b[0])))
 			default:
-				d.suppressed[id] = false
+				d.suppressed[k] = false
 			}
 		}
-		d.counts = make(map[can.ID]int)
+		d.counts = make(map[netif.Key]int)
 		d.winStart = rec.At
 	}
-	d.counts[rec.Frame.ID]++
+	d.counts[rec.Frame.Key()]++
 	return alerts
 }
 
@@ -172,8 +188,8 @@ type IntervalDetector struct {
 	// MinFraction of the learned period below which a frame is anomalous.
 	MinFraction float64
 
-	period map[can.ID]sim.Duration
-	lastAt map[can.ID]sim.Time
+	period map[netif.Key]sim.Duration
+	lastAt map[netif.Key]sim.Time
 }
 
 // NewIntervalDetector creates a detector alerting below half the learned
@@ -186,11 +202,11 @@ func NewIntervalDetector() *IntervalDetector {
 func (d *IntervalDetector) Name() string { return "interval" }
 
 // Train implements Detector.
-func (d *IntervalDetector) Train(trace *can.Trace) {
-	d.period = make(map[can.ID]sim.Duration)
-	d.lastAt = make(map[can.ID]sim.Time)
-	for id := range countIDs(trace) {
-		ivs := trace.Intervals(id)
+func (d *IntervalDetector) Train(trace *netif.Trace) {
+	d.period = make(map[netif.Key]sim.Duration)
+	d.lastAt = make(map[netif.Key]sim.Time)
+	for k := range countKeys(trace) {
+		ivs := trace.Intervals(k)
 		if len(ivs) < 3 {
 			continue // aperiodic or too rare to model
 		}
@@ -199,26 +215,26 @@ func (d *IntervalDetector) Train(trace *can.Trace) {
 		for _, iv := range ivs {
 			s.Observe(float64(iv))
 		}
-		d.period[id] = sim.Duration(s.Quantile(0.5))
+		d.period[k] = sim.Duration(s.Quantile(0.5))
 	}
 }
 
 // Observe implements Detector.
-func (d *IntervalDetector) Observe(rec can.Record) []Alert {
+func (d *IntervalDetector) Observe(rec netif.Record) []Alert {
 	if d.lastAt == nil {
-		d.lastAt = make(map[can.ID]sim.Time)
+		d.lastAt = make(map[netif.Key]sim.Time)
 	}
-	id := rec.Frame.ID
-	defer func() { d.lastAt[id] = rec.At }()
-	p, modelled := d.period[id]
-	last, seen := d.lastAt[id]
+	k := rec.Frame.Key()
+	defer func() { d.lastAt[k] = rec.At }()
+	p, modelled := d.period[k]
+	last, seen := d.lastAt[k]
 	if !modelled || !seen {
 		return nil
 	}
 	iv := rec.At - last
 	if float64(iv) < d.MinFraction*float64(p) {
-		return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
-			Reason: fmt.Sprintf("interval %v < %.0f%% of period %v", iv, d.MinFraction*100, p)}}
+		return []Alert{alertFor(rec.At, d.Name(), k,
+			fmt.Sprintf("interval %v < %.0f%% of period %v", iv, d.MinFraction*100, p))}
 	}
 	return nil
 }
@@ -233,8 +249,8 @@ type EntropyDetector struct {
 	// Tolerance is the allowed absolute deviation in bits.
 	Tolerance float64
 
-	trained map[can.ID]float64
-	buf     map[can.ID][][]byte
+	trained map[netif.Key]float64
+	buf     map[netif.Key][][]byte
 }
 
 // NewEntropyDetector creates a detector with batch 32, tolerance 1.2 bits.
@@ -270,14 +286,15 @@ func payloadEntropy(payloads [][]byte) float64 {
 }
 
 // Train implements Detector.
-func (d *EntropyDetector) Train(trace *can.Trace) {
-	d.trained = make(map[can.ID]float64)
-	d.buf = make(map[can.ID][][]byte)
-	byID := make(map[can.ID][][]byte)
-	for _, r := range trace.Records {
-		byID[r.Frame.ID] = append(byID[r.Frame.ID], r.Frame.Data)
+func (d *EntropyDetector) Train(trace *netif.Trace) {
+	d.trained = make(map[netif.Key]float64)
+	d.buf = make(map[netif.Key][][]byte)
+	byKey := make(map[netif.Key][][]byte)
+	for i := range trace.Records {
+		r := &trace.Records[i]
+		byKey[r.Frame.Key()] = append(byKey[r.Frame.Key()], r.Frame.Payload)
 	}
-	for id, ps := range byID {
+	for k, ps := range byKey {
 		if len(ps) < d.BatchSize {
 			continue
 		}
@@ -290,29 +307,30 @@ func (d *EntropyDetector) Train(trace *can.Trace) {
 			sum += payloadEntropy(ps[i : i+d.BatchSize])
 			n++
 		}
-		d.trained[id] = sum / float64(n)
+		d.trained[k] = sum / float64(n)
 	}
 }
 
-// Observe implements Detector.
-func (d *EntropyDetector) Observe(rec can.Record) []Alert {
+// Observe implements Detector. The record must own its payload (taps
+// clone before feeding the engine): batches retain payload references.
+func (d *EntropyDetector) Observe(rec netif.Record) []Alert {
 	if d.buf == nil {
-		d.buf = make(map[can.ID][][]byte)
+		d.buf = make(map[netif.Key][][]byte)
 	}
-	id := rec.Frame.ID
-	ref, modelled := d.trained[id]
+	k := rec.Frame.Key()
+	ref, modelled := d.trained[k]
 	if !modelled {
 		return nil
 	}
-	d.buf[id] = append(d.buf[id], rec.Frame.Data)
-	if len(d.buf[id]) < d.BatchSize {
+	d.buf[k] = append(d.buf[k], rec.Frame.Payload)
+	if len(d.buf[k]) < d.BatchSize {
 		return nil
 	}
-	h := payloadEntropy(d.buf[id])
-	d.buf[id] = nil
+	h := payloadEntropy(d.buf[k])
+	d.buf[k] = nil
 	if math.Abs(h-ref) > d.Tolerance {
-		return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
-			Reason: fmt.Sprintf("entropy %.2f vs trained %.2f bits", h, ref)}}
+		return []Alert{alertFor(rec.At, d.Name(), k,
+			fmt.Sprintf("entropy %.2f vs trained %.2f bits", h, ref))}
 	}
 	return nil
 }
@@ -328,17 +346,18 @@ type SignalRange struct {
 // statistical detectors it needs no training and has (by construction)
 // no false positives on conforming traffic.
 type SpecDetector struct {
-	// DLC maps each permitted ID to its expected payload length (-1: any).
-	DLC map[can.ID]int
-	// Ranges lists signal constraints per ID.
-	Ranges map[can.ID][]SignalRange
+	// DLC maps each permitted traffic key to its expected payload length
+	// (-1: any). Keys are built with netif.MakeKey.
+	DLC map[netif.Key]int
+	// Ranges lists signal constraints per key.
+	Ranges map[netif.Key][]SignalRange
 	// AlertUnknownID controls whether unlisted identifiers alert.
 	AlertUnknownID bool
 }
 
 // NewSpecDetector creates an empty specification.
 func NewSpecDetector() *SpecDetector {
-	return &SpecDetector{DLC: make(map[can.ID]int), Ranges: make(map[can.ID][]SignalRange), AlertUnknownID: true}
+	return &SpecDetector{DLC: make(map[netif.Key]int), Ranges: make(map[netif.Key][]SignalRange), AlertUnknownID: true}
 }
 
 // Name implements Detector.
@@ -346,41 +365,43 @@ func (d *SpecDetector) Name() string { return "spec" }
 
 // Train implements Detector. SpecDetector derives the ID whitelist and
 // DLCs from clean traffic when they were not configured explicitly.
-func (d *SpecDetector) Train(trace *can.Trace) {
+func (d *SpecDetector) Train(trace *netif.Trace) {
 	if len(d.DLC) > 0 {
 		return // explicitly configured: training is a no-op
 	}
-	for _, r := range trace.Records {
-		if cur, ok := d.DLC[r.Frame.ID]; !ok {
-			d.DLC[r.Frame.ID] = len(r.Frame.Data)
-		} else if cur != len(r.Frame.Data) {
-			d.DLC[r.Frame.ID] = -1
+	for i := range trace.Records {
+		r := &trace.Records[i]
+		k := r.Frame.Key()
+		if cur, ok := d.DLC[k]; !ok {
+			d.DLC[k] = len(r.Frame.Payload)
+		} else if cur != len(r.Frame.Payload) {
+			d.DLC[k] = -1
 		}
 	}
 }
 
 // Observe implements Detector.
-func (d *SpecDetector) Observe(rec can.Record) []Alert {
-	id := rec.Frame.ID
-	want, known := d.DLC[id]
+func (d *SpecDetector) Observe(rec netif.Record) []Alert {
+	k := rec.Frame.Key()
+	want, known := d.DLC[k]
 	if !known {
 		if d.AlertUnknownID {
-			return []Alert{{At: rec.At, Detector: d.Name(), ID: id, Reason: "unknown identifier"}}
+			return []Alert{alertFor(rec.At, d.Name(), k, "unknown identifier")}
 		}
 		return nil
 	}
-	if want >= 0 && len(rec.Frame.Data) != want {
-		return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
-			Reason: fmt.Sprintf("DLC %d, expected %d", len(rec.Frame.Data), want)}}
+	if want >= 0 && len(rec.Frame.Payload) != want {
+		return []Alert{alertFor(rec.At, d.Name(), k,
+			fmt.Sprintf("DLC %d, expected %d", len(rec.Frame.Payload), want))}
 	}
-	for _, sr := range d.Ranges[id] {
-		if sr.Byte >= len(rec.Frame.Data) {
+	for _, sr := range d.Ranges[k] {
+		if sr.Byte >= len(rec.Frame.Payload) {
 			continue
 		}
-		v := rec.Frame.Data[sr.Byte]
+		v := rec.Frame.Payload[sr.Byte]
 		if v < sr.Lo || v > sr.Hi {
-			return []Alert{{At: rec.At, Detector: d.Name(), ID: id,
-				Reason: fmt.Sprintf("byte %d value %#x outside [%#x,%#x]", sr.Byte, v, sr.Lo, sr.Hi)}}
+			return []Alert{alertFor(rec.At, d.Name(), k,
+				fmt.Sprintf("byte %d value %#x outside [%#x,%#x]", sr.Byte, v, sr.Lo, sr.Hi))}
 		}
 	}
 	return nil

@@ -4,27 +4,29 @@ import (
 	"strings"
 	"testing"
 
-	"autosec/internal/can"
+	"autosec/internal/netif"
 	"autosec/internal/sim"
 )
 
 // syntheticTrace builds a trace of periodic IDs over the duration. Each
 // spec is (id, period, payload generator).
 type txSpec struct {
-	id      can.ID
+	id      uint32
 	period  sim.Duration
 	payload func(i int) []byte
 }
 
-func makeTrace(dur sim.Duration, specs []txSpec) *can.Trace {
-	tr := &can.Trace{}
+// canRec builds a CAN-medium record for detector tests.
+func canRec(at sim.Time, id uint32, data []byte) netif.Record {
+	return netif.Record{At: at, Frame: netif.Frame{Medium: netif.CAN, ID: id, Priority: id, Payload: data}}
+}
+
+func makeTrace(dur sim.Duration, specs []txSpec) *netif.Trace {
+	tr := &netif.Trace{}
 	for _, s := range specs {
 		i := 0
 		for at := sim.Time(0); at < dur; at += s.period {
-			tr.Records = append(tr.Records, can.Record{
-				At:    at,
-				Frame: can.Frame{ID: s.id, Data: s.payload(i)},
-			})
+			tr.Records = append(tr.Records, canRec(at, s.id, s.payload(i)))
 			i++
 		}
 	}
@@ -48,12 +50,12 @@ func cleanSpecs() []txSpec {
 	}
 }
 
-func replay(t *testing.T, d Detector, train, live *can.Trace) []Alert {
+func replay(t *testing.T, d Detector, train, live *netif.Trace) []Alert {
 	t.Helper()
 	d.Train(train)
 	var alerts []Alert
-	for _, r := range live.Records {
-		alerts = append(alerts, d.Observe(r)...)
+	for i := range live.Records {
+		alerts = append(alerts, d.Observe(live.Records[i])...)
 	}
 	return alerts
 }
@@ -110,10 +112,8 @@ func TestIntervalDetectorInjection(t *testing.T) {
 	live := makeTrace(5*sim.Second, cleanSpecs())
 	// Inject 20 frames of 0x100 offset 1ms after legitimate ones.
 	for i := 0; i < 20; i++ {
-		live.Records = append(live.Records, can.Record{
-			At:    sim.Time(i)*100*sim.Millisecond + sim.Millisecond,
-			Frame: can.Frame{ID: 0x100, Data: []byte{0xBA, 0xD0, 0, 0}},
-		})
+		live.Records = append(live.Records,
+			canRec(sim.Time(i)*100*sim.Millisecond+sim.Millisecond, 0x100, []byte{0xBA, 0xD0, 0, 0}))
 	}
 	// Re-sort.
 	for i := 1; i < len(live.Records); i++ {
@@ -133,14 +133,14 @@ func TestIntervalDetectorInjection(t *testing.T) {
 
 func TestIntervalDetectorIgnoresAperiodicIDs(t *testing.T) {
 	// An ID with <3 training occurrences is not modelled.
-	train := &can.Trace{Records: []can.Record{
-		{At: 0, Frame: can.Frame{ID: 0x50}},
-		{At: sim.Second, Frame: can.Frame{ID: 0x50}},
+	train := &netif.Trace{Records: []netif.Record{
+		canRec(0, 0x50, nil),
+		canRec(sim.Second, 0x50, nil),
 	}}
 	d := NewIntervalDetector()
 	d.Train(train)
-	a := d.Observe(can.Record{At: 2 * sim.Second, Frame: can.Frame{ID: 0x50}})
-	b := d.Observe(can.Record{At: 2*sim.Second + 1, Frame: can.Frame{ID: 0x50}})
+	a := d.Observe(canRec(2*sim.Second, 0x50, nil))
+	b := d.Observe(canRec(2*sim.Second+1, 0x50, nil))
 	if len(a)+len(b) != 0 {
 		t.Fatal("aperiodic ID raised interval alerts")
 	}
@@ -179,17 +179,17 @@ func TestSpecDetectorUnknownIDAndDLC(t *testing.T) {
 	d := NewSpecDetector()
 	d.Train(train)
 	// Unknown ID.
-	a := d.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x666, Data: []byte{1}}})
+	a := d.Observe(canRec(0, 0x666, []byte{1}))
 	if len(a) != 1 || !strings.Contains(a[0].Reason, "unknown") {
 		t.Fatalf("unknown ID alerts: %v", a)
 	}
 	// Wrong DLC on a known ID.
-	a = d.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x100, Data: []byte{1}}})
+	a = d.Observe(canRec(0, 0x100, []byte{1}))
 	if len(a) != 1 || !strings.Contains(a[0].Reason, "DLC") {
 		t.Fatalf("DLC alerts: %v", a)
 	}
 	// Conforming frame is quiet.
-	a = d.Observe(can.Record{At: 0, Frame: can.Frame{ID: 0x100, Data: counterPayload(0)}})
+	a = d.Observe(canRec(0, 0x100, counterPayload(0)))
 	if len(a) != 0 {
 		t.Fatalf("conforming frame alerted: %v", a)
 	}
@@ -197,12 +197,13 @@ func TestSpecDetectorUnknownIDAndDLC(t *testing.T) {
 
 func TestSpecDetectorSignalRanges(t *testing.T) {
 	d := NewSpecDetector()
-	d.DLC[0x10] = 2
-	d.Ranges[0x10] = []SignalRange{{Byte: 0, Lo: 0x00, Hi: 0x64}} // 0..100
-	if a := d.Observe(can.Record{Frame: can.Frame{ID: 0x10, Data: []byte{50, 0}}}); len(a) != 0 {
+	k := netif.MakeKey(netif.CAN, 0x10)
+	d.DLC[k] = 2
+	d.Ranges[k] = []SignalRange{{Byte: 0, Lo: 0x00, Hi: 0x64}} // 0..100
+	if a := d.Observe(canRec(0, 0x10, []byte{50, 0})); len(a) != 0 {
 		t.Fatalf("in-range alerted: %v", a)
 	}
-	a := d.Observe(can.Record{Frame: can.Frame{ID: 0x10, Data: []byte{200, 0}}})
+	a := d.Observe(canRec(0, 0x10, []byte{200, 0}))
 	if len(a) != 1 || !strings.Contains(a[0].Reason, "outside") {
 		t.Fatalf("out-of-range: %v", a)
 	}
@@ -210,7 +211,7 @@ func TestSpecDetectorSignalRanges(t *testing.T) {
 
 func TestSpecDetectorExplicitConfigSkipsTraining(t *testing.T) {
 	d := NewSpecDetector()
-	d.DLC[0x10] = 2
+	d.DLC[netif.MakeKey(netif.CAN, 0x10)] = 2
 	d.Train(makeTrace(sim.Second, cleanSpecs()))
 	if len(d.DLC) != 1 {
 		t.Fatal("explicit config overwritten by training")

@@ -1,0 +1,104 @@
+package lin
+
+import (
+	"bytes"
+	"testing"
+
+	"autosec/internal/netif"
+)
+
+// FuzzPIDRoundTrip drives the protected-identifier codec with arbitrary
+// header bytes: anything CheckPID accepts must regenerate byte-identically
+// through PID, and every single-bit corruption of a valid PID must be
+// rejected — the error-detection property the parity bits exist for.
+func FuzzPIDRoundTrip(f *testing.F) {
+	f.Add(byte(0x00))
+	f.Add(byte(0x3F))
+	f.Add(byte(0x80))
+	f.Add(byte(0xF1))
+	f.Fuzz(func(t *testing.T, pid byte) {
+		id, err := CheckPID(pid)
+		if err != nil {
+			return
+		}
+		if id != FrameID(pid&0x3F) {
+			t.Fatalf("CheckPID(%#x) extracted id %#x", pid, id)
+		}
+		back, err := PID(id)
+		if err != nil {
+			t.Fatalf("PID(%#x) rejected an id CheckPID produced: %v", id, err)
+		}
+		if back != pid {
+			t.Fatalf("PID(%#x) = %#x, want %#x", id, back, pid)
+		}
+		for bit := 0; bit < 8; bit++ {
+			if _, err := CheckPID(pid ^ 1<<bit); err == nil {
+				t.Fatalf("single-bit corruption %#x of PID %#x not detected", pid^1<<bit, pid)
+			}
+		}
+	})
+}
+
+// FuzzChecksum asserts the LIN checksum's single-bit error detection for
+// both checksum models: a correct frame verifies, and flipping any one
+// bit of the data or of the checksum byte itself must fail verification
+// (2^k mod 255 is never zero, so the inverted mod-255 sum catches every
+// single-bit error).
+func FuzzChecksum(f *testing.F) {
+	f.Add(true, byte(0x42), []byte{0x01, 0x02, 0x03, 0x04})
+	f.Add(false, byte(0x00), []byte{0xFF})
+	f.Add(true, byte(0xF1), []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, enhanced bool, pid byte, data []byte) {
+		if len(data) == 0 || len(data) > 8 {
+			return
+		}
+		model := Classic
+		if enhanced {
+			model = Enhanced
+		}
+		cs := Checksum(model, pid, data)
+		if !VerifyChecksum(model, pid, data, cs) {
+			t.Fatalf("fresh checksum %#x does not verify", cs)
+		}
+		for bit := 0; bit < 8; bit++ {
+			if VerifyChecksum(model, pid, data, cs^1<<bit) {
+				t.Fatalf("corrupted checksum %#x accepted", cs^1<<bit)
+			}
+		}
+		for i := range data {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), data...)
+				mut[i] ^= 1 << bit
+				if VerifyChecksum(model, pid, mut, cs) {
+					t.Fatalf("single-bit data corruption at byte %d bit %d not detected", i, bit)
+				}
+			}
+		}
+	})
+}
+
+// FuzzNetifConversion hammers the fabric adapter's frame validation:
+// whatever FrameFromNetif accepts must convert back losslessly, and the
+// accepted space must respect the LIN frame invariants (6-bit ID, 1..8
+// data bytes).
+func FuzzNetifConversion(f *testing.F) {
+	f.Add(uint32(0x10), []byte{0xAB, 0xCD})
+	f.Add(uint32(0x3F), []byte{0x00})
+	f.Add(uint32(0x40), []byte{0x01})
+	f.Add(uint32(0), []byte{})
+	f.Fuzz(func(t *testing.T, id uint32, data []byte) {
+		nf := netif.Frame{Medium: netif.LIN, ID: id, Priority: id, Sender: "fuzz", Payload: data}
+		lf, err := FrameFromNetif(&nf)
+		if err != nil {
+			return
+		}
+		if lf.ID > MaxFrameID || len(lf.Data) == 0 || len(lf.Data) > 8 {
+			t.Fatalf("FrameFromNetif accepted invalid frame: id=%#x len=%d", lf.ID, len(lf.Data))
+		}
+		var back netif.Frame
+		FrameToNetif(&lf, &back)
+		if back.ID != id || back.Sender != "fuzz" || !bytes.Equal(back.Payload, data) {
+			t.Fatalf("round-trip mismatch: %+v vs id=%#x data=% X", back, id, data)
+		}
+	})
+}

@@ -87,9 +87,13 @@ func VerifyChecksum(model ChecksumModel, pid byte, data []byte, cs byte) bool {
 }
 
 // Frame is a completed LIN transfer: header ID plus the published response.
+// Sender names the node that published the response: the owning slave for
+// scheduled frames, "intruder" for rogue responses, or the caller-supplied
+// name for sporadic master transmissions.
 type Frame struct {
-	ID   FrameID
-	Data []byte
+	ID     FrameID
+	Data   []byte
+	Sender string
 }
 
 // PublishFunc produces the response payload when the master polls the
@@ -249,9 +253,11 @@ func (c *Cluster) poll(id FrameID) {
 		return
 	}
 	var pub PublishFunc
+	var sender string
 	for _, s := range c.slaves {
 		if fn, ok := s.publishers[id]; ok {
 			pub = fn
+			sender = s.Name
 			break
 		}
 	}
@@ -268,6 +274,7 @@ func (c *Cluster) poll(id FrameID) {
 		}
 		// Unowned (or silent owner): the intruder's response stands.
 		pub = intruder
+		sender = "intruder"
 	}
 	if pub == nil {
 		c.NoResponse.Inc()
@@ -282,6 +289,14 @@ func (c *Cluster) poll(id FrameID) {
 		c.NoResponse.Inc()
 		return
 	}
+	c.transmit(id, pid, sender, data)
+}
+
+// transmit completes a header+response transfer: checksum computation,
+// the in-flight corruption model, and delayed delivery to subscribers and
+// observers. Shared by the schedule-table poll path and SendSporadic so
+// both draw from the error stream in the same order.
+func (c *Cluster) transmit(id FrameID, pid byte, sender string, data []byte) {
 	cs := Checksum(c.model, pid, data)
 	wire := append([]byte(nil), data...)
 	if c.CorruptResponse > 0 && c.errStream.Bool(c.CorruptResponse) {
@@ -295,7 +310,7 @@ func (c *Cluster) poll(id FrameID) {
 			return
 		}
 		c.FramesOK.Inc()
-		f := Frame{ID: id, Data: wire}
+		f := Frame{ID: id, Data: wire, Sender: sender}
 		for _, s := range c.slaves {
 			for _, fn := range s.subs[id] {
 				fn(c.kernel.Now(), f)
@@ -305,4 +320,20 @@ func (c *Cluster) poll(id FrameID) {
 			fn(c.kernel.Now(), f)
 		}
 	})
+}
+
+// SendSporadic transmits an unscheduled master-initiated frame: the master
+// sends the header for id and supplies the response itself, the LIN 2.x
+// sporadic-frame pattern. It is the transmit primitive the netif adapter
+// uses to inject gateway-forwarded traffic into the cluster.
+func (c *Cluster) SendSporadic(sender string, id FrameID, data []byte) error {
+	pid, err := PID(id)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 || len(data) > 8 {
+		return fmt.Errorf("%w: %d", ErrDataLength, len(data))
+	}
+	c.transmit(id, pid, sender, data)
+	return nil
 }

@@ -1,0 +1,93 @@
+package lin
+
+import (
+	"fmt"
+
+	"autosec/internal/netif"
+	"autosec/internal/sim"
+)
+
+// This file adapts the LIN cluster to the netif transport fabric.
+
+// FrameToNetif fills out with the fabric view of f. The payload aliases
+// f.Data (zero-copy).
+func FrameToNetif(f *Frame, out *netif.Frame) {
+	*out = netif.Frame{
+		Medium:   netif.LIN,
+		ID:       uint32(f.ID),
+		Priority: uint32(f.ID),
+		Sender:   f.Sender,
+		Payload:  f.Data,
+	}
+}
+
+// FrameFromNetif converts a fabric frame back to a native LIN frame. The
+// payload is aliased, not copied.
+func FrameFromNetif(nf *netif.Frame) (Frame, error) {
+	if nf.Medium != netif.LIN {
+		return Frame{}, fmt.Errorf("lin: cannot convert %s frame", nf.Medium)
+	}
+	if nf.ID > uint32(MaxFrameID) {
+		return Frame{}, fmt.Errorf("%w: %#x", ErrIDRange, nf.ID)
+	}
+	if len(nf.Payload) == 0 || len(nf.Payload) > 8 {
+		return Frame{}, fmt.Errorf("%w: %d", ErrDataLength, len(nf.Payload))
+	}
+	return Frame{ID: FrameID(nf.ID), Data: nf.Payload, Sender: nf.Sender}, nil
+}
+
+// netifMedium adapts a Cluster to netif.Medium.
+type netifMedium struct {
+	cluster    *Cluster
+	tapScratch netif.Frame
+}
+
+// Netif returns the fabric view of the cluster: ports transmit sporadic
+// master frames and hear every completed transfer, taps are bus observers.
+func Netif(c *Cluster) netif.Medium { return &netifMedium{cluster: c} }
+
+func (m *netifMedium) Kind() netif.Kind { return netif.LIN }
+func (m *netifMedium) Name() string     { return m.cluster.Name }
+
+func (m *netifMedium) Open(name string) (netif.Port, error) {
+	return &netifPort{cluster: m.cluster, name: name}, nil
+}
+
+func (m *netifMedium) Tap(fn netif.TapFunc) {
+	m.cluster.Observe(func(at sim.Time, f Frame) {
+		FrameToNetif(&f, &m.tapScratch)
+		// Checksum-rejected transfers never reach observers, so a completed
+		// LIN frame is by construction uncorrupted.
+		fn(at, &m.tapScratch, false)
+	})
+}
+
+// netifPort is one fabric attachment on the cluster. LIN has no link-layer
+// node identity, so the port filters out its own transmissions by sender
+// name to match the no-self-reception semantics of the other media.
+type netifPort struct {
+	cluster     *Cluster
+	name        string
+	recvScratch netif.Frame
+}
+
+func (p *netifPort) Name() string     { return p.name }
+func (p *netifPort) Kind() netif.Kind { return netif.LIN }
+
+func (p *netifPort) Send(f *netif.Frame) error {
+	nf, err := FrameFromNetif(f)
+	if err != nil {
+		return err
+	}
+	return p.cluster.SendSporadic(p.name, nf.ID, nf.Data)
+}
+
+func (p *netifPort) OnReceive(fn netif.RecvFunc) {
+	p.cluster.Observe(func(at sim.Time, f Frame) {
+		if f.Sender == p.name {
+			return
+		}
+		FrameToNetif(&f, &p.recvScratch)
+		fn(at, &p.recvScratch)
+	})
+}

@@ -1,0 +1,226 @@
+// Package netif is the medium-agnostic transport fabric under the
+// security layers. The paper's Section-7 Secure Gateway mediates between
+// *heterogeneous* in-vehicle networks — CAN, LIN, FlexRay and automotive
+// Ethernet — yet each of those media speaks its own frame format. netif
+// defines the one frame view, port and medium abstraction the gateway,
+// the intrusion-detection engine, SecOC receivers and the observability
+// emitters consume, so a security control written once applies to every
+// wire the vehicle carries. SOME/IP and DoIP traffic ride the Ethernet
+// adapter unchanged.
+//
+// Design rules:
+//
+//   - Frame is a zero-copy *view*: Payload aliases the medium-native
+//     frame's buffer and is only valid for the duration of the callback
+//     that delivered it. Clone to retain.
+//   - Identifiers are 29-bit-widened into a uint32 so the widest native
+//     identifier space (extended CAN) fits without loss; narrower media
+//     (6-bit LIN IDs, 11-bit FlexRay slots) embed in the low bits, and
+//     Ethernet uses the EtherType as its routable identifier.
+//   - Adapters live in the medium packages (can, lin, flexray,
+//     ethernet), which import netif — never the other way round — so the
+//     fabric stays dependency-free above the sim kernel.
+package netif
+
+import (
+	"fmt"
+
+	"autosec/internal/sim"
+)
+
+// Kind enumerates the in-vehicle network media.
+type Kind uint8
+
+const (
+	// CAN is the Controller Area Network (2.0A/B and FD).
+	CAN Kind = iota
+	// LIN is the Local Interconnect Network.
+	LIN
+	// FlexRay is the TDMA static/dynamic-segment cluster bus.
+	FlexRay
+	// Ethernet is switched automotive Ethernet (802.1Q).
+	Ethernet
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CAN:
+		return "can"
+	case LIN:
+		return "lin"
+	case FlexRay:
+		return "flexray"
+	case Ethernet:
+		return "ethernet"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Selector is a bitmask of media a rule applies to. The zero value
+// matches every medium, so medium-oblivious configurations (the
+// pre-fabric CAN-only rule sets) keep their exact semantics.
+type Selector uint8
+
+// Only returns a selector matching exactly the given medium.
+func Only(k Kind) Selector { return Selector(1) << k }
+
+// Matches reports whether the selector admits the medium.
+func (s Selector) Matches(k Kind) bool {
+	return s == 0 || s&(Selector(1)<<k) != 0
+}
+
+// Frame flag bits. The low byte carries CAN flags, the second byte the
+// other media's.
+const (
+	// FlagExtended marks a 29-bit CAN identifier.
+	FlagExtended uint16 = 1 << 0
+	// FlagRemote marks a classic CAN remote transmission request.
+	FlagRemote uint16 = 1 << 1
+	// FlagFD marks a CAN FD frame.
+	FlagFD uint16 = 1 << 2
+	// FlagBRS marks an FD frame using the fast data-phase bitrate.
+	FlagBRS uint16 = 1 << 3
+	// FlagNull marks a FlexRay null frame (owner had nothing to send).
+	FlagNull uint16 = 1 << 8
+)
+
+// HWAddr is a 48-bit hardware address (Ethernet MAC); zero for media
+// without link-layer addressing.
+type HWAddr [6]byte
+
+// BroadcastAddr is the all-ones Ethernet broadcast address.
+var BroadcastAddr = HWAddr{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// IsZero reports whether the address is unset.
+func (a HWAddr) IsZero() bool { return a == HWAddr{} }
+
+// Frame is the medium-agnostic view of one frame. It carries the routable
+// identifier every medium exposes, plus enough medium-specific side state
+// (Flags, Aux, hardware addresses) that the adapters round-trip their
+// native frames losslessly.
+//
+// Payload is a zero-copy view into the delivering medium's buffer: it is
+// only valid for the duration of the callback, and receivers that retain
+// it must Clone.
+type Frame struct {
+	// Medium tags which network the frame travelled (or will travel) on.
+	Medium Kind
+	// ID is the 29-bit-widened identifier: the CAN ID, the LIN frame ID,
+	// the FlexRay slot, or the Ethernet EtherType. Rules and detectors
+	// match on (Medium, ID).
+	ID uint32
+	// Flags carries medium-specific frame bits (Flag* constants).
+	Flags uint16
+	// Aux carries medium-specific side state: the FlexRay cycle counter
+	// or the Ethernet VLAN; zero elsewhere.
+	Aux uint32
+	// Priority orders frames when the medium arbitrates: lower wins.
+	// CAN/LIN use the identifier, FlexRay the slot; Ethernet has no
+	// per-frame arbitration and reports zero.
+	Priority uint32
+	// Src and Dst are link-layer addresses on addressed media (Ethernet);
+	// zero elsewhere. A zero Dst on send means broadcast.
+	Src, Dst HWAddr
+	// Sender names the transmitting node when the medium knows it (CAN
+	// controller name, FlexRay sender, Ethernet ingress host).
+	Sender string
+	// Payload is the frame's data bytes — a view, not a copy.
+	Payload []byte
+}
+
+// Key packs (medium, ID) into one ordered map key. CAN frames sort and
+// compare exactly by their identifier (medium 0 occupies the high bits),
+// so detector state keyed by Key reproduces the historical per-can.ID
+// maps bit for bit on CAN-only traffic.
+type Key uint64
+
+// Key returns the frame's (medium, ID) key.
+func (f *Frame) Key() Key { return Key(uint64(f.Medium)<<32 | uint64(f.ID)) }
+
+// Kind extracts the medium from a key.
+func (k Key) Kind() Kind { return Kind(k >> 32) }
+
+// ID extracts the 32-bit identifier from a key.
+func (k Key) ID() uint32 { return uint32(k) }
+
+// MakeKey packs a (medium, ID) pair.
+func MakeKey(m Kind, id uint32) Key { return Key(uint64(m)<<32 | uint64(id)) }
+
+// Clone returns a deep copy of the frame, safe to retain.
+func (f *Frame) Clone() Frame {
+	c := *f
+	c.Payload = append([]byte(nil), f.Payload...)
+	return c
+}
+
+// CopyInto deep-copies the frame into dst, reusing dst's payload buffer
+// when it has capacity — the allocation-free variant of Clone for
+// steady-state paths.
+func (f *Frame) CopyInto(dst *Frame) {
+	buf := dst.Payload[:0]
+	*dst = *f
+	dst.Payload = append(buf, f.Payload...)
+}
+
+// Equal reports whether two frames carry identical state.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.Medium != g.Medium || f.ID != g.ID || f.Flags != g.Flags ||
+		f.Aux != g.Aux || f.Priority != g.Priority ||
+		f.Src != g.Src || f.Dst != g.Dst || f.Sender != g.Sender ||
+		len(f.Payload) != len(g.Payload) {
+		return false
+	}
+	for i := range f.Payload {
+		if f.Payload[i] != g.Payload[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the frame medium-first in candump-like notation.
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s:%03X [%d] % X", f.Medium, f.ID, len(f.Payload), f.Payload)
+}
+
+// RecvFunc handles a frame delivered to a port. The *Frame (and its
+// payload) is only valid for the duration of the call.
+type RecvFunc func(at sim.Time, f *Frame)
+
+// TapFunc observes every frame that completes on a medium, including
+// corrupted ones — the netif analogue of a CAN sniffer. The *Frame is
+// only valid for the duration of the call.
+type TapFunc func(at sim.Time, f *Frame, corrupted bool)
+
+// Port is one attachment point on a medium: a gateway domain, an IDS tap
+// host, a SecOC endpoint. Send transmits into the medium (the medium
+// clones the payload, so the caller may reuse its buffer immediately);
+// OnReceive registers the deliver hook.
+type Port interface {
+	// Name is the port's node name on the medium.
+	Name() string
+	// Kind reports the medium the port is attached to.
+	Kind() Kind
+	// Send transmits a frame into the medium.
+	Send(f *Frame) error
+	// OnReceive registers a delivery handler for frames arriving at the
+	// port.
+	OnReceive(fn RecvFunc)
+}
+
+// Medium is one in-vehicle network viewed through the fabric: something
+// ports attach to and taps observe. The adapters in can, lin, flexray and
+// ethernet implement it over their native bus/cluster/switch types.
+type Medium interface {
+	// Kind reports the medium's kind.
+	Kind() Kind
+	// Name is the network's name (bus, cluster or switch name).
+	Name() string
+	// Open attaches a new named port (node) to the medium.
+	Open(name string) (Port, error)
+	// Tap registers a passive observer of all completed frames.
+	Tap(fn TapFunc)
+}

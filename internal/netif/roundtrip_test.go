@@ -1,0 +1,175 @@
+package netif_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/ethernet"
+	"autosec/internal/flexray"
+	"autosec/internal/lin"
+	"autosec/internal/netif"
+)
+
+// The fabric contract every adapter must honour: a netif.Frame the
+// medium's FrameFromNetif accepts converts to the native frame type and
+// back without losing any routable information — medium, identifier,
+// flags, addresses and payload bytes. The generators below sample each
+// medium's valid frame space with a fixed seed, so the property check is
+// deterministic.
+
+func equalFrames(t *testing.T, medium string, in, out *netif.Frame) {
+	t.Helper()
+	if out.Medium != in.Medium || out.ID != in.ID || out.Flags != in.Flags ||
+		out.Aux != in.Aux || out.Src != in.Src || out.Dst != in.Dst ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("%s adapter lost information:\n in  %+v\n out %+v", medium, in, out)
+	}
+}
+
+func TestAdapterRoundTripCAN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		var f netif.Frame
+		f.Medium = netif.CAN
+		switch rng.Intn(3) {
+		case 0: // classic standard
+			f.ID = rng.Uint32() & 0x7FF
+			f.Payload = randBytes(rng, rng.Intn(9))
+		case 1: // classic extended
+			f.ID = rng.Uint32() & 0x1FFFFFFF
+			f.Flags = netif.FlagExtended
+			f.Payload = randBytes(rng, rng.Intn(9))
+		default: // CAN FD (payloads must hit an exact DLC size)
+			f.ID = rng.Uint32() & 0x7FF
+			f.Flags = netif.FlagFD
+			if rng.Intn(2) == 0 {
+				f.Flags |= netif.FlagBRS
+			}
+			fdSizes := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64}
+			f.Payload = randBytes(rng, fdSizes[rng.Intn(len(fdSizes))])
+		}
+		f.Priority = f.ID
+		native, err := can.FrameFromNetif(&f)
+		if err != nil {
+			t.Fatalf("generator produced invalid CAN frame %+v: %v", f, err)
+		}
+		var back netif.Frame
+		can.FrameToNetif(&native, f.Sender, &back)
+		equalFrames(t, "can", &f, &back)
+	}
+}
+
+func TestAdapterRoundTripLIN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		f := netif.Frame{
+			Medium:  netif.LIN,
+			ID:      rng.Uint32() & 0x3F,
+			Sender:  "node",
+			Payload: randBytes(rng, 1+rng.Intn(8)),
+		}
+		f.Priority = f.ID
+		native, err := lin.FrameFromNetif(&f)
+		if err != nil {
+			t.Fatalf("generator produced invalid LIN frame %+v: %v", f, err)
+		}
+		var back netif.Frame
+		lin.FrameToNetif(&native, &back)
+		if back.Sender != f.Sender {
+			t.Fatalf("lin adapter lost sender: %q", back.Sender)
+		}
+		equalFrames(t, "lin", &f, &back)
+	}
+}
+
+func TestAdapterRoundTripFlexRay(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		f := netif.Frame{
+			Medium:  netif.FlexRay,
+			ID:      1 + rng.Uint32()%0x7FF,
+			Aux:     uint32(rng.Intn(64)),
+			Sender:  "node",
+			Payload: randBytes(rng, 2*rng.Intn(128)),
+		}
+		if rng.Intn(8) == 0 {
+			f.Flags = netif.FlagNull
+		}
+		f.Priority = f.ID
+		native, err := flexray.FrameFromNetif(&f)
+		if err != nil {
+			t.Fatalf("generator produced invalid FlexRay frame %+v: %v", f, err)
+		}
+		var back netif.Frame
+		flexray.FrameToNetif(&native, &back)
+		equalFrames(t, "flexray", &f, &back)
+	}
+}
+
+func TestAdapterRoundTripEthernet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		var src, dst netif.HWAddr
+		rng.Read(src[:])
+		rng.Read(dst[:])
+		if dst.IsZero() {
+			dst[5] = 1
+		}
+		f := netif.Frame{
+			Medium:  netif.Ethernet,
+			ID:      rng.Uint32() & 0xFFFF,
+			Aux:     rng.Uint32() % 4095,
+			Src:     src,
+			Dst:     dst,
+			Payload: randBytes(rng, rng.Intn(1501)),
+		}
+		native, err := ethernet.FrameFromNetif(&f)
+		if err != nil {
+			t.Fatalf("generator produced invalid Ethernet frame %+v: %v", f, err)
+		}
+		var back netif.Frame
+		ethernet.FrameToNetif(&native, f.Sender, &back)
+		equalFrames(t, "ethernet", &f, &back)
+	}
+}
+
+// Tunnel translation composes with the adapters: any CAN/LIN/FlexRay
+// frame carried to an Ethernet domain and back is restored losslessly.
+func TestTunnelRoundTripAllMedia(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		var f netif.Frame
+		switch rng.Intn(3) {
+		case 0:
+			f = netif.Frame{Medium: netif.CAN, ID: rng.Uint32() & 0x7FF, Payload: randBytes(rng, rng.Intn(9))}
+		case 1:
+			f = netif.Frame{Medium: netif.LIN, ID: rng.Uint32() & 0x3F, Payload: randBytes(rng, 1+rng.Intn(8))}
+		default:
+			f = netif.Frame{Medium: netif.FlexRay, ID: 1 + rng.Uint32()%0x7FF, Aux: uint32(rng.Intn(64)), Payload: randBytes(rng, 2*rng.Intn(128))}
+		}
+		f.Priority = f.ID
+		var wire, back netif.Frame
+		var buf []byte
+		netif.Encapsulate(&wire, &f, &buf)
+		if !netif.IsTunnel(&wire) {
+			t.Fatalf("encapsulated frame not recognised as tunnel: %+v", wire)
+		}
+		if err := netif.Decapsulate(&back, &wire); err != nil {
+			t.Fatalf("decapsulate failed: %v", err)
+		}
+		// Src/Dst/Sender are link-local to the carrying segment.
+		back.Src, back.Dst, back.Sender = f.Src, f.Dst, f.Sender
+		equalFrames(t, "tunnel", &f, &back)
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

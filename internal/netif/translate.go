@@ -1,0 +1,191 @@
+package netif
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TunnelEtherType is the EtherType carried by frames that encapsulate
+// another medium's frame over Ethernet — the simulation's stand-in for
+// the DoIP/SecOC-style tunnelling a real central gateway performs when it
+// bridges CAN domains across the Ethernet backbone. 0x88B5 is the IEEE
+// 802 local-experimental EtherType.
+const TunnelEtherType uint32 = 0x88B5
+
+// Tunnel payload layout (big endian):
+//
+//	[0]    version (high nibble, currently 1) | inner medium (low nibble)
+//	[1:3]  inner Flags
+//	[3:7]  inner ID
+//	[7:11] inner Aux
+//	[11:]  inner payload
+const (
+	tunnelVersion    = 1
+	tunnelHeaderSize = 11
+)
+
+// Translation errors.
+var (
+	// ErrUntranslatable reports a frame that cannot be carried on the
+	// destination medium (payload too long, odd FlexRay length, ...).
+	ErrUntranslatable = errors.New("netif: frame not translatable to destination medium")
+	// ErrNotTunnel reports a decapsulation attempt on a frame that is not
+	// a well-formed tunnel frame.
+	ErrNotTunnel = errors.New("netif: not a tunnel frame")
+)
+
+// Per-medium payload capacities for direct (non-tunnel) translation.
+func payloadCap(k Kind, flags uint16) int {
+	switch k {
+	case CAN:
+		if flags&FlagFD != 0 {
+			return 64
+		}
+		return 8
+	case LIN:
+		return 8
+	case FlexRay:
+		return 254
+	case Ethernet:
+		return 1500
+	default:
+		return 0
+	}
+}
+
+// IsTunnel reports whether the frame is an Ethernet tunnel frame with a
+// well-formed encapsulation header.
+func IsTunnel(f *Frame) bool {
+	return f.Medium == Ethernet && f.ID == TunnelEtherType &&
+		len(f.Payload) >= tunnelHeaderSize &&
+		f.Payload[0]>>4 == tunnelVersion && Kind(f.Payload[0]&0x0F) < numKinds
+}
+
+// Encapsulate wraps src into an Ethernet tunnel frame in dst, writing the
+// tunnel payload into *scratch (grown once, then reused — the zero-alloc
+// path the gateway's forward fabric relies on). dst's payload aliases
+// *scratch, so the caller must hand dst to the medium (which clones on
+// Send) before reusing the buffer.
+func Encapsulate(dst *Frame, src *Frame, scratch *[]byte) {
+	need := tunnelHeaderSize + len(src.Payload)
+	buf := (*scratch)[:0]
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:need]
+	buf[0] = tunnelVersion<<4 | byte(src.Medium)&0x0F
+	binary.BigEndian.PutUint16(buf[1:3], src.Flags)
+	binary.BigEndian.PutUint32(buf[3:7], src.ID)
+	binary.BigEndian.PutUint32(buf[7:11], src.Aux)
+	copy(buf[tunnelHeaderSize:], src.Payload)
+	*scratch = buf
+
+	*dst = Frame{
+		Medium:  Ethernet,
+		ID:      TunnelEtherType,
+		Dst:     BroadcastAddr,
+		Sender:  src.Sender,
+		Payload: buf,
+	}
+}
+
+// Decapsulate unwraps a tunnel frame into dst without copying: dst's
+// payload is a view into src's. Returns ErrNotTunnel for anything that is
+// not a well-formed tunnel frame.
+func Decapsulate(dst *Frame, src *Frame) error {
+	if !IsTunnel(src) {
+		return fmt.Errorf("%w: medium=%s id=%#x len=%d", ErrNotTunnel, src.Medium, src.ID, len(src.Payload))
+	}
+	*dst = Frame{
+		Medium:  Kind(src.Payload[0] & 0x0F),
+		Flags:   binary.BigEndian.Uint16(src.Payload[1:3]),
+		ID:      binary.BigEndian.Uint32(src.Payload[3:7]),
+		Aux:     binary.BigEndian.Uint32(src.Payload[7:11]),
+		Sender:  src.Sender,
+		Payload: src.Payload[tunnelHeaderSize:],
+	}
+	dst.Priority = dst.ID
+	return nil
+}
+
+// idMask is the identifier range a medium can natively carry.
+func idMask(k Kind) uint32 {
+	switch k {
+	case CAN:
+		return 0x1FFFFFFF
+	case LIN:
+		return 0x3F
+	case FlexRay:
+		return 0x7FF
+	default:
+		return 0xFFFFFFFF
+	}
+}
+
+// Translate converts src for transmission on the `to` medium, writing the
+// result into dst. Cross-medium semantics mirror what production gateways
+// do at domain boundaries:
+//
+//   - X → Ethernet: the frame is encapsulated into a tunnel frame
+//     (TunnelEtherType), preserving every field — the DoIP-style uplink.
+//   - Ethernet tunnel → X: the frame is decapsulated; it must carry an
+//     inner frame of the destination medium (zero-copy).
+//   - direct X → Y: the identifier is masked into the destination's ID
+//     space and the payload carried as-is; frames whose payload exceeds
+//     the destination's capacity (or violate FlexRay's even-length rule,
+//     which pads) return ErrUntranslatable.
+//
+// Same-medium translation copies the view (no payload copy). *scratch is
+// the caller's reusable buffer for encapsulation/padding, so the steady
+// state allocates nothing.
+func Translate(dst *Frame, src *Frame, to Kind, scratch *[]byte) error {
+	if src.Medium == to {
+		*dst = *src
+		return nil
+	}
+	if to == Ethernet {
+		Encapsulate(dst, src, scratch)
+		return nil
+	}
+	if IsTunnel(src) {
+		if err := Decapsulate(dst, src); err != nil {
+			return err
+		}
+		if dst.Medium != to {
+			return fmt.Errorf("%w: tunnel carries %s, destination is %s", ErrUntranslatable, dst.Medium, to)
+		}
+		if len(dst.Payload) > payloadCap(to, dst.Flags) {
+			return fmt.Errorf("%w: %d bytes exceed %s capacity", ErrUntranslatable, len(dst.Payload), to)
+		}
+		if to == FlexRay && len(dst.Payload)%2 != 0 {
+			return fmt.Errorf("%w: odd payload on flexray", ErrUntranslatable)
+		}
+		return nil
+	}
+	// Direct translation: mask the ID, carry the payload.
+	if len(src.Payload) > payloadCap(to, 0) {
+		return fmt.Errorf("%w: %d bytes exceed %s capacity", ErrUntranslatable, len(src.Payload), to)
+	}
+	payload := src.Payload
+	if to == FlexRay && len(payload)%2 != 0 {
+		// FlexRay payloads are even-length; pad with one zero byte via the
+		// caller's scratch buffer.
+		buf := (*scratch)[:0]
+		if cap(buf) < len(payload)+1 {
+			buf = make([]byte, 0, len(payload)+1)
+		}
+		buf = append(buf, payload...)
+		buf = append(buf, 0)
+		*scratch = buf
+		payload = buf
+	}
+	*dst = Frame{
+		Medium:  to,
+		ID:      src.ID & idMask(to),
+		Sender:  src.Sender,
+		Payload: payload,
+	}
+	dst.Priority = dst.ID
+	return nil
+}

@@ -1,0 +1,74 @@
+package secoc
+
+import (
+	"autosec/internal/netif"
+	"autosec/internal/sim"
+)
+
+// This file bridges SecOC onto the netif transport fabric: a PortSender
+// protects every frame it transmits and a PortReceiver delivers only
+// frames whose authenticator verifies. Because SecOC operates on the PDU
+// bytes, the same sender/receiver pair works unchanged over CAN, LIN,
+// FlexRay or Ethernet ports — the secured trailer just has to fit the
+// medium's payload capacity.
+
+// PortSender wraps a netif.Port so every frame sent through it carries a
+// SecOC authenticator (truncated freshness value and MAC appended to the
+// payload).
+type PortSender struct {
+	port    netif.Port
+	s       *Sender
+	scratch netif.Frame
+}
+
+// NewPortSender returns a sending wrapper around port using s to protect
+// payloads.
+func NewPortSender(port netif.Port, s *Sender) *PortSender {
+	return &PortSender{port: port, s: s}
+}
+
+// Name returns the underlying port name.
+func (ps *PortSender) Name() string { return ps.port.Name() }
+
+// Send protects f's payload and transmits the secured frame. The original
+// frame is not modified.
+func (ps *PortSender) Send(f *netif.Frame) error {
+	pdu, err := ps.s.Protect(f.Payload)
+	if err != nil {
+		return err
+	}
+	ps.scratch = *f
+	ps.scratch.Payload = pdu
+	return ps.port.Send(&ps.scratch)
+}
+
+// PortReceiver verifies secured frames arriving on a netif.Port and
+// delivers only those that authenticate, with the bare payload restored.
+type PortReceiver struct {
+	port netif.Port
+	r    *Receiver
+
+	// Rejected counts frames dropped because verification failed.
+	Rejected sim.Counter
+}
+
+// NewPortReceiver returns a verifying wrapper around port using r.
+func NewPortReceiver(port netif.Port, r *Receiver) *PortReceiver {
+	return &PortReceiver{port: port, r: r}
+}
+
+// OnReceive registers fn for verified frames only. The delivered frame's
+// payload is the bare payload (authenticator stripped); frames that fail
+// verification are counted in Rejected and never reach fn.
+func (pr *PortReceiver) OnReceive(fn netif.RecvFunc) {
+	pr.port.OnReceive(func(at sim.Time, f *netif.Frame) {
+		payload, err := pr.r.Verify(f.Payload)
+		if err != nil {
+			pr.Rejected.Inc()
+			return
+		}
+		bare := *f
+		bare.Payload = payload
+		fn(at, &bare)
+	})
+}
