@@ -42,6 +42,7 @@ func BenchmarkE13Diagnostics(b *testing.B)   { benchTable(b, experiments.E13Diag
 func BenchmarkE14BusOff(b *testing.B)        { benchTable(b, experiments.E14BusOff) }
 func BenchmarkE15VerifyScaling(b *testing.B) { benchTable(b, experiments.E15VerifyScaling) }
 func BenchmarkE16CrossMedium(b *testing.B)   { benchTable(b, experiments.E16CrossMediumGateway) }
+func BenchmarkE17Zonal(b *testing.B)         { benchTable(b, experiments.E17Zonal) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
 

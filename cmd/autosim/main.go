@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 
 	"autosec/internal/can"
 	"autosec/internal/core"
@@ -81,6 +82,10 @@ var scenarios = map[string]scenario{
 	"diagnostic-attack": {
 		desc: "UDS SecurityAccess sniffing attack against the weak XOR scheme, then against SHE-CMAC",
 		run:  runDiagnosticAttack,
+	},
+	"zonal-compromise": {
+		desc: "4-zone E/E architecture: compromised infotainment zone is quarantined at its zone controller, other zones unaffected",
+		run:  runZonalCompromise,
 	},
 }
 
@@ -454,6 +459,67 @@ func runDiagnosticAttack(w io.Writer, seed uint64, ob obsPair) {
 	if err := hardened.RunUnlock(intruder2, 1, derived); err != nil {
 		fmt.Fprintf(w, "SHE-CMAC vehicle resisted the same chain: %v\n", err)
 	}
+}
+
+func runZonalCompromise(w io.Writer, seed uint64, ob obsPair) {
+	v, err := core.NewVehicle(core.Config{
+		VIN:   "AUTOSIM-Z4",
+		Seed:  seed,
+		Zonal: &core.ZonalConfig{Zones: 4},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	v.Instrument(ob.tr, ob.reg)
+	v.Zonal.SetDefaultAction(gateway.Allow) // the weak pre-hardening baseline
+	combined := append(workload.PowertrainMatrix(), workload.BodyMatrix()...)
+	v.TrainIDS(workload.SyntheticTrace(combined, 10*sim.Second, seed, 0.01).Netif())
+	v.ArmAutoQuarantine(core.DomainInfotainment)
+	v.StartTraffic()
+
+	fmt.Fprintln(w, "zonal topology (Ethernet backbone, one zone controller each):")
+	for _, z := range v.Zonal.Zones() {
+		locals := strings.Join(z.Locals(), ", ")
+		if locals == "" {
+			locals = "(no local domains)"
+		}
+		fmt.Fprintf(w, "  %-4s -> %s\n", z.Name, locals)
+	}
+
+	fmt.Fprintln(w, "t=0s      drive starts; zone controllers in permissive (legacy) mode")
+	attacker := can.NewController("compromised-headunit")
+	v.Buses[core.DomainInfotainment].Attach(attacker)
+	var quarantinedAt sim.Time = -1
+	v.IDS.OnAlert(func(a ids.Alert) {
+		if quarantinedAt < 0 {
+			quarantinedAt = a.At
+		}
+	})
+	var stopAtk func()
+	v.Kernel.At(2*sim.Second, func() {
+		fmt.Fprintln(w, "t=2s      head unit compromised: injecting torque frames at 1 kHz toward the powertrain zone")
+		stopAtk = can.PeriodicSender(v.Kernel, attacker, can.Frame{ID: 0x0C0, Data: make([]byte, 8)}, sim.Millisecond, 0)
+	})
+	_ = v.Kernel.RunUntil(10 * sim.Second)
+	if stopAtk != nil {
+		stopAtk()
+	}
+	v.StopTraffic()
+
+	infoZone, _ := v.Zonal.ZoneOf(core.DomainInfotainment)
+	if quarantinedAt >= 0 {
+		fmt.Fprintf(w, "t=%-7v IDS alert -> backbone port of zone %s quarantined; local traffic inside it still flows\n",
+			quarantinedAt, infoZone.Name)
+	}
+	fmt.Fprintln(w, "final per-zone controller stats:")
+	for _, z := range v.Zonal.Zones() {
+		fmt.Fprintf(w, "  %-4s forwarded=%-6d blocked=%-4d dropped-in-quarantine=%-5d quarantined=%v\n",
+			z.Name, z.GW.Forwarded.Value, z.GW.Blocked.Value, z.GW.QuarDrops.Value,
+			v.Zonal.ZoneQuarantined(z.Name))
+	}
+	fmt.Fprintf(w, "backbone: frames=%d deliveries=%d\n",
+		v.Zonal.BackboneFrames.Value, v.Zonal.BackboneDeliveries.Value)
+	fmt.Fprintf(w, "IDS: %s\n", v.IDS.Summary())
 }
 
 func fatal(err error) {

@@ -1,4 +1,4 @@
-// Command benchreport regenerates the full experiment suite E1–E16 (plus
+// Command benchreport regenerates the full experiment suite E1–E17 (plus
 // ablations A1–A2) from DESIGN.md and prints each result table, paper
 // claim included.
 //
@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -77,6 +78,7 @@ func main() {
 	nseeds := flag.Int("seeds", 1, "number of replicate seeds (seed, seed+1, ...); >1 prints aggregated tables")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
+	zones := flag.String("zones", "", "comma-separated zone counts for E17's sweep (e.g. 2,4,8,16); empty uses the golden default")
 	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of every kernel's dispatch activity to this file; single-seed mode only")
 	showMetrics := flag.Bool("metrics", false, "print a runtime/metrics snapshot (heap, allocs, GC) after the run")
@@ -130,6 +132,16 @@ func main() {
 		}()
 	}
 
+	e17 := experiments.E17Zonal
+	if *zones != "" {
+		counts, err := parseZones(*zones)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		e17 = func(s uint64) *experiments.Table { return experiments.E17ZonalWith(s, counts) }
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -157,6 +169,7 @@ func main() {
 		{"E14", experiments.E14BusOff},
 		{"E15", experiments.E15VerifyScaling},
 		{"E16", experiments.E16CrossMediumGateway},
+		{"E17", e17},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
 	}
@@ -241,6 +254,19 @@ func main() {
 	if *showMetrics {
 		printRuntimeMetrics(obs.RuntimeMetrics())
 	}
+}
+
+// parseZones parses -zones ("2,4,8") into E17ZonalWith's sweep list.
+func parseZones(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-zones: %q is not a zone count >= 2", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // printRuntimeMetrics renders the runtime snapshot through the same

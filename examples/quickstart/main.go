@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"autosec/internal/can"
 	"autosec/internal/core"
@@ -67,13 +68,26 @@ func main() {
 	v.StopTraffic()
 
 	fmt.Println("\n--- after 5s of virtual driving ---")
-	for name, bus := range v.Buses {
+	// Sort the map keys so the report is byte-identical run to run.
+	busNames := make([]string, 0, len(v.Buses))
+	for name := range v.Buses {
+		busNames = append(busNames, name)
+	}
+	sort.Strings(busNames)
+	for _, name := range busNames {
+		bus := v.Buses[name]
 		fmt.Printf("%-13s load=%5.2f%% frames=%d\n", name, 100*bus.Load(), bus.FramesOK.Value)
 	}
 	fmt.Printf("auth failures caught: %d\n", v.AuthFailures.Value)
 	fmt.Printf("IDS: %s\n", v.IDS.Summary())
 	fmt.Println("\n4+1 architecture inventory:")
-	for layer, caps := range v.Arch.Inventory() {
-		fmt.Printf("  %-18s %v\n", layer, caps)
+	inv := v.Arch.Inventory()
+	layers := make([]string, 0, len(inv))
+	for layer := range inv {
+		layers = append(layers, layer)
+	}
+	sort.Strings(layers)
+	for _, layer := range layers {
+		fmt.Printf("  %-18s %v\n", layer, inv[layer])
 	}
 }

@@ -24,7 +24,11 @@ func (v *Vehicle) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
 		v.Buses[name].Instrument(tr, reg)
 	}
-	v.Gateway.Instrument(tr, reg)
+	if v.Zonal != nil {
+		v.Zonal.Instrument(tr, reg)
+	} else {
+		v.Gateway.Instrument(tr, reg)
+	}
 	v.IDS.Instrument(tr, reg)
 	v.Audit.Instrument(reg)
 	if v.OTA != nil {

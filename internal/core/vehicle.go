@@ -21,6 +21,7 @@ import (
 	"autosec/internal/she"
 	"autosec/internal/sim"
 	"autosec/internal/workload"
+	"autosec/internal/zonal"
 )
 
 // Domain names used by the standard vehicle build.
@@ -54,6 +55,24 @@ type Config struct {
 	// the three standard domains, in declared order, so CAN-only builds
 	// stay byte-identical to earlier versions.
 	ExtraDomains []DomainSpec
+	// Zonal, when set, replaces the central gateway with a zonal topology:
+	// N zone controllers bridged by an Ethernet backbone, the standard
+	// domains sharded across them. Vehicle.Gateway is nil in zonal mode;
+	// use Vehicle.Zonal.
+	Zonal *ZonalConfig
+}
+
+// ZonalConfig parameterizes a zonal E/E build. The three standard CAN
+// domains shard across the zones (powertrain into zone 0, chassis into
+// the middle zone, infotainment into the last), ExtraDomains land in
+// zone 0, and every zone additionally gets one private domain per
+// LocalDomains entry, named "z<i>-<name>".
+type ZonalConfig struct {
+	// Zones is the number of zone controllers (at least 2).
+	Zones int
+	// LocalDomains replicates per zone: zone i gains a local domain
+	// "z<i>-<Name>" of the given medium kind for each entry.
+	LocalDomains []DomainSpec
 }
 
 // Vehicle composes the substrate packages into one car under the 4+1
@@ -74,14 +93,19 @@ type Vehicle struct {
 	Switches        map[string]*ethernet.Switch
 	LINClusters     map[string]*lin.Cluster
 	FlexRayClusters map[string]*flexray.Cluster
-	Gateway         *gateway.Gateway
-	IDS             *ids.Engine
-	SHE             *she.Engine
-	CPU             *ecu.CPU
-	Keyless         *keyless.Car
-	Policy          *policy.Engine
-	OTA             *ota.Client
-	Fusion          *sensors.Fusion
+	// Gateway is the central gateway; nil when the vehicle is zonal.
+	Gateway *gateway.Gateway
+	// Zonal is the zone-controller fabric; nil on central builds.
+	Zonal *zonal.Fabric
+	// BackboneSwitch is the inter-zone Ethernet backbone (zonal builds).
+	BackboneSwitch *ethernet.Switch
+	IDS            *ids.Engine
+	SHE            *she.Engine
+	CPU            *ecu.CPU
+	Keyless        *keyless.Car
+	Policy         *policy.Engine
+	OTA            *ota.Client
+	Fusion         *sensors.Fusion
 	// Audit is the tamper-evident security event log, sealed by the SHE.
 	// Gateway denials/quarantines and IDS alerts are recorded
 	// automatically; subsystems may Append their own events.
@@ -138,16 +162,23 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	// Secure Gateway. Domains attach in a fixed order (not map order) so
 	// gateway fan-out, kernel dispatch and traces are seed-deterministic.
 	// Standard CAN domains first — byte-compatible with CAN-only builds —
-	// then extras in declared order.
-	v.Gateway = gateway.New(k, "central")
-	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
-		if err := v.Gateway.AttachDomain(name, v.Media[name]); err != nil {
+	// then extras in declared order. Zonal builds shard the same domains
+	// across zone controllers instead.
+	if cfg.Zonal != nil {
+		if err := v.buildZonal(cfg); err != nil {
 			return nil, err
 		}
-	}
-	for _, spec := range cfg.ExtraDomains {
-		if err := v.Gateway.AttachDomain(spec.Name, v.Media[spec.Name]); err != nil {
-			return nil, err
+	} else {
+		v.Gateway = gateway.New(k, "central")
+		for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+			if err := v.Gateway.AttachDomain(name, v.Media[name]); err != nil {
+				return nil, err
+			}
+		}
+		for _, spec := range cfg.ExtraDomains {
+			if err := v.Gateway.AttachDomain(spec.Name, v.Media[spec.Name]); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -178,20 +209,21 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	v.Audit = audit.New(func(msg []byte) ([]byte, error) {
 		return v.SHE.GenerateMAC(she.Key10, msg)
 	})
-	v.Gateway.Observe(func(at sim.Time, from string, f *netif.Frame, verdict string) {
-		// Denials and quarantine drops are security events; routine allows
-		// would swamp the log.
-		if len(verdict) >= 4 && (verdict[:4] == "deny" || verdict == "quarantined" || verdict[:4] == "rate") {
-			// Three hex digits identify the frame without bloating log
-			// entries (full extended IDs truncate to their top bits).
-			idw := 3
-			if f.Flags&netif.FlagExtended != 0 {
-				idw = 8
+	if v.Zonal != nil {
+		v.Zonal.Observe(func(at sim.Time, zone, from string, f *netif.Frame, verdict string) {
+			if auditableVerdict(verdict) {
+				v.Audit.Append(at, "gateway", verdict+" id="+auditID(f)+" from="+from+" zone="+zone)
 			}
-			id3 := fmt.Sprintf("%0*X", idw, f.ID)[:3]
-			v.Audit.Append(at, "gateway", verdict+" id="+id3+" from="+from)
-		}
-	})
+		})
+	} else {
+		v.Gateway.Observe(func(at sim.Time, from string, f *netif.Frame, verdict string) {
+			// Denials and quarantine drops are security events; routine
+			// allows would swamp the log.
+			if auditableVerdict(verdict) {
+				v.Audit.Append(at, "gateway", verdict+" id="+auditID(f)+" from="+from)
+			}
+		})
+	}
 	v.IDS.OnAlert(func(a ids.Alert) {
 		v.Audit.Append(a.At, "ids", a.String())
 	})
@@ -205,12 +237,16 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	}
 
 	// Record the build in the architecture inventory.
+	gwName, gwComp := "central-gateway", any(v.Gateway)
+	if v.Zonal != nil {
+		gwName, gwComp = "zonal-fabric", any(v.Zonal)
+	}
 	installs := []struct {
 		l    Layer
 		name string
 		comp any
 	}{
-		{SecureGateway, "central-gateway", v.Gateway},
+		{SecureGateway, gwName, gwComp},
 		{SecureNetworks, "ivn-can", v.Buses},
 		{SecureNetworks, "ids", v.IDS},
 		{SecureProcessing, "she", v.SHE},
@@ -224,6 +260,80 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 		}
 	}
 	return v, nil
+}
+
+// auditableVerdict filters gateway verdicts down to security events:
+// denials, quarantine drops and rate limiting. Routine allows would swamp
+// the log.
+func auditableVerdict(verdict string) bool {
+	return len(verdict) >= 4 && (verdict[:4] == "deny" || verdict == "quarantined" || verdict[:4] == "rate")
+}
+
+// auditID renders a frame identifier for an audit entry: three hex digits
+// identify the frame without bloating log entries (full extended IDs
+// truncate to their top bits).
+func auditID(f *netif.Frame) string {
+	idw := 3
+	if f.Flags&netif.FlagExtended != 0 {
+		idw = 8
+	}
+	return fmt.Sprintf("%0*X", idw, f.ID)[:3]
+}
+
+// buildZonal constructs the zonal topology: an Ethernet backbone switch,
+// cfg.Zonal.Zones zone controllers ("z0".."z<n-1>"), the standard domains
+// sharded across them, ExtraDomains in zone 0, and per-zone local domains
+// from cfg.Zonal.LocalDomains. Everything attaches in a fixed order so
+// the build is seed-deterministic.
+func (v *Vehicle) buildZonal(cfg Config) error {
+	n := cfg.Zonal.Zones
+	if n < 2 {
+		return fmt.Errorf("core: zonal build needs >= 2 zones, got %d", n)
+	}
+	v.BackboneSwitch = ethernet.NewSwitch(v.Kernel, cfg.VIN+"-zonal-backbone", 2*sim.Microsecond)
+	v.Zonal = zonal.New(v.Kernel, ethernet.Netif(v.BackboneSwitch, 1))
+	zones := make([]*zonal.Zone, n)
+	for i := range zones {
+		z, err := v.Zonal.AddZone("z" + strconv.Itoa(i))
+		if err != nil {
+			return err
+		}
+		zones[i] = z
+	}
+	// Standard-domain sharding: powertrain fronts the first zone,
+	// infotainment (the exposed domain) the last, chassis the middle — so
+	// quarantining the infotainment zone never collaterally isolates the
+	// safety-critical domains.
+	assign := []struct {
+		domain string
+		zone   int
+	}{
+		{DomainPowertrain, 0},
+		{DomainChassis, (n - 1) / 2},
+		{DomainInfotainment, n - 1},
+	}
+	for _, a := range assign {
+		if err := zones[a.zone].AttachDomain(a.domain, v.Media[a.domain]); err != nil {
+			return err
+		}
+	}
+	for _, spec := range cfg.ExtraDomains {
+		if err := zones[0].AttachDomain(spec.Name, v.Media[spec.Name]); err != nil {
+			return err
+		}
+	}
+	for i, z := range zones {
+		for _, spec := range cfg.Zonal.LocalDomains {
+			local := DomainSpec{Name: "z" + strconv.Itoa(i) + "-" + spec.Name, Kind: spec.Kind}
+			if err := v.addExtraDomain(local); err != nil {
+				return err
+			}
+			if err := z.AttachDomain(local.Name, v.Media[local.Name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // addExtraDomain builds the native network for one ExtraDomains entry and
@@ -275,7 +385,11 @@ func (v *Vehicle) registerAppliers() error {
 				if err != nil {
 					return err
 				}
-				v.Gateway.AddRule(r)
+				if v.Zonal != nil {
+					v.Zonal.AddRule(r)
+				} else {
+					v.Gateway.AddRule(r)
+				}
 				return nil
 			},
 		},
@@ -283,7 +397,14 @@ func (v *Vehicle) registerAppliers() error {
 			K: "gateway.quarantine",
 			Ap: func(d policy.Directive) error {
 				domain := d.Param("domain", "")
-				if d.Param("state", "on") == "on" {
+				on := d.Param("state", "on") == "on"
+				if v.Zonal != nil {
+					if on {
+						return v.Zonal.QuarantineDomain(domain)
+					}
+					return v.Zonal.ReleaseDomain(domain)
+				}
+				if on {
 					return v.Gateway.Quarantine(domain)
 				}
 				return v.Gateway.Release(domain)
@@ -414,9 +535,15 @@ func (v *Vehicle) TrainIDS(trace *netif.Trace) { v.IDS.Train(trace) }
 
 // ArmAutoQuarantine wires IDS alerts on the given domain's traffic to an
 // automatic gateway quarantine of a source domain — the containment
-// reflex the paper assigns to the Secure Gateway layer.
+// reflex the paper assigns to the Secure Gateway layer. On a zonal build
+// the reflex isolates the whole zone owning the source domain at its
+// backbone uplink.
 func (v *Vehicle) ArmAutoQuarantine(sourceDomain string) {
 	v.IDS.OnAlert(func(a ids.Alert) {
+		if v.Zonal != nil {
+			_ = v.Zonal.QuarantineZoneOf(sourceDomain)
+			return
+		}
 		_ = v.Gateway.Quarantine(sourceDomain)
 	})
 }

@@ -30,6 +30,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E14", E14BusOff},
 		{"E15", E15VerifyScaling},
 		{"E16", E16CrossMediumGateway},
+		{"E17", E17Zonal},
 		{"A1", A1MACTruncation},
 		{"A2", A2BoundingThreshold},
 	}

@@ -156,6 +156,7 @@ func All(seed uint64) []*Table {
 		E14BusOff(seed),
 		E15VerifyScaling(seed),
 		E16CrossMediumGateway(seed),
+		E17Zonal(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

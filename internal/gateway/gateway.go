@@ -305,16 +305,23 @@ func (g *Gateway) notify(at sim.Time, from string, f *netif.Frame, verdict strin
 // gateway/quarantine_drops probe the existing counters; gateway/xlate_drops
 // counts cross-medium translation failures.
 func (g *Gateway) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	g.InstrumentAs(tr, reg, "gateway")
+}
+
+// InstrumentAs is Instrument under an explicit subsystem/metric prefix, so
+// several gateways (zonal topologies: one per zone) can register against
+// one registry without key collisions.
+func (g *Gateway) InstrumentAs(tr *obs.Tracer, reg *obs.Registry, sub string) {
 	if tr != nil {
 		g.obsTr = tr
-		g.obsSub = tr.Label("gateway")
+		g.obsSub = tr.Label(sub)
 	}
 	if reg != nil {
-		reg.Probe("gateway/forwarded", func() float64 { return float64(g.Forwarded.Value) })
-		reg.Probe("gateway/blocked", func() float64 { return float64(g.Blocked.Value) })
-		reg.Probe("gateway/rate_limited", func() float64 { return float64(g.RateLimited.Value) })
-		reg.Probe("gateway/quarantine_drops", func() float64 { return float64(g.QuarDrops.Value) })
-		reg.Probe("gateway/xlate_drops", func() float64 { return float64(g.XlateDrops.Value) })
+		reg.Probe(sub+"/forwarded", func() float64 { return float64(g.Forwarded.Value) })
+		reg.Probe(sub+"/blocked", func() float64 { return float64(g.Blocked.Value) })
+		reg.Probe(sub+"/rate_limited", func() float64 { return float64(g.RateLimited.Value) })
+		reg.Probe(sub+"/quarantine_drops", func() float64 { return float64(g.QuarDrops.Value) })
+		reg.Probe(sub+"/xlate_drops", func() float64 { return float64(g.XlateDrops.Value) })
 	}
 }
 

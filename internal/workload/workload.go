@@ -8,6 +8,9 @@ package workload
 
 import (
 	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
 
 	"autosec/internal/can"
 	"autosec/internal/sim"
@@ -84,7 +87,7 @@ func StartSenders(k *sim.Kernel, bus *can.Bus, specs []MessageSpec, jitterFrac f
 			ctrls[s.Sender] = ctrl
 		}
 		seq := 0
-		js := k.Stream("workload." + s.Sender + "." + string(rune(s.ID)))
+		js := k.Stream("workload." + s.Sender + "." + streamSuffix(s.ID))
 		stopped := false
 		var schedule func()
 		schedule = func() {
@@ -115,7 +118,7 @@ func StartSenders(k *sim.Kernel, bus *can.Bus, specs []MessageSpec, jitterFrac f
 func SyntheticTrace(specs []MessageSpec, dur sim.Duration, seed uint64, jitterFrac float64) *can.Trace {
 	tr := &can.Trace{}
 	for _, s := range specs {
-		rng := sim.NewStream(seed, "trace."+s.Sender+string(rune(s.ID)))
+		rng := sim.NewStream(seed, "trace."+s.Sender+streamSuffix(s.ID))
 		at := rng.Duration(0, s.Period)
 		i := 0
 		for at < dur {
@@ -136,34 +139,31 @@ func SyntheticTrace(specs []MessageSpec, dur sim.Duration, seed uint64, jitterFr
 	return tr
 }
 
-func sortTrace(tr *can.Trace) {
-	recs := tr.Records
-	// Merge-ish insertion sort is O(n^2) worst case; traces here are tens
-	// of thousands of records from k sorted runs, so use a proper sort.
-	quickSortRecords(recs)
+// streamSuffix derives the per-message RNG stream-name suffix from a CAN
+// ID. IDs whose naive rune encoding is lossy (the surrogate range
+// 0xD800–0xDFFF, anything past the Unicode max, and U+FFFD itself, which
+// is indistinguishable from a failed conversion) would all collapse to
+// the replacement character and share one jitter stream; those format as
+// hex instead. Valid single-rune IDs keep the historical encoding so
+// existing seeds reproduce byte-identical traffic.
+func streamSuffix(id can.ID) string {
+	if r := rune(id); utf8.ValidRune(r) && r != utf8.RuneError {
+		return string(r)
+	}
+	return "0x" + strconv.FormatUint(uint64(id), 16)
 }
 
-func quickSortRecords(r []can.Record) {
-	if len(r) < 2 {
-		return
-	}
-	pivot := r[len(r)/2].At
-	lo, hi := 0, len(r)-1
-	for lo <= hi {
-		for r[lo].At < pivot {
-			lo++
+// sortTrace orders records by timestamp with a stable (At, then ID, then
+// insertion order) tiebreak, so equal-timestamp records from different
+// senders always serialize identically.
+func sortTrace(tr *can.Trace) {
+	sort.SliceStable(tr.Records, func(i, j int) bool {
+		a, b := &tr.Records[i], &tr.Records[j]
+		if a.At != b.At {
+			return a.At < b.At
 		}
-		for r[hi].At > pivot {
-			hi--
-		}
-		if lo <= hi {
-			r[lo], r[hi] = r[hi], r[lo]
-			lo++
-			hi--
-		}
-	}
-	quickSortRecords(r[:hi+1])
-	quickSortRecords(r[lo:])
+		return a.Frame.ID < b.Frame.ID
+	})
 }
 
 // Phase is one segment of a drive cycle.

@@ -132,3 +132,159 @@ func TestCityVsHighwayShape(t *testing.T) {
 		t.Fatal("city not slower than highway")
 	}
 }
+
+// streamSuffix must keep the historical single-rune encoding for valid
+// runes (seed compatibility) and fall back to an injective hex form for
+// everything the rune conversion would collapse to U+FFFD.
+func TestStreamSuffix(t *testing.T) {
+	cases := []struct {
+		id   can.ID
+		want string
+	}{
+		{0x155, string(rune(0x155))}, // valid rune: legacy encoding
+		{0x0C0, string(rune(0x0C0))}, // valid rune: legacy encoding
+		{0xD800, "0xd800"},           // surrogate low bound
+		{0xDFFF, "0xdfff"},           // surrogate high bound
+		{0xFFFD, "0xfffd"},           // U+FFFD itself is ambiguous
+		{0x110000, "0x110000"},       // past Unicode max
+		{0xFFFFFFFF, "0xffffffff"},   // negative as rune
+	}
+	for _, c := range cases {
+		if got := streamSuffix(c.id); got != c.want {
+			t.Errorf("streamSuffix(%#x) = %q, want %q", c.id, got, c.want)
+		}
+	}
+	// Injectivity across the lossy range: every surrogate ID gets its own
+	// suffix instead of collapsing onto U+FFFD.
+	seen := make(map[string]can.ID)
+	for id := can.ID(0xD800); id <= 0xDFFF; id++ {
+		s := streamSuffix(id)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("suffix %q shared by %#x and %#x", s, prev, id)
+		}
+		seen[s] = id
+	}
+}
+
+// Two senders whose IDs both land in the surrogate range used to share
+// one jitter stream (both names ended in U+FFFD) and so emitted perfectly
+// correlated traffic. Pin that their traces now differ.
+func TestSurrogateIDsGetDistinctStreams(t *testing.T) {
+	specs := []MessageSpec{
+		{ID: 0xD800, Period: 10 * sim.Millisecond, Size: 8, Sender: "ecu-a"},
+		{ID: 0xD801, Period: 10 * sim.Millisecond, Size: 8, Sender: "ecu-b"},
+	}
+	tr := SyntheticTrace(specs, 2*sim.Second, 42, 0.2)
+	a := tr.ByID(0xD800)
+	b := tr.ByID(0xD801)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("missing records: %d / %d", len(a), len(b))
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	same := true
+	for i := 0; i < n; i++ {
+		if a[i].At != b[i].At {
+			same = false
+			break
+		}
+	}
+	if same && len(a) == len(b) {
+		t.Fatal("surrogate-range IDs still share one jitter stream (identical timestamps)")
+	}
+}
+
+// Equal-timestamp records must serialize in a pinned order: At, then ID,
+// then insertion order. The old quicksort scrambled ties.
+func TestSortTraceStableTiebreak(t *testing.T) {
+	tr := &can.Trace{}
+	// Many records at few distinct timestamps, inserted in a known order,
+	// with duplicate (At, ID) pairs distinguished by payload.
+	rng := sim.NewStream(3, "sorttest")
+	for i := 0; i < 500; i++ {
+		tr.Records = append(tr.Records, can.Record{
+			At:     sim.Time(rng.Intn(5)) * sim.Millisecond,
+			Frame:  can.Frame{ID: can.ID(rng.Intn(3)), Data: []byte{byte(i), byte(i >> 8)}},
+			Sender: "s",
+		})
+	}
+	// Reference: explicit index tiebreak on a copy.
+	type keyed struct {
+		rec can.Record
+		idx int
+	}
+	ref := make([]keyed, len(tr.Records))
+	for i, r := range tr.Records {
+		ref[i] = keyed{r, i}
+	}
+	for i := 1; i < len(ref); i++ { // insertion sort with full key: At, ID, idx
+		for j := i; j > 0; j-- {
+			a, b := ref[j-1], ref[j]
+			before := b.rec.At < a.rec.At ||
+				(b.rec.At == a.rec.At && b.rec.Frame.ID < a.rec.Frame.ID) ||
+				(b.rec.At == a.rec.At && b.rec.Frame.ID == a.rec.Frame.ID && b.idx < a.idx)
+			if !before {
+				break
+			}
+			ref[j-1], ref[j] = ref[j], ref[j-1]
+		}
+	}
+	sortTrace(tr)
+	for i := range tr.Records {
+		got, want := tr.Records[i], ref[i].rec
+		if got.At != want.At || got.Frame.ID != want.Frame.ID ||
+			len(got.Frame.Data) != len(want.Frame.Data) ||
+			got.Frame.Data[0] != want.Frame.Data[0] || got.Frame.Data[1] != want.Frame.Data[1] {
+			t.Fatalf("record %d: got (At=%v ID=%#x data=%v), want (At=%v ID=%#x data=%v)",
+				i, got.At, got.Frame.ID, got.Frame.Data, want.At, want.Frame.ID, want.Frame.Data)
+		}
+	}
+}
+
+// Workload generation must be reproducible under parallel execution: N
+// goroutines generating the same trace (and driving the same senders on
+// private kernels) all observe identical outputs.
+func TestWorkloadParallelDeterministic(t *testing.T) {
+	const par = 8
+	type result struct {
+		synth *can.Trace
+		bus   *can.Trace
+	}
+	results := make([]result, par)
+	done := make(chan int, par)
+	for w := 0; w < par; w++ {
+		go func(w int) {
+			synth := SyntheticTrace(PowertrainMatrix(), 2*sim.Second, 11, 0.05)
+			k := sim.NewKernel(11)
+			bus := can.NewBus(k, "pt", 500_000)
+			rec := can.Recorder(bus)
+			_, stop := StartSenders(k, bus, PowertrainMatrix(), 0.01)
+			_ = k.RunUntil(2 * sim.Second)
+			stop()
+			results[w] = result{synth: synth, bus: rec}
+			done <- w
+		}(w)
+	}
+	for i := 0; i < par; i++ {
+		<-done
+	}
+	for w := 1; w < par; w++ {
+		for name, pair := range map[string][2]*can.Trace{
+			"synthetic": {results[0].synth, results[w].synth},
+			"bus":       {results[0].bus, results[w].bus},
+		} {
+			a, b := pair[0], pair[1]
+			if a.Len() != b.Len() {
+				t.Fatalf("%s trace: worker %d length %d != worker 0 length %d", name, w, b.Len(), a.Len())
+			}
+			for i := range a.Records {
+				ra, rb := a.Records[i], b.Records[i]
+				if ra.At != rb.At || ra.Frame.ID != rb.Frame.ID || ra.Sender != rb.Sender {
+					t.Fatalf("%s trace: worker %d diverges at record %d", name, w, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package zonal
+
+import (
+	"fmt"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/ethernet"
+	"autosec/internal/gateway"
+	"autosec/internal/sim"
+)
+
+// rig2 builds the canonical two-zone fabric: zone a owns the powertrain
+// CAN bus, zone b owns the body CAN bus, bridged by an Ethernet backbone.
+func rig2(t testing.TB) (k *sim.Kernel, f *Fabric, pt, body *can.Bus) {
+	t.Helper()
+	k = sim.NewKernel(1)
+	sw := ethernet.NewSwitch(k, "bb", 2*sim.Microsecond)
+	f = New(k, ethernet.Netif(sw, 1))
+	za, err := f.AddZone("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, err := f.AddZone("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt = can.NewBus(k, "powertrain", 500_000)
+	body = can.NewBus(k, "body", 500_000)
+	if err := za.AttachDomain("powertrain", can.Netif(pt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zb.AttachDomain("body", can.Netif(body)); err != nil {
+		t.Fatal(err)
+	}
+	return k, f, pt, body
+}
+
+func ruleSig(rs []*gateway.Rule) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, fmt.Sprintf("%s from=%s to=%v act=%v rate=%g", r.Name, r.From, r.To, r.Action, r.RatePerSec))
+	}
+	return out
+}
+
+func TestCompileSpecificSourceRule(t *testing.T) {
+	_, f, _, _ := rig2(t)
+	f.SetRules([]*gateway.Rule{{
+		Name: "body-to-pt", From: "body", To: []string{"powertrain"},
+		IDLo: 0x100, IDHi: 0x1FF, Action: gateway.Allow, RatePerSec: 50,
+	}})
+
+	za, _ := f.ZoneByName("a")
+	zb, _ := f.ZoneByName("b")
+
+	// Source zone b: egress shard pointing at the backbone, rate limit kept.
+	got := ruleSig(zb.GW.Rules())
+	want := []string{"body-to-pt from=body to=[backbone] act=allow rate=50"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("zone b rules = %v, want %v", got, want)
+	}
+	// Destination zone a: ingress shard, local delivery only, no rate limit.
+	got = ruleSig(za.GW.Rules())
+	want = []string{"body-to-pt@in from=backbone to=[powertrain] act=allow rate=0"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("zone a rules = %v, want %v", got, want)
+	}
+}
+
+func TestCompileWildcardAndDeny(t *testing.T) {
+	_, f, _, _ := rig2(t)
+	f.SetRules([]*gateway.Rule{
+		{Name: "diag-deny", From: "*", IDLo: 0x700, IDHi: 0x7FF, Action: gateway.Deny},
+		{Name: "open", From: "*", IDLo: 0, IDHi: 0x6FF, Action: gateway.Allow},
+	})
+	za, _ := f.ZoneByName("a")
+	got := ruleSig(za.GW.Rules())
+	// Wildcards expand per local source plus one backbone-ingress shard,
+	// preserving logical order (deny before allow).
+	want := []string{
+		"diag-deny from=powertrain to=[] act=deny rate=0",
+		"diag-deny@in from=backbone to=[] act=deny rate=0",
+		"open from=powertrain to=[] act=allow rate=0",
+		"open@in from=backbone to=[] act=allow rate=0",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("zone a rules = %v, want %v", got, want)
+	}
+}
+
+func TestCompileUnreachableDestKeepsSlot(t *testing.T) {
+	_, f, _, _ := rig2(t)
+	f.SetRules([]*gateway.Rule{
+		// Matches 0x100..0x1FF but only delivers to body; zone a's ingress
+		// shard must still claim the first-match slot so the broader rule
+		// below cannot deliver these IDs to powertrain.
+		{Name: "narrow", From: "body", To: []string{"ghost"}, IDLo: 0x100, IDHi: 0x1FF, Action: gateway.Allow},
+		{Name: "wide", From: "body", To: []string{"powertrain"}, IDLo: 0, IDHi: 0x7FF, Action: gateway.Allow},
+	})
+	za, _ := f.ZoneByName("a")
+	rs := za.GW.Rules()
+	if len(rs) != 2 {
+		t.Fatalf("zone a has %d rules, want 2: %v", len(rs), ruleSig(rs))
+	}
+	if rs[0].Name != "narrow@in" || len(rs[0].To) != 1 || rs[0].To[0] != noneDomain {
+		t.Fatalf("first shard = %v, want narrow@in with sentinel dest", ruleSig(rs[:1]))
+	}
+	zb, _ := f.ZoneByName("b")
+	// Source side: "ghost" is unknown everywhere, so the narrow egress
+	// shard keeps its slot with the sentinel too.
+	rsb := zb.GW.Rules()
+	if rsb[0].Name != "narrow" || len(rsb[0].To) != 1 || rsb[0].To[0] != noneDomain {
+		t.Fatalf("zone b first shard = %v, want narrow with sentinel dest", ruleSig(rsb[:1]))
+	}
+}
+
+func TestCrossZoneForwardOverBackbone(t *testing.T) {
+	k, f, pt, body := rig2(t)
+	f.SetRules([]*gateway.Rule{{
+		Name: "body-to-pt", From: "body", To: []string{"powertrain"},
+		IDLo: 0x100, IDHi: 0x1FF, Action: gateway.Allow,
+	}})
+
+	rx := can.NewController("ecu-pt")
+	pt.Attach(rx)
+	var got []can.Frame
+	rx.OnReceive(func(at sim.Time, fr *can.Frame, _ *can.Controller) {
+		got = append(got, can.Frame{ID: fr.ID, Data: append([]byte(nil), fr.Data...)})
+	})
+
+	tx := can.NewController("ecu-body")
+	body.Attach(tx)
+	k.At(sim.Millisecond, func() {
+		_ = tx.Send(can.Frame{ID: 0x155, Data: []byte{1, 2, 3, 4}}, nil)
+		_ = tx.Send(can.Frame{ID: 0x300, Data: []byte{9}}, nil) // outside the rule: dropped
+	})
+	if err := k.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != 1 || got[0].ID != 0x155 {
+		t.Fatalf("powertrain received %v, want exactly ID 0x155", got)
+	}
+	if string(got[0].Data) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("payload %v corrupted in transit", got[0].Data)
+	}
+	if f.BackboneFrames.Value == 0 {
+		t.Fatal("cross-zone frame never touched the backbone")
+	}
+	if f.BackboneDeliveries.Value != 1 {
+		t.Fatalf("backbone deliveries = %d, want 1", f.BackboneDeliveries.Value)
+	}
+}
+
+func TestZoneQuarantineIsolatesButLocalRoutingSurvives(t *testing.T) {
+	k := sim.NewKernel(1)
+	sw := ethernet.NewSwitch(k, "bb", 2*sim.Microsecond)
+	f := New(k, ethernet.Netif(sw, 1))
+	za, _ := f.AddZone("a")
+	zb, _ := f.AddZone("b")
+	pt := can.NewBus(k, "powertrain", 500_000)
+	b1 := can.NewBus(k, "body1", 500_000)
+	b2 := can.NewBus(k, "body2", 500_000)
+	_ = za.AttachDomain("powertrain", can.Netif(pt))
+	_ = zb.AttachDomain("body1", can.Netif(b1))
+	_ = zb.AttachDomain("body2", can.Netif(b2))
+	f.SetRules([]*gateway.Rule{
+		{Name: "open", From: "*", IDLo: 0, IDHi: 0x7FF, Action: gateway.Allow},
+	})
+
+	ptRx, b2Rx := 0, 0
+	rx1 := can.NewController("pt-ecu")
+	pt.Attach(rx1)
+	rx1.OnReceive(func(sim.Time, *can.Frame, *can.Controller) { ptRx++ })
+	rx2 := can.NewController("b2-ecu")
+	b2.Attach(rx2)
+	rx2.OnReceive(func(sim.Time, *can.Frame, *can.Controller) { b2Rx++ })
+
+	tx := can.NewController("b1-ecu")
+	b1.Attach(tx)
+
+	if err := f.QuarantineZone("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ZoneQuarantined("b") || f.ZoneQuarantined("a") {
+		t.Fatal("quarantine state wrong")
+	}
+	k.At(sim.Millisecond, func() { _ = tx.Send(can.Frame{ID: 0x123, Data: []byte{1}}, nil) })
+	_ = k.RunUntil(100 * sim.Millisecond)
+
+	if ptRx != 0 {
+		t.Fatalf("quarantined zone leaked %d frames across the backbone", ptRx)
+	}
+	if b2Rx != 1 {
+		t.Fatalf("intra-zone routing broke under zone quarantine: got %d, want 1", b2Rx)
+	}
+
+	// Release restores cross-zone forwarding.
+	if err := f.ReleaseZone("b"); err != nil {
+		t.Fatal(err)
+	}
+	k.At(200*sim.Millisecond, func() { _ = tx.Send(can.Frame{ID: 0x124, Data: []byte{2}}, nil) })
+	_ = k.RunUntil(sim.Second)
+	if ptRx != 1 {
+		t.Fatalf("release did not restore forwarding: ptRx=%d", ptRx)
+	}
+}
+
+func TestDefaultAllowCrossesZones(t *testing.T) {
+	k, f, pt, body := rig2(t)
+	f.SetDefaultAction(gateway.Allow)
+
+	n := 0
+	rx := can.NewController("pt-ecu")
+	pt.Attach(rx)
+	rx.OnReceive(func(sim.Time, *can.Frame, *can.Controller) { n++ })
+	tx := can.NewController("body-ecu")
+	body.Attach(tx)
+	k.At(sim.Millisecond, func() { _ = tx.Send(can.Frame{ID: 0x42, Data: []byte{1}}, nil) })
+	_ = k.RunUntil(100 * sim.Millisecond)
+	if n != 1 {
+		t.Fatalf("default-allow delivered %d frames cross-zone, want 1", n)
+	}
+}
+
+func TestRateLimitAppliedAtSourceZone(t *testing.T) {
+	k, f, pt, body := rig2(t)
+	f.SetRules([]*gateway.Rule{{
+		Name: "limited", From: "body", To: []string{"powertrain"},
+		IDLo: 0, IDHi: 0x7FF, Action: gateway.Allow, RatePerSec: 10, BurstFrames: 10,
+	}})
+	n := 0
+	rx := can.NewController("pt-ecu")
+	pt.Attach(rx)
+	rx.OnReceive(func(sim.Time, *can.Frame, *can.Controller) { n++ })
+	tx := can.NewController("body-ecu")
+	body.Attach(tx)
+	// 100 frames in one second against a 10/s limit with burst 10.
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		k.At(at, func() { _ = tx.Send(can.Frame{ID: 0x100, Data: []byte{1}}, nil) })
+	}
+	_ = k.RunUntil(2 * sim.Second)
+	zb, _ := f.ZoneByName("b")
+	if zb.GW.RateLimited.Value == 0 {
+		t.Fatal("source zone never rate-limited")
+	}
+	if n > 25 {
+		t.Fatalf("%d frames crossed a 10/s limit in ~1s", n)
+	}
+}
+
+// Two identical runs must produce identical delivery traces: the zonal
+// layer introduces no map-order or other nondeterminism.
+func TestZonalDeterministic(t *testing.T) {
+	run := func() []string {
+		k, f, pt, body := rig2(t)
+		f.SetRules([]*gateway.Rule{
+			{Name: "open", From: "*", IDLo: 0, IDHi: 0x7FF, Action: gateway.Allow},
+		})
+		var log []string
+		rx := can.NewController("pt-ecu")
+		pt.Attach(rx)
+		rx.OnReceive(func(at sim.Time, fr *can.Frame, _ *can.Controller) {
+			log = append(log, fmt.Sprintf("%d:%03X", at, fr.ID))
+		})
+		tx := can.NewController("body-ecu")
+		body.Attach(tx)
+		s := k.Stream("test.zonal")
+		for i := 0; i < 50; i++ {
+			id := can.ID(0x100 + s.Intn(0x80))
+			at := sim.Time(i)*sim.Millisecond + s.Duration(0, sim.Millisecond)
+			k.At(at, func() { _ = tx.Send(can.Frame{ID: id, Data: []byte{byte(i)}}, nil) })
+		}
+		_ = k.RunUntil(sim.Second)
+		return log
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("delivery traces differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	sw := ethernet.NewSwitch(k, "bb", 0)
+	f := New(k, ethernet.Netif(sw, 1))
+	if _, err := f.AddZone(BackboneDomain); err == nil {
+		t.Fatal("zone named backbone must be rejected")
+	}
+	z, err := f.AddZone("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddZone("a"); err == nil {
+		t.Fatal("duplicate zone must be rejected")
+	}
+	if err := z.AttachDomain(BackboneDomain, can.Netif(can.NewBus(k, "x", 500_000))); err == nil {
+		t.Fatal("domain named backbone must be rejected")
+	}
+	_ = z.AttachDomain("pt", can.Netif(can.NewBus(k, "pt", 500_000)))
+	z2, _ := f.AddZone("b")
+	if err := z2.AttachDomain("pt", can.Netif(can.NewBus(k, "pt2", 500_000))); err == nil {
+		t.Fatal("domain owned by another zone must be rejected")
+	}
+	if err := f.QuarantineZone("ghost"); err == nil {
+		t.Fatal("unknown zone quarantine must error")
+	}
+	if err := f.QuarantineDomain("ghost"); err == nil {
+		t.Fatal("unknown domain quarantine must error")
+	}
+	if zz, ok := f.ZoneOf("pt"); !ok || zz != z {
+		t.Fatal("ZoneOf lost the directory entry")
+	}
+}
