@@ -43,6 +43,7 @@ func BenchmarkE14BusOff(b *testing.B)        { benchTable(b, experiments.E14BusO
 func BenchmarkE15VerifyScaling(b *testing.B) { benchTable(b, experiments.E15VerifyScaling) }
 func BenchmarkE16CrossMedium(b *testing.B)   { benchTable(b, experiments.E16CrossMediumGateway) }
 func BenchmarkE17Zonal(b *testing.B)         { benchTable(b, experiments.E17Zonal) }
+func BenchmarkE18Fleet(b *testing.B)         { benchTable(b, experiments.E18Fleet) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
 

@@ -30,10 +30,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"autosec/internal/can"
 	"autosec/internal/core"
 	"autosec/internal/experiments"
+	"autosec/internal/fleet"
 	"autosec/internal/gateway"
 	"autosec/internal/ids"
 	"autosec/internal/keyless"
@@ -86,6 +88,10 @@ var scenarios = map[string]scenario{
 	"zonal-compromise": {
 		desc: "4-zone E/E architecture: compromised infotainment zone is quarantined at its zone controller, other zones unaffected",
 		run:  runZonalCompromise,
+	},
+	"fleet-compromise": {
+		desc: "2000-vehicle pooled fleet: 20% carry a compromised head unit; per-vehicle quarantine reflexes contain the campaign",
+		run:  runFleetCompromise,
 	},
 }
 
@@ -520,6 +526,103 @@ func runZonalCompromise(w io.Writer, seed uint64, ob obsPair) {
 	fmt.Fprintf(w, "backbone: frames=%d deliveries=%d\n",
 		v.Zonal.BackboneFrames.Value, v.Zonal.BackboneDeliveries.Value)
 	fmt.Fprintf(w, "IDS: %s\n", v.IDS.Summary())
+}
+
+// runFleetCompromise scales the head-unit compromise to a fleet: every
+// fifth vehicle of a pooled 2000-vehicle population carries the attacker,
+// each vehicle runs its own 7ms containment scenario on the sharded fleet
+// driver, and the narrative reports the campaign's fleet-level shape —
+// how many reflexes fired, what leaked through before they did, and the
+// real wall-clock throughput of the pooled simulation.
+func runFleetCompromise(w io.Writer, seed uint64, ob obsPair) {
+	const n = 2000
+	cfg := core.Config{VIN: "AUTOSIM-FLEET", Seed: seed, Zonal: &core.ZonalConfig{Zones: 4}}
+	type res struct {
+		compromised            bool
+		attackThrough, blocked int
+		quarantined, isolated  int
+	}
+	fmt.Fprintf(w, "fleet: %d vehicles, 4-zone E/E topology, every 5th head unit compromised\n", n)
+	start := time.Now()
+	results, err := fleet.Drive(context.Background(), fleet.Driver{Cfg: cfg, N: n},
+		func(idx int, v *core.Vehicle) (res, error) {
+			r := res{compromised: idx%5 == 0}
+			k := v.Kernel
+			// Vehicle 0 stands in for the fleet on -trace: Reset detaches
+			// instrumentation, so pooled reuse by later indices stays silent.
+			// The registry keeps fleet-level gauges only (set after the run).
+			if idx == 0 && ob.tr != nil {
+				v.Instrument(ob.tr, nil)
+			}
+			v.Zonal.SetRules([]*gateway.Rule{{
+				Name: "legacy-open", From: core.DomainInfotainment, To: []string{core.DomainPowertrain},
+				IDLo: 0, IDHi: uint32(can.MaxStandardID), Action: gateway.Allow,
+			}})
+			attackSent := 0
+			if r.compromised {
+				mal := can.NewController("headunit")
+				v.Buses[core.DomainInfotainment].Attach(mal)
+				st := k.Stream("fleet-phase")
+				k.Every(st.Duration(sim.Millisecond, 3*sim.Millisecond), sim.Millisecond, func() {
+					attackSent++
+					_ = mal.Send(can.Frame{ID: 0x0C0, Data: []byte{0xFF, 0xFF}}, nil)
+				})
+			}
+			mon := can.NewController("monitor")
+			v.Buses[core.DomainPowertrain].Attach(mon)
+			mon.OnReceive(func(_ sim.Time, f *can.Frame, _ *can.Controller) {
+				if f.ID != 0x0C0 {
+					return
+				}
+				r.attackThrough++
+				if r.attackThrough >= 3 && r.quarantined == 0 {
+					_ = v.Zonal.QuarantineZoneOf(core.DomainInfotainment)
+					r.quarantined = 1
+					z, _ := v.Zonal.ZoneOf(core.DomainInfotainment)
+					for _, name := range v.Zonal.Domains() {
+						if zz, ok := v.Zonal.ZoneOf(name); ok && zz == z {
+							r.isolated++
+						}
+					}
+				}
+			})
+			if err := k.RunUntil(7 * sim.Millisecond); err != nil {
+				return r, err
+			}
+			r.blocked = attackSent - r.attackThrough
+			return r, nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Wall-clock throughput goes to stderr: the narrative on w must stay
+	// byte-deterministic so replicated runs stay identical at any -par.
+	fmt.Fprintf(os.Stderr, "autosim: simulated %d vehicles in %v (%.0f vehicles/sec)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+
+	var compromised, quarantined, through, blocked, isolated int
+	for _, r := range results {
+		if !r.compromised {
+			continue
+		}
+		compromised++
+		quarantined += r.quarantined
+		through += r.attackThrough
+		blocked += r.blocked
+		isolated += r.isolated
+	}
+	fmt.Fprintf(w, "campaign: %d compromised vehicles; %d quarantine reflexes fired\n", compromised, quarantined)
+	fmt.Fprintf(w, "containment: %d attack frames reached powertrains fleet-wide, %d blocked after quarantine\n",
+		through, blocked)
+	if quarantined > 0 {
+		fmt.Fprintf(w, "blast radius: %.1f domains isolated per quarantined vehicle\n",
+			float64(isolated)/float64(quarantined))
+	}
+	if ob.reg != nil {
+		ob.reg.Gauge("fleet/quarantined_fraction").Set(float64(quarantined) / float64(n))
+		ob.reg.Gauge("fleet/attack_through_per_compromised").Set(float64(through) / float64(compromised))
+	}
 }
 
 func fatal(err error) {

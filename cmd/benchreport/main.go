@@ -1,6 +1,7 @@
-// Command benchreport regenerates the full experiment suite E1–E17 (plus
+// Command benchreport regenerates the full experiment suite E1–E18 (plus
 // ablations A1–A2) from DESIGN.md and prints each result table, paper
-// claim included.
+// claim included. -fleet trims or extends E18's fleet-size sweep the way
+// -zones does E17's zone counts.
 //
 // With -seeds N it becomes a replication study: the suite runs once per
 // seed (seed, seed+1, …) sharded across a -par-sized worker pool, and the
@@ -79,6 +80,7 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "replication worker pool size")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
 	zones := flag.String("zones", "", "comma-separated zone counts for E17's sweep (e.g. 2,4,8,16); empty uses the golden default")
+	fleet := flag.String("fleet", "", "comma-separated fleet sizes for E18's sweep (e.g. 500,5000); empty uses the golden default (1000,10000,100000)")
 	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of every kernel's dispatch activity to this file; single-seed mode only")
 	showMetrics := flag.Bool("metrics", false, "print a runtime/metrics snapshot (heap, allocs, GC) after the run")
@@ -141,6 +143,17 @@ func main() {
 		}
 		e17 = func(s uint64) *experiments.Table { return experiments.E17ZonalWith(s, counts) }
 	}
+	e18 := experiments.E18Fleet
+	if *fleet != "" {
+		sizes, err := parseFleet(*fleet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		e18 = func(s uint64) *experiments.Table {
+			return experiments.E18FleetWith(s, sizes, []int{1, 2, 4})
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -170,6 +183,7 @@ func main() {
 		{"E15", experiments.E15VerifyScaling},
 		{"E16", experiments.E16CrossMediumGateway},
 		{"E17", e17},
+		{"E18", e18},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
 	}
@@ -267,6 +281,19 @@ func parseZones(s string) ([]int, error) {
 		counts = append(counts, n)
 	}
 	return counts, nil
+}
+
+// parseFleet parses -fleet ("500,5000") into E18FleetWith's sweep list.
+func parseFleet(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-fleet: %q is not a fleet size >= 1", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // printRuntimeMetrics renders the runtime snapshot through the same

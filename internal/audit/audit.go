@@ -63,6 +63,10 @@ type Log struct {
 	cAppends   *obs.Counter
 	cSeals     *obs.Counter
 	cChainFail *obs.Counter
+
+	// Pooled-reuse baseline; see MarkBaseline/ResetToBaseline.
+	baseSealed     bool
+	baseMaxEntries int
 }
 
 // Instrument registers the log's health counters (audit/appends,
@@ -72,6 +76,35 @@ func (l *Log) Instrument(reg *obs.Registry) {
 	l.cAppends = reg.Counter("audit/appends")
 	l.cSeals = reg.Counter("audit/seals")
 	l.cChainFail = reg.Counter("audit/chain_failures")
+}
+
+// MarkBaseline records the log's post-construction configuration as the
+// reset target for pooled reuse.
+func (l *Log) MarkBaseline() {
+	l.baseSealed = true
+	l.baseMaxEntries = l.MaxEntries
+}
+
+// ResetToBaseline empties the log for pooled reuse: entries and seals
+// clear (backing arrays retained, contents zeroed so no evidence leaks
+// across runs), MaxEntries restores, observability detaches. The seal
+// MAC closure is construction wiring and survives.
+func (l *Log) ResetToBaseline() {
+	if !l.baseSealed {
+		panic("audit: ResetToBaseline before MarkBaseline")
+	}
+	for i := range l.entries {
+		l.entries[i] = Entry{}
+	}
+	l.entries = l.entries[:0]
+	for i := range l.seals {
+		l.seals[i] = Seal{}
+	}
+	l.seals = l.seals[:0]
+	l.MaxEntries = l.baseMaxEntries
+	l.cAppends = nil
+	l.cSeals = nil
+	l.cChainFail = nil
 }
 
 // Seal is a MAC over the chain head at a point in time, anchoring every

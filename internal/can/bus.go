@@ -75,6 +75,10 @@ type Bus struct {
 
 	sniffers []SnifferFunc
 
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base busBaseline
+
 	// Observability (nil when off): labels are interned once in
 	// Instrument, so the per-frame emit in complete is allocation-free.
 	obsTr      *obs.Tracer
@@ -303,6 +307,11 @@ func (b *Bus) complete(c *Controller, bits int) {
 		rc.deliver(now, &tx.frame, c)
 	}
 	tx.done = nil // do not retain the callback past this completion
+	// Every receiver has run; the payload buffer (cloned at Send) can go
+	// back to the sender's freelist. Re-entrant Sends during delivery are
+	// safe: the freelist only gains this buffer here, after they ran.
+	c.recycleData(tx.frame.Data)
+	tx.frame.Data = nil
 }
 
 // ErrBusOff is returned by Controller.Send while the controller is bus-off.
@@ -375,8 +384,19 @@ type Controller struct {
 	filter   AcceptanceFilter
 	handlers []ReceiveFunc
 
+	// dataFree recycles transmit payload buffers: Send clones the caller's
+	// payload into a recycled buffer, and the bus returns it after the
+	// frame has been delivered to every receiver (see Bus.complete). In
+	// steady state a periodic sender allocates nothing. Scratch only —
+	// never holds live payloads, so pooled resets leave it alone.
+	dataFree [][]byte
+
 	tec, rec int
 	state    ControllerState
+
+	// base is the post-construction snapshot recorded by markBaseline for
+	// pooled reuse; see Bus.ResetToBaseline.
+	base ctrlBaseline
 
 	// Stats.
 	FramesSent     sim.Counter
@@ -431,6 +451,36 @@ func (c *Controller) txPopFront() {
 	c.txLen--
 }
 
+// cloneData copies a payload into a recycled transmit buffer, falling
+// back to a fresh allocation when the freelist is empty or too small.
+func (c *Controller) cloneData(d []byte) []byte {
+	if d == nil {
+		return nil
+	}
+	if n := len(c.dataFree); n > 0 {
+		buf := c.dataFree[n-1]
+		c.dataFree[n-1] = nil
+		c.dataFree = c.dataFree[:n-1]
+		if cap(buf) >= len(d) {
+			buf = buf[:len(d)]
+			copy(buf, d)
+			return buf
+		}
+	}
+	return append([]byte(nil), d...)
+}
+
+// recycleData returns a delivered payload buffer to the freelist. Only
+// the bus calls this, and only after every receiver callback has run —
+// the payload contract is that frames are valid for the duration of the
+// delivery callback, never beyond.
+func (c *Controller) recycleData(d []byte) {
+	if d == nil || len(c.dataFree) >= 16 {
+		return
+	}
+	c.dataFree = append(c.dataFree, d[:0])
+}
+
 // txFlush drops every queued request (the bus-off transition).
 func (c *Controller) txFlush() {
 	for c.txLen > 0 {
@@ -455,7 +505,9 @@ func (c *Controller) Send(f Frame, done func(at sim.Time)) error {
 		c.FramesDropped.Inc()
 		return ErrQueueFull
 	}
-	c.txPush(txRequest{frame: f.Clone(), done: done})
+	cp := f
+	cp.Data = c.cloneData(f.Data)
+	c.txPush(txRequest{frame: cp, done: done})
 	c.bus.scheduleKick()
 	return nil
 }

@@ -22,9 +22,11 @@ func newTestBus(t *testing.T, nodes ...string) (*sim.Kernel, *Bus, []*Controller
 
 func TestBusDeliversToAllOtherNodes(t *testing.T) {
 	k, _, cs := newTestBus(t, "a", "b", "c")
+	// The delivered *Frame is only valid for the duration of the callback
+	// (its payload buffer is recycled after delivery), so retain a clone.
 	var gotB, gotC *Frame
-	cs[1].OnReceive(func(_ sim.Time, f *Frame, _ *Controller) { gotB = f })
-	cs[2].OnReceive(func(_ sim.Time, f *Frame, _ *Controller) { gotC = f })
+	cs[1].OnReceive(func(_ sim.Time, f *Frame, _ *Controller) { c := f.Clone(); gotB = &c })
+	cs[2].OnReceive(func(_ sim.Time, f *Frame, _ *Controller) { c := f.Clone(); gotC = &c })
 	var echoedToSender bool
 	cs[0].OnReceive(func(_ sim.Time, _ *Frame, _ *Controller) { echoedToSender = true })
 

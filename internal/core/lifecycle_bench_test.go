@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// The lifecycle benchmark pair quantifies why VehiclePool exists: a
+// fresh construction against a pooled reset of the same configuration.
+// Fleet sweeps multiply the difference by population size, so track the
+// pair when touching NewVehicle or the Reset path.
+
+func BenchmarkNewVehicleFresh(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewVehicle(Config{VIN: "B", Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolAcquireRelease(b *testing.B) {
+	p := NewVehiclePool(Config{VIN: "B", Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := p.Acquire(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Release(v)
+	}
+}

@@ -119,6 +119,13 @@ type Vehicle struct {
 	AuthFailures sim.Counter
 
 	trafficStops []func()
+
+	// domainOrder records domain names in construction order so Reset
+	// walks the media deterministically (never map order).
+	domainOrder []string
+	// base is the pooled-reuse baseline sealed at the end of NewVehicle;
+	// see Reset in reset.go.
+	base vehicleBaseline
 }
 
 // macKeySlot is the SHE slot holding the IVN authentication key.
@@ -150,6 +157,7 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	for _, d := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
 		v.Buses[d] = can.NewBus(k, d, 500_000)
 		v.Media[d] = can.Netif(v.Buses[d])
+		v.domainOrder = append(v.domainOrder, d)
 	}
 	// Mixed-medium extras build in declared order (kernel event
 	// scheduling, e.g. FlexRay cycles, must be deterministic).
@@ -259,6 +267,9 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 			return nil, err
 		}
 	}
+
+	// Seal the constructed state as the pooled-reuse baseline.
+	v.markBaselines(cfg)
 	return v, nil
 }
 
@@ -368,6 +379,7 @@ func (v *Vehicle) addExtraDomain(spec DomainSpec) error {
 	default:
 		return fmt.Errorf("core: unknown medium kind %d for domain %q", spec.Kind, spec.Name)
 	}
+	v.domainOrder = append(v.domainOrder, spec.Name)
 	return nil
 }
 

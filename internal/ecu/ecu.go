@@ -67,6 +67,26 @@ func NewCPU(k *sim.Kernel, name string) *CPU {
 	return &CPU{Name: name, kernel: k, startedAt: k.Now()}
 }
 
+// ResetState rewinds the CPU to its post-NewCPU idle state for pooled
+// reuse: ready queue drained, running job dropped, accounting zeroed.
+// The kernel must have been Reset first (periodic release events and
+// pending completions are gone with the queue; the stale completion
+// handle is inert by the kernel's generation discipline).
+func (c *CPU) ResetState() {
+	for i := range c.ready {
+		c.ready[i] = nil
+	}
+	c.ready = c.ready[:0]
+	c.running = nil
+	c.runStart = 0
+	c.completion = sim.Event{}
+	c.seq = 0
+	c.busy = 0
+	c.startedAt = c.kernel.Now()
+	c.JobsCompleted.Value = 0
+	c.JobsMissed.Value = 0
+}
+
 // Utilization reports the busy fraction of elapsed virtual time.
 func (c *CPU) Utilization() float64 {
 	elapsed := c.kernel.Now() - c.startedAt

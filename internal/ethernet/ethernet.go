@@ -223,6 +223,10 @@ type Switch struct {
 	Policed         sim.Counter
 
 	observers []func(at sim.Time, f *Frame, in *Port)
+
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base swBaseline
 }
 
 type macVLAN struct {

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Aggregate merges per-seed runs of the same experiment suite into one
+// table per experiment. perSeed[i][j] is experiment j under seed i; every
+// seed must have produced the same experiments with the same shape.
+//
+// Columns whose cells are identical across all seeds (experiment inputs:
+// attack rates, configuration labels) pass through unchanged. Columns
+// where any cell is numeric and varies across seeds expand into three
+// columns: the original name carrying "mean ± 95% CI" cells, "<name> sd"
+// with the sample standard deviation, and "<name> range" with the
+// per-seed min..max. Non-numeric cells that vary (e.g. a yes/no verdict
+// that flips under some seeds) are folded into a deterministic
+// "value xCount" tally in seed order.
+//
+// The fold visits seeds in slice order, so the output is independent of
+// the parallelism that produced perSeed. The fleet driver reuses the same
+// fold with one "seed" per vehicle, merged in vehicle-index order.
+func Aggregate(perSeed [][]*Table) ([]*Table, error) {
+	if len(perSeed) == 0 {
+		return nil, fmt.Errorf("experiments: no replicates to aggregate")
+	}
+	nExp := len(perSeed[0])
+	for i, tables := range perSeed {
+		if len(tables) != nExp {
+			return nil, fmt.Errorf("experiments: replicate %d produced %d tables, want %d", i, len(tables), nExp)
+		}
+	}
+	out := make([]*Table, nExp)
+	for j := 0; j < nExp; j++ {
+		column := make([]*Table, len(perSeed))
+		for i := range perSeed {
+			column[i] = perSeed[i][j]
+		}
+		agg, err := aggregateOne(column)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: experiment %s: %w", perSeed[0][j].ID, err)
+		}
+		out[j] = agg
+	}
+	return out, nil
+}
+
+// aggregateOne merges the same experiment across seeds.
+func aggregateOne(runs []*Table) (*Table, error) {
+	first := runs[0]
+	for i, t := range runs[1:] {
+		if t.ID != first.ID || len(t.Columns) != len(first.Columns) || len(t.Rows) != len(first.Rows) {
+			return nil, fmt.Errorf("replicate %d shape mismatch (id %s vs %s, %d vs %d cols, %d vs %d rows)",
+				i+1, t.ID, first.ID, len(t.Columns), len(first.Columns), len(t.Rows), len(first.Rows))
+		}
+	}
+	n := len(runs)
+	agg := &Table{
+		ID:    first.ID,
+		Title: fmt.Sprintf("%s (n=%d seeds, mean ± 95%% CI)", first.Title, n),
+		Claim: first.Claim,
+	}
+
+	type colKind int
+	const (
+		kindConstant colKind = iota // identical across seeds: pass through
+		kindNumeric                 // varies, all cells parse as numbers
+		kindMixed                   // varies, at least one non-numeric cell
+	)
+	kinds := make([]colKind, len(first.Columns))
+	for c := range first.Columns {
+		kind := kindConstant
+		for r := range first.Rows {
+			varies, numeric := cellProfile(runs, r, c)
+			if !varies {
+				continue
+			}
+			if numeric && kind != kindMixed {
+				kind = kindNumeric
+			}
+			if !numeric {
+				kind = kindMixed
+			}
+		}
+		kinds[c] = kind
+	}
+
+	for c, name := range first.Columns {
+		switch kinds[c] {
+		case kindNumeric:
+			agg.Columns = append(agg.Columns, name, name+" sd", name+" range")
+		default:
+			agg.Columns = append(agg.Columns, name)
+		}
+	}
+
+	for r := range first.Rows {
+		var row []any
+		for c := range first.Columns {
+			switch kinds[c] {
+			case kindConstant:
+				row = append(row, first.Rows[r][c])
+			case kindNumeric:
+				// Rows that happen to be seed-invariant (or carry a
+				// non-numeric sentinel like ">8192") pass through with
+				// empty sd/range cells rather than a degenerate 0 ± 0.
+				if varies, _ := cellProfile(runs, r, c); !varies {
+					row = append(row, first.Rows[r][c], "", "")
+					continue
+				}
+				mean, sd, half, lo, hi := summarize(runs, r, c)
+				row = append(row,
+					CI{Mean: mean, Half: half},
+					sd,
+					MinMax{Min: lo, Max: hi})
+			case kindMixed:
+				row = append(row, tally(runs, r, c))
+			}
+		}
+		agg.AddRow(row...)
+	}
+	return agg, nil
+}
+
+// cellProfile reports whether cell (r,c) varies across seeds and, if so,
+// whether every seed's value parses as a number.
+func cellProfile(runs []*Table, r, c int) (varies, numeric bool) {
+	first := runs[0].Rows[r][c]
+	numeric = true
+	for _, t := range runs {
+		cell := t.Rows[r][c]
+		if cell != first {
+			varies = true
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			numeric = false
+		}
+	}
+	return varies, numeric
+}
+
+// summarize computes the moments of a numeric cell across seeds: mean,
+// sample standard deviation, 95% CI half-width (Student t), min and max.
+func summarize(runs []*Table, r, c int) (mean, sd, half, lo, hi float64) {
+	n := float64(len(runs))
+	lo, hi = math.Inf(1), math.Inf(-1)
+	var sum float64
+	vals := make([]float64, len(runs))
+	for i, t := range runs {
+		v, _ := strconv.ParseFloat(t.Rows[r][c], 64)
+		vals[i] = v
+		sum += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	mean = sum / n
+	if len(runs) > 1 {
+		var ss float64
+		for _, v := range vals {
+			d := v - mean
+			ss += d * d
+		}
+		sd = math.Sqrt(ss / (n - 1))
+		half = tCrit95(len(runs)-1) * sd / math.Sqrt(n)
+	}
+	return mean, sd, half, lo, hi
+}
+
+// tally folds varying non-numeric cells into "value xCount" pairs in
+// first-appearance (seed) order, e.g. "yes x6 no x2".
+func tally(runs []*Table, r, c int) string {
+	var order []string
+	counts := map[string]int{}
+	for _, t := range runs {
+		cell := t.Rows[r][c]
+		if counts[cell] == 0 {
+			order = append(order, cell)
+		}
+		counts[cell]++
+	}
+	if len(order) == 1 {
+		return order[0] // seed-invariant row inside a varying column
+	}
+	out := ""
+	for i, v := range order {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s x%d", v, counts[v])
+	}
+	return out
+}
+
+// tTable holds two-sided 95% Student-t critical values for 1-30 degrees
+// of freedom; beyond that the normal approximation is within 2%.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom.
+func tCrit95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.960
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCrit95(t *testing.T) {
+	if got := tCrit95(1); got != 12.706 {
+		t.Fatalf("t(1) = %v", got)
+	}
+	if got := tCrit95(7); got != 2.365 {
+		t.Fatalf("t(7) = %v", got)
+	}
+	if got := tCrit95(200); got != 1.960 {
+		t.Fatalf("t(200) = %v", got)
+	}
+	if got := tCrit95(0); got != 0 {
+		t.Fatalf("t(0) = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	runs := []*Table{
+		{Rows: [][]string{{"10"}}},
+		{Rows: [][]string{{"14"}}},
+	}
+	mean, sd, half, lo, hi := summarize(runs, 0, 0)
+	if mean != 12 || lo != 10 || hi != 14 {
+		t.Fatalf("mean/lo/hi = %v/%v/%v", mean, lo, hi)
+	}
+	if math.Abs(sd-math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("sd = %v", sd)
+	}
+	wantHalf := 12.706 * math.Sqrt(8) / math.Sqrt(2)
+	if math.Abs(half-wantHalf) > 1e-9 {
+		t.Fatalf("half = %v, want %v", half, wantHalf)
+	}
+}

@@ -31,6 +31,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E15", E15VerifyScaling},
 		{"E16", E16CrossMediumGateway},
 		{"E17", E17Zonal},
+		{"E18", E18Fleet},
 		{"A1", A1MACTruncation},
 		{"A2", A2BoundingThreshold},
 	}

@@ -157,6 +157,7 @@ func All(seed uint64) []*Table {
 		E15VerifyScaling(seed),
 		E16CrossMediumGateway(seed),
 		E17Zonal(seed),
+		E18Fleet(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"autosec/internal/can"
+	"autosec/internal/core"
+	"autosec/internal/gateway"
+	"autosec/internal/netif"
+	"autosec/internal/sim"
+)
+
+// BenchmarkFleetVehiclesPerSec is the fleet-throughput headline pinned
+// in CI's bench-smoke job: b.N pooled vehicles driven end to end through
+// the sharded driver (zonal topology, cross-domain traffic, quarantine
+// reflex), reported as vehicles/sec. Track this when touching the reset
+// path — fleet wall-clock is per-vehicle cost times population.
+func BenchmarkFleetVehiclesPerSec(b *testing.B) {
+	cfg := core.Config{VIN: "BENCH-FLEET", Seed: 1, Zonal: &core.ZonalConfig{
+		Zones:        2,
+		LocalDomains: []core.DomainSpec{{Name: "body", Kind: netif.CAN}},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Drive(context.Background(), Driver{Cfg: cfg, N: b.N}, driveScenario); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vehicles/sec")
+}
+
+// BenchmarkFleetSteadyState is the alloc half of the benchmark pair: the
+// simulation-step loop of a pooled vehicle at steady state. CI greps the
+// output for nonzero allocs/op — the same zero-alloc discipline pinned on
+// the kernel, gateway and zonal hot paths.
+func BenchmarkFleetSteadyState(b *testing.B) {
+	pool := core.NewVehiclePool(core.Config{VIN: "BENCH-ALLOC", Seed: 9})
+	v, err := pool.Acquire(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.Gateway.SetRules([]*gateway.Rule{{
+		Name: "st", From: core.DomainChassis, To: []string{core.DomainInfotainment},
+		IDLo: 0, IDHi: 0x7FF, Action: gateway.Allow,
+	}})
+	c := can.NewController("tick")
+	v.Buses[core.DomainChassis].Attach(c)
+	data := []byte{0x01, 0x02}
+	k := v.Kernel
+	k.Every(0, sim.Millisecond, func() {
+		_ = c.Send(can.Frame{ID: 0x123, Data: data}, nil)
+	})
+	until := sim.Time(20 * sim.Millisecond)
+	if err := k.RunUntil(until); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		until += sim.Time(2 * sim.Millisecond)
+		_ = k.RunUntil(until)
+	}
+	b.StopTimer()
+	pool.Release(v)
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"autosec/internal/core"
+)
+
+// Driver shards a vehicle population across workers, each worker running
+// its shard on a private core.VehiclePool so construction cost amortizes
+// over the shard. Results merge in vehicle-index order, so the output is
+// byte-identical at any worker count — the fleet-scale analogue of the
+// runner's par-invariance, backed by the pooled Reset's equivalence
+// guarantee (a reset vehicle behaves exactly like a fresh one).
+type Driver struct {
+	// Cfg is the per-vehicle build configuration. The VIN is shared by
+	// every pool vehicle; per-vehicle identity comes from the seed, which
+	// Drive derives per index from Cfg.Seed (see VehicleSeed).
+	Cfg core.Config
+	// N is the fleet population size.
+	N int
+	// Workers bounds the shard parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// VehicleSeed derives vehicle idx's kernel seed from the fleet base seed:
+// a splitmix64-style finalizer over (base, idx), so neighbouring indices
+// get decorrelated streams and the mapping is independent of sharding.
+func VehicleSeed(base uint64, idx int) uint64 {
+	z := base + 0x9E3779B97F4A7C15*uint64(idx+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Drive runs fn once per vehicle index over d's population and returns
+// the per-vehicle results in index order. Each worker owns a contiguous
+// index shard and a private pool: the first acquisition constructs a
+// vehicle, every later one resets it, so steady-state sharding does no
+// construction work. fn must treat the vehicle as scenario scratch — any
+// rules, observers or traffic it adds are rewound by the next Reset.
+//
+// An error aborts the drive; the lowest-indexed error observed wins the
+// report (a shard seeing the abort flag may stop before reaching its own
+// failure, so under multiple workers the index is best-effort). ctx
+// cancellation surfaces as that context's error.
+func Drive[T any](ctx context.Context, d Driver, fn func(idx int, v *core.Vehicle) (T, error)) ([]T, error) {
+	if d.N <= 0 {
+		return nil, fmt.Errorf("fleet: population must be positive, got %d", d.N)
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.N {
+		workers = d.N
+	}
+
+	results := make([]T, d.N)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+	)
+	fail := func(idx int, err error) {
+		mu.Lock()
+		if firstErr == nil || idx < errIdx {
+			firstErr, errIdx = err, idx
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous shards: vehicle idx lands in shard idx*workers/N,
+		// sizes differ by at most one.
+		lo := w * d.N / workers
+		hi := (w + 1) * d.N / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			pool := core.NewVehiclePool(d.Cfg)
+			for idx := lo; idx < hi; idx++ {
+				if err := ctx.Err(); err != nil {
+					fail(idx, err)
+					return
+				}
+				if failed() {
+					return
+				}
+				v, err := pool.Acquire(VehicleSeed(d.Cfg.Seed, idx))
+				if err != nil {
+					fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
+					return
+				}
+				out, err := fn(idx, v)
+				pool.Release(v)
+				if err != nil {
+					fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
+					return
+				}
+				results[idx] = out
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

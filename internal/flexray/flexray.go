@@ -161,6 +161,10 @@ type Cluster struct {
 	Collisions sim.Counter
 	DynSent    sim.Counter
 	DynStarved sim.Counter
+
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base frBaseline
 }
 
 type dynRequest struct {

@@ -174,6 +174,18 @@ type Gateway struct {
 
 	observers []func(at sim.Time, from string, f *netif.Frame, verdict string)
 
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base gwBaseline
+
+	// verdictCache interns per-rule-name verdict strings across rule-set
+	// installs. Pooled vehicles re-install the same scenario rule names
+	// every acquire/run/release cycle, so after the first cycle SetRules
+	// allocates no strings. Content-addressed by rule name, it survives
+	// ResetToBaseline; names come from finite policy sets, so it stays
+	// bounded.
+	verdictCache map[string]verdictStrings
+
 	// Observability (nil when off). Verdict and domain labels intern on
 	// first sight and hit the tracer's label map afterwards, so the
 	// per-frame emit is allocation-free once the verdict set is warm.
@@ -221,19 +233,34 @@ func (g *Gateway) DomainKind(name string) (netif.Kind, bool) {
 	return d.kind, true
 }
 
-// newState builds the gateway-owned state for one installed rule.
-func newState(r *Rule) *ruleState {
-	return &ruleState{
-		allowV: "allow:" + r.Name,
-		denyV:  "deny:" + r.Name,
-		rateV:  "rate:" + r.Name,
+// verdictStrings is the per-rule-name verdict set, interned on the
+// gateway so repeated rule installs reuse the same strings.
+type verdictStrings struct {
+	allowV, denyV, rateV string
+}
+
+// newState builds the gateway-owned state for one installed rule. Only
+// the limiter state is fresh; the verdict strings intern per rule name.
+func (g *Gateway) newState(r *Rule) *ruleState {
+	vs, ok := g.verdictCache[r.Name]
+	if !ok {
+		vs = verdictStrings{
+			allowV: "allow:" + r.Name,
+			denyV:  "deny:" + r.Name,
+			rateV:  "rate:" + r.Name,
+		}
+		if g.verdictCache == nil {
+			g.verdictCache = make(map[string]verdictStrings)
+		}
+		g.verdictCache[r.Name] = vs
 	}
+	return &ruleState{allowV: vs.allowV, denyV: vs.denyV, rateV: vs.rateV}
 }
 
 // AddRule appends a rule to the ordered rule set.
 func (g *Gateway) AddRule(r *Rule) {
 	g.rules = append(g.rules, r)
-	g.states = append(g.states, newState(r))
+	g.states = append(g.states, g.newState(r))
 }
 
 // SetRules replaces the entire rule set — the in-field update primitive.
@@ -242,7 +269,7 @@ func (g *Gateway) SetRules(rs []*Rule) {
 	g.rules = rs
 	g.states = make([]*ruleState, len(rs))
 	for i, r := range rs {
-		g.states[i] = newState(r)
+		g.states[i] = g.newState(r)
 	}
 }
 

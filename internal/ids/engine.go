@@ -28,6 +28,45 @@ type Engine struct {
 	obsGapUS  *obs.Histogram
 	lastAlert sim.Time
 	hasAlert  bool
+
+	// Pooled-reuse baseline; see MarkBaseline/ResetToBaseline.
+	baseSealed  bool
+	baseOnAlert int
+}
+
+// MarkBaseline seals the engine's construction-time alert wiring so
+// ResetToBaseline can drop scenario subscribers (auto-quarantine hooks
+// and the like) while keeping the ones registered during construction.
+func (e *Engine) MarkBaseline() {
+	e.baseSealed = true
+	e.baseOnAlert = len(e.onAlert)
+}
+
+// ResetToBaseline rewinds the engine for pooled reuse: the detector set
+// is replaced with the fresh detectors the caller supplies (detectors
+// are stateful, so the constructor re-creates the construction-time
+// set), alerts and counters clear, scenario alert subscribers drop, and
+// observability detaches. Taps registered via Attach live on the media
+// and survive by construction.
+func (e *Engine) ResetToBaseline(ds ...Detector) {
+	if !e.baseSealed {
+		panic("ids: ResetToBaseline before MarkBaseline")
+	}
+	for i := range e.detectors {
+		e.detectors[i] = nil
+	}
+	e.detectors = append(e.detectors[:0], ds...)
+	e.Alerts = e.Alerts[:0]
+	for i := e.baseOnAlert; i < len(e.onAlert); i++ {
+		e.onAlert[i] = nil
+	}
+	e.onAlert = e.onAlert[:e.baseOnAlert]
+	e.observed = 0
+	e.obsTr = nil
+	e.obsSub = 0
+	e.obsGapUS = nil
+	e.lastAlert = 0
+	e.hasAlert = false
 }
 
 // NewEngine creates an engine with the given initial detectors.

@@ -105,6 +105,29 @@ func NewCar(key [16]byte) *Car {
 	}
 }
 
+// ResetState rewinds the car to its post-NewCar state for pooled reuse:
+// production-default ranges, fresh challenge counter, cleared replay
+// cache and counters, observability detached. The shared key survives
+// (it is construction wiring, derived from the VIN).
+func (c *Car) ResetState() {
+	c.Pos = Position{}
+	c.LFRangeM = 2
+	c.UHFRangeM = 50
+	c.DistanceBounding = false
+	c.RTTBudget = 0
+	c.challengeCounter = 0
+	c.Unlocks.Value = 0
+	c.Rejections.Value = 0
+	c.BoundingTrips.Value = 0
+	c.ReplayRejects.Value = 0
+	for k := range c.seenResponses {
+		delete(c.seenResponses, k)
+	}
+	c.obsTr = nil
+	c.obsSub, c.obsUnlock, c.obsReject = 0, 0, 0
+	c.obsClock = nil
+}
+
 // Unlock outcomes.
 var (
 	ErrOutOfRange  = errors.New("keyless: fob out of LF range")

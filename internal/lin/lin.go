@@ -171,6 +171,10 @@ type Cluster struct {
 	errStream       *sim.Stream
 
 	observers []SubscribeFunc
+
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base linBaseline
 }
 
 // NewCluster creates a LIN cluster at the given bitrate (typically 19200).

@@ -150,6 +150,43 @@ type Engine struct {
 	versions map[string]uint64
 	// History records installed policies in order.
 	History []string
+
+	// Pooled-reuse baseline; see MarkBaseline/ResetToBaseline.
+	baseSealed   bool
+	baseAppliers map[string]bool
+	baseHistory  int
+}
+
+// MarkBaseline records the engine's registered appliers and install
+// history as the reset target for pooled reuse.
+func (e *Engine) MarkBaseline() {
+	e.baseSealed = true
+	e.baseAppliers = make(map[string]bool, len(e.appliers))
+	for k := range e.appliers {
+		e.baseAppliers[k] = true
+	}
+	e.baseHistory = len(e.History)
+}
+
+// ResetToBaseline forgets every policy installed since MarkBaseline and
+// drops appliers registered after it (OTA-added subsystems), so version
+// monotonicity restarts from the construction state.
+func (e *Engine) ResetToBaseline() {
+	if !e.baseSealed {
+		panic("policy: ResetToBaseline before MarkBaseline")
+	}
+	for k := range e.appliers {
+		if !e.baseAppliers[k] {
+			delete(e.appliers, k)
+		}
+	}
+	for name := range e.versions {
+		delete(e.versions, name)
+	}
+	for i := e.baseHistory; i < len(e.History); i++ {
+		e.History[i] = ""
+	}
+	e.History = e.History[:e.baseHistory]
 }
 
 // NewEngine creates an engine trusting the authority key.

@@ -180,6 +180,33 @@ func NewFusion() *Fusion {
 	}
 }
 
+// ResetState rewinds the fusion module to its post-NewFusion state for
+// pooled reuse: default thresholds, no paired TPMS sensors, no sensor
+// history, no anomalies.
+func (f *Fusion) ResetState() {
+	f.SpeedTolerance = 5
+	f.MaxAccel = 12
+	f.GPSNoiseFloorM = 10
+	f.TPMSMin = 100
+	f.TPMSMax = 450
+	f.LidarClosingMax = 90
+	for id := range f.registeredTPMS {
+		delete(f.registeredTPMS, id)
+	}
+	f.lastGPSAt = 0
+	f.lastGPSPos = Position{}
+	f.haveGPS = false
+	f.lastWheel = 0
+	f.haveWheel = false
+	f.lastLidarAt = 0
+	f.lastLidar = 0
+	f.haveLidar = false
+	for i := range f.Anomalies {
+		f.Anomalies[i] = Anomaly{}
+	}
+	f.Anomalies = f.Anomalies[:0]
+}
+
 // RegisterTPMS pairs a wheel sensor ID with the vehicle.
 func (f *Fusion) RegisterTPMS(id uint32) { f.registeredTPMS[id] = true }
 

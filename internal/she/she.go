@@ -140,6 +140,47 @@ type Engine struct {
 	// AES key-use with the key bytes and the processed block, feeding the
 	// power-trace model in internal/sidechannel.
 	Leak func(op string, key, block []byte)
+
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base *engineBaseline
+}
+
+// engineBaseline is the sealed post-provisioning state of an Engine. The
+// slot array snapshot includes SECRET_KEY: a pooled engine keeps its own
+// device-unique secret across resets, which is observable nowhere (that
+// is the point of SHE).
+type engineBaseline struct {
+	slots        [numKeys]slot
+	debugger     bool
+	bootVerified bool
+	bootDone     bool
+	leak         func(op string, key, block []byte)
+}
+
+// MarkBaseline records the engine's current key material and boot state
+// as the reset target.
+func (e *Engine) MarkBaseline() {
+	e.base = &engineBaseline{
+		slots:        e.slots,
+		debugger:     e.DebuggerAttached,
+		bootVerified: e.bootVerified,
+		bootDone:     e.bootDone,
+		leak:         e.Leak,
+	}
+}
+
+// ResetToBaseline restores every key slot, the debugger sense line and
+// the boot state to the MarkBaseline snapshot.
+func (e *Engine) ResetToBaseline() {
+	if e.base == nil {
+		panic("she: ResetToBaseline before MarkBaseline")
+	}
+	e.slots = e.base.slots
+	e.DebuggerAttached = e.base.debugger
+	e.bootVerified = e.base.bootVerified
+	e.bootDone = e.base.bootDone
+	e.Leak = e.base.leak
 }
 
 // NewEngine creates an engine with the given UID and a freshly generated

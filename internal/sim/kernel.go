@@ -150,6 +150,30 @@ func NewKernel(seed uint64) *Kernel {
 	return &Kernel{seed: seed, streams: make(map[string]*Stream), trace: defaultTraceSink}
 }
 
+// Reset rewinds the kernel to its post-NewKernel state under a new seed
+// without discarding the node pool: queued events are recycled into the
+// free list, the clock returns to zero, and every named stream is
+// re-derived in place (subsystems cache *Stream pointers, so the stream
+// objects must survive). After Reset the kernel is indistinguishable —
+// event sequencing included — from NewKernel(seed), except that the heap
+// and free list stay warm.
+func (k *Kernel) Reset(seed uint64) {
+	for _, n := range k.queue {
+		k.recycle(n)
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.pending = 0
+	k.halted = false
+	k.stepped = 0
+	k.seed = seed
+	for name, s := range k.streams {
+		s.Reseed(seed, name)
+	}
+	k.trace = defaultTraceSink
+}
+
 // SetTraceSink attaches (or, with nil, detaches) a per-dispatch trace
 // sink. The disabled path is a single nil check in step; see
 // TestKernelSteadyStateAllocs for the zero-cost guarantee.

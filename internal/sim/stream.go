@@ -19,13 +19,23 @@ type Stream struct {
 
 // NewStream derives an independent stream from (seed, name).
 func NewStream(seed uint64, name string) *Stream {
+	s := &Stream{}
+	s.Reseed(seed, name)
+	return s
+}
+
+// Reseed re-derives the stream from (seed, name) in place, exactly as
+// NewStream would. Subsystems cache *Stream pointers, so pooled resets
+// must rewind the existing stream rather than swap in a fresh one.
+func (s *Stream) Reseed(seed uint64, name string) {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	s := &Stream{state: seed ^ h.Sum64()}
+	s.state = seed ^ h.Sum64()
+	s.hasGauss = false
+	s.gauss = 0
 	// Warm up so that similar seeds diverge immediately.
 	s.Uint64()
 	s.Uint64()
-	return s
 }
 
 // Uint64 returns the next 64 pseudo-random bits (splitmix64).

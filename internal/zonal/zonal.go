@@ -71,6 +71,9 @@ type Zone struct {
 
 	fab    *Fabric
 	locals []string // local domain names in attach order
+
+	// baseLocals is the sealed local-domain count; see Fabric.MarkBaseline.
+	baseLocals int
 }
 
 // ObserveFunc receives every per-zone gateway verdict, tagged with the
@@ -106,6 +109,29 @@ type Fabric struct {
 	// frame reaches all other zones, so this scales as (zones-1) per
 	// forwarded frame — the flooding cost E17 measures.
 	BackboneDeliveries sim.Counter
+
+	// base is the post-construction snapshot recorded by MarkBaseline for
+	// pooled reuse; see ResetToBaseline.
+	base fabBaseline
+
+	// inNames interns the "<rule>@in" ingress-shard names across
+	// recompiles. Pooled vehicles re-install the same rule names every
+	// cycle, so after the first compile the concatenation allocates
+	// nothing. Content-addressed; survives ResetToBaseline.
+	inNames map[string]string
+}
+
+// inName returns the interned ingress-shard name for a logical rule name.
+func (f *Fabric) inName(rule string) string {
+	if s, ok := f.inNames[rule]; ok {
+		return s
+	}
+	if f.inNames == nil {
+		f.inNames = make(map[string]string)
+	}
+	s := rule + "@in"
+	f.inNames[rule] = s
+	return s
 }
 
 // New creates a fabric bridged over the given Ethernet backbone medium.
@@ -341,7 +367,7 @@ func (f *Fabric) compileFor(z *Zone) []*gateway.Rule {
 		srcZone := f.domainZone[r.From]
 		if r.From == "*" || (srcZone != nil && srcZone != z) {
 			ir := &gateway.Rule{
-				Name:   r.Name + "@in",
+				Name:   f.inName(r.Name),
 				From:   BackboneDomain,
 				Medium: r.Medium,
 				IDLo:   r.IDLo,
