@@ -1,7 +1,10 @@
-// Command benchreport regenerates the full experiment suite E1–E18 (plus
+// Command benchreport regenerates the full experiment suite E1–E19 (plus
 // ablations A1–A2) from DESIGN.md and prints each result table, paper
 // claim included. -fleet trims or extends E18's fleet-size sweep the way
-// -zones does E17's zone counts.
+// -zones does E17's zone counts; -kernelpar N runs E19's per-zone-kernel
+// sweep with N workers per vehicle (any N prints the same bytes as the
+// default serial reference — that equivalence is the point of E19, and
+// CI diffs it).
 //
 // With -seeds N it becomes a replication study: the suite runs once per
 // seed (seed, seed+1, …) sharded across a -par-sized worker pool, and the
@@ -81,6 +84,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E8); empty runs all")
 	zones := flag.String("zones", "", "comma-separated zone counts for E17's sweep (e.g. 2,4,8,16); empty uses the golden default")
 	fleet := flag.String("fleet", "", "comma-separated fleet sizes for E18's sweep (e.g. 500,5000); empty uses the golden default (1000,10000,100000)")
+	kernelpar := flag.Int("kernelpar", 1, "worker count for E19's per-zone-kernel group (1 = serial reference; any value prints identical tables)")
 	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of every kernel's dispatch activity to this file; single-seed mode only")
 	showMetrics := flag.Bool("metrics", false, "print a runtime/metrics snapshot (heap, allocs, GC) after the run")
@@ -155,6 +159,17 @@ func main() {
 		}
 	}
 
+	if *kernelpar < 1 {
+		fmt.Fprintln(os.Stderr, "benchreport: -kernelpar must be >= 1")
+		os.Exit(1)
+	}
+	e19 := experiments.E19KernelPar
+	if *kernelpar != 1 {
+		e19 = func(s uint64) *experiments.Table {
+			return experiments.E19KernelParWith(s, []int{2, 4, 8, 16}, *kernelpar)
+		}
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -184,6 +199,7 @@ func main() {
 		{"E16", experiments.E16CrossMediumGateway},
 		{"E17", e17},
 		{"E18", e18},
+		{"E19", e19},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
 	}

@@ -14,12 +14,22 @@ import (
 // Buses instrument in fixed domain order so label interning (and
 // therefore trace bytes) is deterministic.
 func (v *Vehicle) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	if v.Group != nil && tr != nil {
+		// One trace ring cannot take concurrent appends from per-zone
+		// kernels; parallel builds take per-member tracers instead.
+		panic("core: shared tracer on a per-zone-kernel build; use InstrumentParallel")
+	}
 	if tr != nil {
 		v.Kernel.SetTraceSink(tr)
 	}
 	if reg != nil {
-		reg.Probe("kernel/steps", func() float64 { return float64(v.Kernel.Steps()) })
-		reg.Probe("kernel/pending", func() float64 { return float64(v.Kernel.Pending()) })
+		if v.Group != nil {
+			reg.Probe("kernel/steps", func() float64 { return float64(v.Group.Steps()) })
+			reg.Probe("kernel/pending", func() float64 { return float64(v.Group.Pending()) })
+		} else {
+			reg.Probe("kernel/steps", func() float64 { return float64(v.Kernel.Steps()) })
+			reg.Probe("kernel/pending", func() float64 { return float64(v.Kernel.Pending()) })
+		}
 	}
 	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
 		v.Buses[name].Instrument(tr, reg)
@@ -35,6 +45,51 @@ func (v *Vehicle) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 		v.OTA.Instrument(tr, reg)
 	}
 	v.Keyless.Instrument(tr, reg, v.Kernel.Now)
+	if reg != nil {
+		reg.Probe("core/auth_failures", func() float64 { return float64(v.AuthFailures.Value) })
+	}
+}
+
+// InstrumentParallel is Instrument for per-zone-kernel builds: member i's
+// kernel — and every subsystem homed in zone i (its buses and gateway) —
+// attaches to tracers[i], so each trace ring is appended by exactly one
+// kernel. Subsystems homed in zone 0 (IDS, keyless, OTA) use tracers[0].
+// tracers may be nil or shorter than the member count; missing entries
+// mean metrics-only for that member. Metrics register against the shared
+// registry exactly like Instrument; read them between runs only.
+func (v *Vehicle) InstrumentParallel(tracers []*obs.Tracer, reg *obs.Registry) {
+	if v.Group == nil {
+		panic("core: InstrumentParallel on a single-kernel build; use Instrument")
+	}
+	trOf := func(i int) *obs.Tracer {
+		if i < len(tracers) {
+			return tracers[i]
+		}
+		return nil
+	}
+	for i := 0; i < v.Group.Members(); i++ {
+		if t := trOf(i); t != nil {
+			v.Group.Kernel(i).SetTraceSink(t)
+		}
+	}
+	if reg != nil {
+		reg.Probe("kernel/steps", func() float64 { return float64(v.Group.Steps()) })
+		reg.Probe("kernel/pending", func() float64 { return float64(v.Group.Pending()) })
+	}
+	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+		m := 0
+		if z, ok := v.Zonal.ZoneOf(name); ok {
+			m = z.Member()
+		}
+		v.Buses[name].Instrument(trOf(m), reg)
+	}
+	v.Zonal.InstrumentZones(tracers, reg)
+	v.IDS.Instrument(trOf(0), reg)
+	v.Audit.Instrument(reg)
+	if v.OTA != nil {
+		v.OTA.Instrument(trOf(0), reg)
+	}
+	v.Keyless.Instrument(trOf(0), reg, v.Kernel.Now)
 	if reg != nil {
 		reg.Probe("core/auth_failures", func() float64 { return float64(v.AuthFailures.Value) })
 	}

@@ -73,6 +73,15 @@ type ZonalConfig struct {
 	// LocalDomains replicates per zone: zone i gains a local domain
 	// "z<i>-<Name>" of the given medium kind for each entry.
 	LocalDomains []DomainSpec
+	// PerZoneKernels runs each zone on its own event kernel, synchronized
+	// conservatively at backbone crossings (sim.KernelGroup with the
+	// Ethernet tunnel latency as lookahead). Vehicle.Group is non-nil,
+	// Vehicle.Kernel is zone 0's member kernel, and each domain's events
+	// live on its owning zone's kernel — schedule through
+	// Vehicle.KernelFor. Execution is byte-deterministic at any
+	// Vehicle.SetParallelism setting, but is a distinct timeline from the
+	// shared-kernel zonal build (per-zone kernels draw per-member seeds).
+	PerZoneKernels bool
 }
 
 // Vehicle composes the substrate packages into one car under the 4+1
@@ -81,7 +90,10 @@ type ZonalConfig struct {
 type Vehicle struct {
 	VIN    string
 	Kernel *sim.Kernel
-	Arch   *Architecture
+	// Group is the per-zone kernel group of a parallel zonal build
+	// (Zonal.PerZoneKernels); nil otherwise. Kernel is member 0.
+	Group *sim.KernelGroup
+	Arch  *Architecture
 
 	Buses map[string]*can.Bus
 	// Media holds the netif fabric view of every attached domain (the
@@ -120,6 +132,13 @@ type Vehicle struct {
 
 	trafficStops []func()
 
+	// auditStage holds per-member staged audit events of a parallel build:
+	// zone kernels cannot Append to the shared (SHE-sealed) log
+	// concurrently, so each member stages its events and the group barrier
+	// merges them in (time, member) order — see mergeAuditStages.
+	auditStage [][]stagedAudit
+	stageIdx   []int
+
 	// domainOrder records domain names in construction order so Reset
 	// walks the media deterministically (never map order).
 	domainOrder []string
@@ -140,10 +159,26 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	if cfg.VIN == "" {
 		return nil, errors.New("core: vehicle needs a VIN")
 	}
-	k := sim.NewKernel(cfg.Seed)
+	var k *sim.Kernel
+	var group *sim.KernelGroup
+	if cfg.Zonal != nil && cfg.Zonal.PerZoneKernels {
+		if cfg.Zonal.Zones < 2 {
+			return nil, fmt.Errorf("core: zonal build needs >= 2 zones, got %d", cfg.Zonal.Zones)
+		}
+		group = sim.NewKernelGroup(cfg.Seed, ethernet.TunnelLookahead(backboneHopLatency, ethernet.DefaultLinkBps))
+		// Materialize every member kernel up front: domain media bind to
+		// their owning zone's kernel before the fabric exists.
+		for i := 0; i < cfg.Zonal.Zones; i++ {
+			group.Kernel(i)
+		}
+		k = group.Kernel(0)
+	} else {
+		k = sim.NewKernel(cfg.Seed)
+	}
 	v := &Vehicle{
 		VIN:             cfg.VIN,
 		Kernel:          k,
+		Group:           group,
 		Arch:            NewArchitecture(),
 		Buses:           make(map[string]*can.Bus),
 		Media:           make(map[string]netif.Medium),
@@ -153,16 +188,24 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 		MACBits:         cfg.MACBits,
 	}
 
-	// Secure Networks: the IVN domains.
+	// Secure Networks: the IVN domains. Each standard bus lives on the
+	// kernel of the zone it will shard into — the shared kernel except in
+	// per-zone-kernel builds, where intra-zone bus events must never cross
+	// the kernel boundary.
 	for _, d := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
-		v.Buses[d] = can.NewBus(k, d, 500_000)
+		bk := k
+		if group != nil {
+			bk = group.Kernel(standardDomainZone(d, cfg.Zonal.Zones))
+		}
+		v.Buses[d] = can.NewBus(bk, d, 500_000)
 		v.Media[d] = can.Netif(v.Buses[d])
 		v.domainOrder = append(v.domainOrder, d)
 	}
 	// Mixed-medium extras build in declared order (kernel event
-	// scheduling, e.g. FlexRay cycles, must be deterministic).
+	// scheduling, e.g. FlexRay cycles, must be deterministic). They shard
+	// into zone 0, whose kernel is v.Kernel in every build flavor.
 	for _, spec := range cfg.ExtraDomains {
-		if err := v.addExtraDomain(spec); err != nil {
+		if err := v.addExtraDomainOn(k, spec); err != nil {
 			return nil, err
 		}
 	}
@@ -217,13 +260,31 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 	v.Audit = audit.New(func(msg []byte) ([]byte, error) {
 		return v.SHE.GenerateMAC(she.Key10, msg)
 	})
-	if v.Zonal != nil {
+	switch {
+	case v.Group != nil:
+		// Parallel zonal build: zone kernels cannot Append to the shared
+		// SHE-sealed log concurrently, so each member stages its events and
+		// the group barrier merges them in (time, member) order.
+		v.auditStage = make([][]stagedAudit, v.Group.Members())
+		v.stageIdx = make([]int, v.Group.Members())
+		v.Zonal.Observe(func(at sim.Time, zone, from string, f *netif.Frame, verdict string) {
+			if auditableVerdict(verdict) {
+				z, _ := v.Zonal.ZoneByName(zone)
+				m := z.Member()
+				v.auditStage[m] = append(v.auditStage[m], stagedAudit{
+					at: at, src: "gateway",
+					msg: verdict + " id=" + auditID(f) + " from=" + from + " zone=" + zone,
+				})
+			}
+		})
+		v.Group.AtBarrier(func(limit sim.Time) { v.mergeAuditStages() })
+	case v.Zonal != nil:
 		v.Zonal.Observe(func(at sim.Time, zone, from string, f *netif.Frame, verdict string) {
 			if auditableVerdict(verdict) {
 				v.Audit.Append(at, "gateway", verdict+" id="+auditID(f)+" from="+from+" zone="+zone)
 			}
 		})
-	} else {
+	default:
 		v.Gateway.Observe(func(at sim.Time, from string, f *netif.Frame, verdict string) {
 			// Denials and quarantine drops are security events; routine
 			// allows would swamp the log.
@@ -233,6 +294,12 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 		})
 	}
 	v.IDS.OnAlert(func(a ids.Alert) {
+		// The IDS taps the powertrain domain, which shards into zone 0 —
+		// member 0's kernel — so parallel builds stage its alerts there.
+		if v.Group != nil {
+			v.auditStage[0] = append(v.auditStage[0], stagedAudit{at: a.At, src: "ids", msg: a.String()})
+			return
+		}
 		v.Audit.Append(a.At, "ids", a.String())
 	})
 
@@ -301,8 +368,14 @@ func (v *Vehicle) buildZonal(cfg Config) error {
 	if n < 2 {
 		return fmt.Errorf("core: zonal build needs >= 2 zones, got %d", n)
 	}
-	v.BackboneSwitch = ethernet.NewSwitch(v.Kernel, cfg.VIN+"-zonal-backbone", 2*sim.Microsecond)
-	v.Zonal = zonal.New(v.Kernel, ethernet.Netif(v.BackboneSwitch, 1))
+	if v.Group != nil {
+		// Per-zone kernels: the backbone is the kernel boundary, modelled
+		// with the same hop latency and link speed as the shared switch.
+		v.Zonal = zonal.NewPartitioned(v.Group, backboneHopLatency, ethernet.DefaultLinkBps)
+	} else {
+		v.BackboneSwitch = ethernet.NewSwitch(v.Kernel, cfg.VIN+"-zonal-backbone", backboneHopLatency)
+		v.Zonal = zonal.New(v.Kernel, ethernet.Netif(v.BackboneSwitch, 1))
+	}
 	zones := make([]*zonal.Zone, n)
 	for i := range zones {
 		z, err := v.Zonal.AddZone("z" + strconv.Itoa(i))
@@ -315,16 +388,8 @@ func (v *Vehicle) buildZonal(cfg Config) error {
 	// infotainment (the exposed domain) the last, chassis the middle — so
 	// quarantining the infotainment zone never collaterally isolates the
 	// safety-critical domains.
-	assign := []struct {
-		domain string
-		zone   int
-	}{
-		{DomainPowertrain, 0},
-		{DomainChassis, (n - 1) / 2},
-		{DomainInfotainment, n - 1},
-	}
-	for _, a := range assign {
-		if err := zones[a.zone].AttachDomain(a.domain, v.Media[a.domain]); err != nil {
+	for _, d := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+		if err := zones[standardDomainZone(d, n)].AttachDomain(d, v.Media[d]); err != nil {
 			return err
 		}
 	}
@@ -336,7 +401,7 @@ func (v *Vehicle) buildZonal(cfg Config) error {
 	for i, z := range zones {
 		for _, spec := range cfg.Zonal.LocalDomains {
 			local := DomainSpec{Name: "z" + strconv.Itoa(i) + "-" + spec.Name, Kind: spec.Kind}
-			if err := v.addExtraDomain(local); err != nil {
+			if err := v.addExtraDomainOn(z.Kernel(), local); err != nil {
 				return err
 			}
 			if err := z.AttachDomain(local.Name, v.Media[local.Name]); err != nil {
@@ -347,9 +412,10 @@ func (v *Vehicle) buildZonal(cfg Config) error {
 	return nil
 }
 
-// addExtraDomain builds the native network for one ExtraDomains entry and
-// registers its fabric view in Media.
-func (v *Vehicle) addExtraDomain(spec DomainSpec) error {
+// addExtraDomainOn builds the native network for one ExtraDomains entry
+// on the given kernel (the owning zone's kernel in per-zone-kernel
+// builds) and registers its fabric view in Media.
+func (v *Vehicle) addExtraDomainOn(k *sim.Kernel, spec DomainSpec) error {
 	if spec.Name == "" {
 		return errors.New("core: extra domain needs a name")
 	}
@@ -358,19 +424,19 @@ func (v *Vehicle) addExtraDomain(spec DomainSpec) error {
 	}
 	switch spec.Kind {
 	case netif.CAN:
-		b := can.NewBus(v.Kernel, spec.Name, 500_000)
+		b := can.NewBus(k, spec.Name, 500_000)
 		v.Buses[spec.Name] = b
 		v.Media[spec.Name] = can.Netif(b)
 	case netif.Ethernet:
-		sw := ethernet.NewSwitch(v.Kernel, spec.Name, 2*sim.Microsecond)
+		sw := ethernet.NewSwitch(k, spec.Name, 2*sim.Microsecond)
 		v.Switches[spec.Name] = sw
 		v.Media[spec.Name] = ethernet.Netif(sw, 1)
 	case netif.LIN:
-		c := lin.NewCluster(v.Kernel, spec.Name, 19_200, lin.Enhanced)
+		c := lin.NewCluster(k, spec.Name, 19_200, lin.Enhanced)
 		v.LINClusters[spec.Name] = c
 		v.Media[spec.Name] = lin.Netif(c)
 	case netif.FlexRay:
-		c, err := flexray.NewCluster(v.Kernel, spec.Name, flexray.DefaultConfig())
+		c, err := flexray.NewCluster(k, spec.Name, flexray.DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -529,8 +595,8 @@ func buildDetector(d policy.Directive) (ids.Detector, error) {
 // StartTraffic launches the standard workload matrices on the powertrain
 // and infotainment domains.
 func (v *Vehicle) StartTraffic() {
-	_, stopPT := workload.StartSenders(v.Kernel, v.Buses[DomainPowertrain], workload.PowertrainMatrix(), 0.01)
-	_, stopBody := workload.StartSenders(v.Kernel, v.Buses[DomainInfotainment], workload.BodyMatrix(), 0.01)
+	_, stopPT := workload.StartSenders(v.KernelFor(DomainPowertrain), v.Buses[DomainPowertrain], workload.PowertrainMatrix(), 0.01)
+	_, stopBody := workload.StartSenders(v.KernelFor(DomainInfotainment), v.Buses[DomainInfotainment], workload.BodyMatrix(), 0.01)
 	v.trafficStops = append(v.trafficStops, stopPT, stopBody)
 }
 
@@ -552,6 +618,13 @@ func (v *Vehicle) TrainIDS(trace *netif.Trace) { v.IDS.Train(trace) }
 // backbone uplink.
 func (v *Vehicle) ArmAutoQuarantine(sourceDomain string) {
 	v.IDS.OnAlert(func(a ids.Alert) {
+		if v.Group != nil {
+			// The alert fires on member 0's kernel (the IDS's home zone);
+			// isolating another zone crosses the kernel boundary as an
+			// asynchronous containment message.
+			_ = v.Zonal.RequestZoneQuarantine(DomainPowertrain, sourceDomain)
+			return
+		}
 		if v.Zonal != nil {
 			_ = v.Zonal.QuarantineZoneOf(sourceDomain)
 			return

@@ -1,0 +1,32 @@
+package ethernet
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// TestWireDurationMatchesPortSerialization pins WireDuration to the
+// exact arithmetic the switch ports use, across payload sizes — the
+// partitioned zonal backbone derives its per-frame timestamps from it
+// and must agree with the shared-switch model bit for bit.
+func TestWireDurationMatchesPortSerialization(t *testing.T) {
+	for _, n := range []int{0, 1, 45, 46, 47, 100, 1500} {
+		f := Frame{Payload: make([]byte, n)}
+		want := sim.Duration(float64(f.WireBytes()*8) / float64(DefaultLinkBps) * 1e9)
+		if got := WireDuration(n, DefaultLinkBps); got != want {
+			t.Fatalf("WireDuration(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestTunnelLookaheadDefaults pins the derivation in the doc comment:
+// two minimum-frame serializations plus the hop latency.
+func TestTunnelLookaheadDefaults(t *testing.T) {
+	if got := TunnelLookahead(2*sim.Microsecond, DefaultLinkBps); got != 16080 {
+		t.Fatalf("TunnelLookahead = %d ns, want 16080", int64(got))
+	}
+	if min := WireDuration(0, DefaultLinkBps); min != 7040 {
+		t.Fatalf("minimum-frame serialization = %d ns, want 7040", int64(min))
+	}
+}

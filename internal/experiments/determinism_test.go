@@ -32,6 +32,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E16", E16CrossMediumGateway},
 		{"E17", E17Zonal},
 		{"E18", E18Fleet},
+		{"E19", E19KernelPar},
 		{"A1", A1MACTruncation},
 		{"A2", A2BoundingThreshold},
 	}

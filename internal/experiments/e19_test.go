@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// TestE19ParallelMatchesSerial pins the acceptance criterion directly on
+// the experiment artifact: the E19 table rendered from a multi-worker run
+// is byte-identical to the serial reference run (the one the golden file
+// captures). Run under -race to also certify the synchronization.
+func TestE19ParallelMatchesSerial(t *testing.T) {
+	zones := []int{2, 4, 8, 16}
+	if testing.Short() {
+		zones = []int{2, 4}
+	}
+	want := E19KernelParWith(1, zones, 1).String()
+	for _, workers := range []int{2, 8} {
+		got := E19KernelParWith(1, zones, workers).String()
+		if got != want {
+			t.Fatalf("workers=%d table diverged from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}

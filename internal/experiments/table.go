@@ -158,6 +158,7 @@ func All(seed uint64) []*Table {
 		E16CrossMediumGateway(seed),
 		E17Zonal(seed),
 		E18Fleet(seed),
+		E19KernelPar(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

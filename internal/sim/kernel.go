@@ -384,6 +384,27 @@ func (k *Kernel) RunUntil(t Time) error {
 	return nil
 }
 
+// DispatchBefore dispatches every pending event with deadline strictly
+// before limit, in (when, seq) order, leaving the clock at the last
+// dispatched deadline — it never jumps the clock forward to limit. This
+// is the window primitive KernelGroup's conservative rounds are built
+// on: the group computes a safe horizon and each member drains exactly
+// the events below it. Reports false when Halt stopped the dispatch
+// before the window was drained.
+func (k *Kernel) DispatchBefore(limit Time) bool {
+	k.halted = false
+	for {
+		n := k.peek()
+		if n == nil || n.when >= limit {
+			return true
+		}
+		k.step()
+		if k.halted {
+			return false
+		}
+	}
+}
+
 // peek returns the earliest non-cancelled node without dispatching it,
 // reclaiming any cancelled nodes it skips over.
 func (k *Kernel) peek() *eventNode {

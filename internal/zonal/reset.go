@@ -79,5 +79,11 @@ func (f *Fabric) ResetToBaseline() {
 	f.observers = f.observers[:f.base.observers]
 	f.BackboneFrames.Value = 0
 	f.BackboneDeliveries.Value = 0
+	for _, z := range f.zones {
+		z.bbDeliveries.Value = 0
+	}
+	for _, bn := range f.bb {
+		bn.port.frames.Value = 0
+	}
 	f.recompile()
 }

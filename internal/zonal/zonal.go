@@ -72,6 +72,21 @@ type Zone struct {
 	fab    *Fabric
 	locals []string // local domain names in attach order
 
+	// k is the kernel the zone runs on: the shared fabric kernel, or the
+	// zone's own group member in a partitioned fabric. member is its
+	// kernel-group index (0 when shared).
+	k      *sim.Kernel
+	member int
+
+	// bbDeliveries counts backbone-ingress frames this zone accepted and
+	// delivered locally. Partitioned fabrics count per zone (each zone's
+	// kernel owns its counter); shared fabrics use Fabric.BackboneDeliveries.
+	bbDeliveries sim.Counter
+
+	// quarantineFn is the prebound cross-kernel containment action
+	// RequestZoneQuarantine sends between zones of a partitioned fabric.
+	quarantineFn func()
+
 	// baseLocals is the sealed local-domain count; see Fabric.MarkBaseline.
 	baseLocals int
 }
@@ -87,6 +102,14 @@ type ObserveFunc func(at sim.Time, zone, from string, f *netif.Frame, verdict st
 type Fabric struct {
 	kernel   *sim.Kernel
 	backbone netif.Medium
+
+	// Partitioned-fabric state (nil/zero on shared-kernel fabrics): the
+	// conservative kernel group, the modelled backbone switch parameters,
+	// and one backboneNet per zone (index = kernel-group member).
+	group   *sim.KernelGroup
+	hop     sim.Duration
+	linkBps int64
+	bb      []*backboneNet
 
 	zones  []*Zone
 	byName map[string]*Zone
@@ -158,14 +181,30 @@ func (f *Fabric) AddZone(name string) (*Zone, error) {
 	if _, dup := f.byName[name]; dup {
 		return nil, fmt.Errorf("%w: %s", ErrDupZone, name)
 	}
-	z := &Zone{Name: name, GW: gateway.New(f.kernel, name), fab: f}
+	z := &Zone{Name: name, fab: f, k: f.kernel}
+	uplink := f.backbone
+	if f.group != nil {
+		z.member = len(f.zones)
+		z.k = f.group.Kernel(z.member)
+		bn := &backboneNet{fab: f, member: z.member}
+		f.bb = append(f.bb, bn)
+		uplink = bn
+		z.quarantineFn = func() { z.GW.Quarantine(BackboneDomain) }
+	}
+	z.GW = gateway.New(z.k, name)
 	z.GW.DefaultAction = f.defaultAction
-	if err := z.GW.AttachDomain(BackboneDomain, f.backbone); err != nil {
+	if err := z.GW.AttachDomain(BackboneDomain, uplink); err != nil {
 		return nil, err
+	}
+	deliveries := &f.BackboneDeliveries
+	if f.group != nil {
+		// Per-zone counter: only this zone's kernel writes it, so windows
+		// never contend on a shared word.
+		deliveries = &z.bbDeliveries
 	}
 	z.GW.Observe(func(at sim.Time, from string, fr *netif.Frame, verdict string) {
 		if from == BackboneDomain && len(verdict) >= 5 && verdict[:5] == "allow" {
-			f.BackboneDeliveries.Inc()
+			deliveries.Inc()
 		}
 		for _, fn := range f.observers {
 			fn(at, z.Name, from, fr, verdict)
@@ -308,14 +347,19 @@ func (f *Fabric) Observe(fn ObserveFunc) { f.observers = append(f.observers, fn)
 // Instrument attaches every zone gateway and the fabric counters to the
 // observability layer. Zone metrics register as "zone-<name>/..." so
 // several gateways share one registry without key collisions; fabric
-// totals register under "zonal/".
+// totals register under "zonal/". A partitioned fabric rejects a shared
+// tracer: its zones run on concurrent kernels and one trace ring cannot
+// take interleaved appends — use InstrumentZones with per-zone tracers.
 func (f *Fabric) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	if f.group != nil && tr != nil {
+		panic("zonal: shared tracer on a partitioned fabric; use InstrumentZones")
+	}
 	for _, z := range f.zones {
 		z.GW.InstrumentAs(tr, reg, "zone-"+z.Name)
 	}
 	if reg != nil {
-		reg.Probe("zonal/backbone_frames", func() float64 { return float64(f.BackboneFrames.Value) })
-		reg.Probe("zonal/backbone_deliveries", func() float64 { return float64(f.BackboneDeliveries.Value) })
+		reg.Probe("zonal/backbone_frames", func() float64 { return float64(f.BackboneFramesTotal()) })
+		reg.Probe("zonal/backbone_deliveries", func() float64 { return float64(f.BackboneDeliveriesTotal()) })
 	}
 }
 
