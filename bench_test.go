@@ -45,6 +45,7 @@ func BenchmarkE16CrossMedium(b *testing.B)   { benchTable(b, experiments.E16Cros
 func BenchmarkE17Zonal(b *testing.B)         { benchTable(b, experiments.E17Zonal) }
 func BenchmarkE18Fleet(b *testing.B)         { benchTable(b, experiments.E18Fleet) }
 func BenchmarkE19KernelPar(b *testing.B)     { benchTable(b, experiments.E19KernelPar) }
+func BenchmarkE20Observability(b *testing.B) { benchTable(b, experiments.E20Observability) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
 

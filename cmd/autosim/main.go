@@ -24,10 +24,21 @@
 // legacy narrative. -trace/-timeline need the shared kernel; they reject
 // -kernelpar.
 //
+// Fleet observability (fleet-compromise scenario): -fleetpar pins the
+// fleet driver's worker count (the narrative and every deterministic
+// artifact are byte-identical for any value — CI diffs 1 against 8),
+// -prom FILE writes the index-order-merged fleet registry as a
+// Prometheus text exposition, -fleetrate R samples vehicles into the
+// flight recorder (incident vehicles are always kept), -fleettrace DIR
+// exports the kept traces as Chrome trace JSON, and -progress streams
+// fleet completion and vehicles/sec to stderr. -metrics prints the
+// merged fleet registry instead of the old two-gauge summary.
+//
 // Usage:
 //
 //	autosim list
-//	autosim run [-seed N] [-seeds N] [-par N] [-kernelpar N] [-trace F] [-timeline F] [-metrics] <scenario>
+//	autosim run [-seed N] [-seeds N] [-par N] [-kernelpar N] [-trace F] [-timeline F] [-metrics]
+//	            [-fleetpar N] [-prom F] [-fleetrate R] [-fleettrace DIR] [-progress] <scenario>
 package main
 
 import (
@@ -75,6 +86,16 @@ type scenario struct {
 // per-zone-kernel vehicle with N group workers. Read-only after flag
 // parsing, so replicated scenario closures may read it concurrently.
 var kernelPar int
+
+// Fleet observability flags, consumed by the fleet-compromise scenario.
+// All read-only after flag parsing.
+var (
+	fleetPar      int     // -fleetpar: fleet driver worker count (0 = GOMAXPROCS)
+	fleetRate     float64 // -fleetrate: flight-recorder sample rate
+	fleetTraceDir string  // -fleettrace: Chrome trace export directory
+	fleetProm     string  // -prom: Prometheus exposition output file
+	fleetProgress bool    // -progress: stream drive progress to stderr
+)
 
 var scenarios = map[string]scenario{
 	"baseline-drive": {
@@ -134,6 +155,11 @@ func main() {
 		timelineFile := fs.String("timeline", "", "write a plain-text event timeline to this file (single seed only)")
 		metrics := fs.Bool("metrics", false, "print the observability metrics snapshot after the run")
 		kpar := fs.Int("kernelpar", 0, "zonal scenario: run one kernel per zone on N workers (0 = legacy shared kernel; any N >= 1 prints identical output)")
+		fpar := fs.Int("fleetpar", 0, "fleet scenario: fleet driver worker count (0 = GOMAXPROCS; any value prints identical output)")
+		frate := fs.Float64("fleetrate", 0, "fleet scenario: flight-recorder sample rate in [0,1] (incident vehicles always kept)")
+		ftrace := fs.String("fleettrace", "", "fleet scenario: export kept flight-recorder traces as Chrome JSON under this directory")
+		prom := fs.String("prom", "", "fleet scenario: write the merged fleet registry as a Prometheus text exposition to this file (single seed only)")
+		prog := fs.Bool("progress", false, "fleet scenario: stream drive progress and vehicles/sec to stderr")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
@@ -145,6 +171,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "autosim: -kernelpar must be >= 0")
 			os.Exit(2)
 		}
+		if *fpar < 0 || *frate < 0 {
+			fmt.Fprintln(os.Stderr, "autosim: -fleetpar and -fleetrate must be >= 0")
+			os.Exit(2)
+		}
+		if (*prom != "" || *ftrace != "") && *nseeds > 1 {
+			fmt.Fprintln(os.Stderr, "autosim: -prom/-fleettrace need a single seed (one artifact per run); drop -seeds")
+			os.Exit(2)
+		}
+		if *traceFile != "" && (*frate > 0 || *ftrace != "" || *prom != "") {
+			fmt.Fprintln(os.Stderr, "autosim: -trace instruments vehicle 0 only; use -fleetrate/-fleettrace for fleet-wide flight recording")
+			os.Exit(2)
+		}
+		if *ftrace != "" && *frate <= 0 {
+			fmt.Fprintln(os.Stderr, "autosim: -fleettrace needs -fleetrate > 0 to enable the flight recorder")
+			os.Exit(2)
+		}
+		fleetPar, fleetRate, fleetTraceDir, fleetProm, fleetProgress = *fpar, *frate, *ftrace, *prom, *prog
 		if *kpar >= 1 && (*traceFile != "" || *timelineFile != "") {
 			fmt.Fprintln(os.Stderr, "autosim: -trace/-timeline need the shared-kernel build; drop -kernelpar (per-member tracing lives in core.InstrumentParallel)")
 			os.Exit(2)
@@ -570,6 +613,13 @@ func runZonalCompromise(w io.Writer, seed uint64, ob obsPair) {
 // driver, and the narrative reports the campaign's fleet-level shape —
 // how many reflexes fired, what leaked through before they did, and the
 // real wall-clock throughput of the pooled simulation.
+//
+// The drive runs on the observability plane: -metrics/-prom merge every
+// vehicle's registry in index order (so the exposition is byte-identical
+// at any -fleetpar), -fleetrate samples flight-recorder traces with
+// incident vehicles always kept, and -progress streams wall-clock
+// telemetry to stderr where it cannot perturb the deterministic
+// narrative.
 func runFleetCompromise(w io.Writer, seed uint64, ob obsPair) {
 	const n = 2000
 	cfg := core.Config{VIN: "AUTOSIM-FLEET", Seed: seed, Zonal: &core.ZonalConfig{Zones: 4}}
@@ -578,9 +628,21 @@ func runFleetCompromise(w io.Writer, seed uint64, ob obsPair) {
 		attackThrough, blocked int
 		quarantined, isolated  int
 	}
+	opts := fleet.ObsOptions{
+		Metrics:   ob.reg != nil || fleetProm != "",
+		TraceRate: fleetRate,
+	}
+	if ob.tr != nil && (opts.Metrics || opts.TraceRate > 0) {
+		// DriveObs instruments each vehicle before the scenario runs; the
+		// legacy vehicle-0 -trace hook below would overwrite that wiring.
+		fatal(fmt.Errorf("-trace is incompatible with fleet-wide observability; use -fleetrate/-fleettrace"))
+	}
+	if fleetProgress {
+		opts.Observer = fleet.NewProgressWriter(os.Stderr, n)
+	}
 	fmt.Fprintf(w, "fleet: %d vehicles, 4-zone E/E topology, every 5th head unit compromised\n", n)
 	start := time.Now()
-	results, err := fleet.Drive(context.Background(), fleet.Driver{Cfg: cfg, N: n},
+	results, obsRes, err := fleet.DriveObs(context.Background(), fleet.Driver{Cfg: cfg, N: n, Workers: fleetPar}, opts,
 		func(idx int, v *core.Vehicle) (res, error) {
 			r := res{compromised: idx%5 == 0}
 			k := v.Kernel
@@ -655,10 +717,48 @@ func runFleetCompromise(w io.Writer, seed uint64, ob obsPair) {
 		fmt.Fprintf(w, "blast radius: %.1f domains isolated per quarantined vehicle\n",
 			float64(isolated)/float64(quarantined))
 	}
-	if ob.reg != nil {
-		ob.reg.Gauge("fleet/quarantined_fraction").Set(float64(quarantined) / float64(n))
-		ob.reg.Gauge("fleet/attack_through_per_compromised").Set(float64(through) / float64(compromised))
+	if opts.TraceRate > 0 {
+		// Deterministic selection: same set at any -fleetpar.
+		fmt.Fprintf(w, "flight recorder: %d traces kept (%d incident vehicles)\n",
+			len(obsRes.Traces), obsRes.Stats.TracesInteresting)
 	}
+	if opts.Metrics {
+		reg := obsRes.Registry
+		// Campaign-level gauges ride in the same registry as the merged
+		// per-vehicle metrics; both are pure functions of (seed, n).
+		reg.Gauge("fleet/quarantined_fraction").Set(float64(quarantined) / float64(n))
+		reg.Gauge("fleet/attack_through_per_compromised").Set(float64(through) / float64(compromised))
+		if ob.reg != nil {
+			if err := ob.reg.Merge(reg); err != nil {
+				fatal(err)
+			}
+		}
+		if fleetProm != "" {
+			if err := writeProm(fleetProm, reg); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if fleetTraceDir != "" {
+		paths, err := obsRes.WriteChromeTraces(fleetTraceDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "flight recorder: %d Chrome traces under %s\n", len(paths), fleetTraceDir)
+	}
+}
+
+// writeProm writes reg as a Prometheus text exposition to path.
+func writeProm(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -33,9 +33,23 @@
 //	go run ./cmd/benchreport -only E1 -cpuprofile cpu.pprof
 //	go tool pprof -top cpu.pprof
 //
+// Fleet observability (E20): -obsfleet trims or extends the fleet-size
+// sweep, -fleetpar pins the fleet driver's worker count (the table is
+// byte-identical for every value — CI diffs 1 against 8), and -progress
+// streams per-drive completion and vehicles/sec to stderr, strictly
+// outside the deterministic stdout.
+//
+// -compare BASELINE.json is the perf regression gate: it re-runs every
+// experiment pinned in a committed BENCH_PRn.json, requires byte-identical
+// table hashes, fails macro experiments (>= 1s baseline) that slowed by
+// more than 15%, re-measures the fleet drive/merge microbenchmark probes
+// (allocation increases are a hard failure), and enforces the < 10%
+// metrics-plane overhead gate on the fleet drive.
+//
 // Usage:
 //
 //	benchreport [-seed N] [-seeds N] [-par N] [-only E3,E8] [-json FILE]
+//	            [-obsfleet SIZES] [-fleetpar N] [-progress] [-compare FILE]
 //	            [-trace FILE] [-metrics] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -54,6 +68,7 @@ import (
 	"time"
 
 	"autosec/internal/experiments"
+	fleetpkg "autosec/internal/fleet"
 	"autosec/internal/obs"
 	"autosec/internal/runner"
 	"autosec/internal/sim"
@@ -85,6 +100,10 @@ func main() {
 	zones := flag.String("zones", "", "comma-separated zone counts for E17's sweep (e.g. 2,4,8,16); empty uses the golden default")
 	fleet := flag.String("fleet", "", "comma-separated fleet sizes for E18's sweep (e.g. 500,5000); empty uses the golden default (1000,10000,100000)")
 	kernelpar := flag.Int("kernelpar", 1, "worker count for E19's per-zone-kernel group (1 = serial reference; any value prints identical tables)")
+	obsfleet := flag.String("obsfleet", "", "comma-separated fleet sizes for E20's observability sweep (e.g. 500,5000); empty uses the golden default (1000,10000)")
+	fleetpar := flag.Int("fleetpar", 0, "fleet driver worker count for E20 (0 = GOMAXPROCS; any value prints identical tables — CI diffs 1 vs 8)")
+	progress := flag.Bool("progress", false, "stream fleet drive progress and throughput to stderr (wall-clock telemetry; never in the tables)")
+	compareFile := flag.String("compare", "", "regression-gate the working tree against this committed BENCH_PRn.json baseline and exit")
 	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of every kernel's dispatch activity to this file; single-seed mode only")
 	showMetrics := flag.Bool("metrics", false, "print a runtime/metrics snapshot (heap, allocs, GC) after the run")
@@ -170,6 +189,32 @@ func main() {
 		}
 	}
 
+	if *fleetpar < 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: -fleetpar must be >= 0")
+		os.Exit(1)
+	}
+	e20 := experiments.E20Observability
+	if *obsfleet != "" || *fleetpar != 0 || *progress {
+		sizes := []int{1_000, 10_000}
+		if *obsfleet != "" {
+			var err error
+			if sizes, err = parseFleet(*obsfleet); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: -obsfleet: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var observe func(int, string) fleetpkg.DriveObserver
+		if *progress {
+			observe = func(n int, mode string) fleetpkg.DriveObserver {
+				fmt.Fprintf(os.Stderr, "E20 [%s]: driving %d vehicles\n", mode, n)
+				return fleetpkg.NewProgressWriter(os.Stderr, n)
+			}
+		}
+		e20 = func(s uint64) *experiments.Table {
+			return experiments.E20ObservabilityObserved(s, sizes, *fleetpar, observe)
+		}
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -177,10 +222,7 @@ func main() {
 		}
 	}
 
-	runners := []struct {
-		id  string
-		run func(uint64) *experiments.Table
-	}{
+	runners := []idRunner{
 		{"E1", experiments.E1BusDoS},
 		{"E2", experiments.E2SideChannel},
 		{"E3", experiments.E3FleetCompromise},
@@ -200,8 +242,17 @@ func main() {
 		{"E17", e17},
 		{"E18", e18},
 		{"E19", e19},
+		{"E20", e20},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
+	}
+
+	if *compareFile != "" {
+		if *nseeds > 1 {
+			fmt.Fprintln(os.Stderr, "benchreport: -compare requires single-seed mode (drop -seeds)")
+			os.Exit(1)
+		}
+		os.Exit(runCompare(*compareFile, *seed, runners))
 	}
 
 	selected := runners[:0:0]

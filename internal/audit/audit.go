@@ -64,6 +64,10 @@ type Log struct {
 	cSeals     *obs.Counter
 	cChainFail *obs.Counter
 
+	// Reattach cache (survives ResetToBaseline); see ReattachMetrics.
+	obsCacheReg *obs.Registry
+	obsCache    [3]*obs.Counter
+
 	// Pooled-reuse baseline; see MarkBaseline/ResetToBaseline.
 	baseSealed     bool
 	baseMaxEntries int
@@ -76,6 +80,22 @@ func (l *Log) Instrument(reg *obs.Registry) {
 	l.cAppends = reg.Counter("audit/appends")
 	l.cSeals = reg.Counter("audit/seals")
 	l.cChainFail = reg.Counter("audit/chain_failures")
+	if reg != nil {
+		l.obsCacheReg = reg
+		l.obsCache = [3]*obs.Counter{l.cAppends, l.cSeals, l.cChainFail}
+	}
+}
+
+// ReattachMetrics re-arms the health counters after a ResetToBaseline
+// detached them, provided reg is the registry this log last
+// Instrument-ed into. Returns false when the full Instrument path is
+// required.
+func (l *Log) ReattachMetrics(reg *obs.Registry) bool {
+	if reg == nil || l.obsCacheReg != reg {
+		return false
+	}
+	l.cAppends, l.cSeals, l.cChainFail = l.obsCache[0], l.obsCache[1], l.obsCache[2]
+	return true
 }
 
 // MarkBaseline records the log's post-construction configuration as the

@@ -34,5 +34,20 @@ func (b *Bus) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 		reg.Probe(prefix+"bits_on_wire", func() float64 { return float64(b.BitsOnWire) })
 		reg.Probe(prefix+"load", b.Load)
 		b.obsFrameUS = reg.Histogram(prefix+"frame_time_us", nil)
+		b.obsCacheReg, b.obsCacheHist = reg, b.obsFrameUS
 	}
+}
+
+// ReattachMetrics re-arms the metrics hot path after a ResetToBaseline
+// detached it, for the registry this bus last Instrument-ed into. It
+// performs no registration: the registry must still hold this bus's
+// probe entries (a rewound registry does — see obs.Registry.Rewind).
+// Returns false when reg is not the cached registry, in which case the
+// caller must run the full Instrument path.
+func (b *Bus) ReattachMetrics(reg *obs.Registry) bool {
+	if reg == nil || b.obsCacheReg != reg {
+		return false
+	}
+	b.obsFrameUS = b.obsCacheHist
+	return true
 }

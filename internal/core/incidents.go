@@ -1,0 +1,28 @@
+package core
+
+import "strings"
+
+// SecurityIncidents counts the audit-log entries that record an actual
+// security incident on this vehicle: every IDS alert plus every gateway
+// quarantine drop. Routine policy denials and rate limiting are audited
+// but not counted — under a deny-by-default rule set they fire on benign
+// traffic, and this counter exists to answer "did something attack-like
+// happen to this vehicle?", the question the fleet flight recorder asks
+// when deciding which vehicles must keep their traces regardless of
+// sampling.
+func (v *Vehicle) SecurityIncidents() int {
+	n := 0
+	entries := v.Audit.Entries()
+	for i := range entries {
+		e := &entries[i]
+		switch e.Source {
+		case "ids":
+			n++
+		case "gateway":
+			if strings.HasPrefix(e.Event, "quarantined") {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// TestSecurityIncidents pins the incident-counting rule the fleet flight
+// recorder keys on: IDS alerts and gateway quarantine drops count;
+// routine denials, rate limiting and non-security audit traffic do not.
+func TestSecurityIncidents(t *testing.T) {
+	v, err := NewVehicle(Config{VIN: "INC-1", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.SecurityIncidents(); got != 0 {
+		t.Fatalf("fresh vehicle incidents = %d, want 0", got)
+	}
+
+	// The counter classifies audit entries by source and event prefix, so
+	// drive it through the audit log exactly as the subsystems do.
+	v.Audit.Append(1*sim.Millisecond, "ids", "frequency: flood on 0x123")
+	v.Audit.Append(2*sim.Millisecond, "gateway", "quarantined id=0x155 from=infotainment")
+	v.Audit.Append(3*sim.Millisecond, "gateway", "deny id=0x700 from=diag")
+	v.Audit.Append(4*sim.Millisecond, "gateway", "rate id=0x100 from=body")
+	v.Audit.Append(5*sim.Millisecond, "ota", "rollback rejected")
+	v.Audit.Append(6*sim.Millisecond, "ids", "interval: gap anomaly on 0x2A0")
+
+	if got := v.SecurityIncidents(); got != 3 {
+		t.Fatalf("incidents = %d, want 3 (2 ids + 1 quarantine)", got)
+	}
+
+	// Reset drops the audit log with the rest of the run state.
+	v.Reset(9)
+	if got := v.SecurityIncidents(); got != 0 {
+		t.Fatalf("post-Reset incidents = %d, want 0", got)
+	}
+}

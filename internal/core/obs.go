@@ -19,6 +19,9 @@ func (v *Vehicle) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 		// kernels; parallel builds take per-member tracers instead.
 		panic("core: shared tracer on a per-zone-kernel build; use InstrumentParallel")
 	}
+	if tr == nil && v.reattachMetrics(reg) {
+		return
+	}
 	if tr != nil {
 		v.Kernel.SetTraceSink(tr)
 	}
@@ -48,6 +51,33 @@ func (v *Vehicle) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	if reg != nil {
 		reg.Probe("core/auth_failures", func() float64 { return float64(v.AuthFailures.Value) })
 	}
+}
+
+// reattachMetrics is the metrics-only re-instrument fast path for pooled
+// vehicles: when this vehicle was already Instrument-ed into reg and has
+// since been Reset, the registry still holds every probe closure (probes
+// bind to subsystem objects, which the pool reuses — see
+// obs.Registry.Rewind) and the only state to restore is the hot-path
+// instrument pointers Reset detached. The full path costs ~60 heap
+// allocations per vehicle in key interning and closure re-registration;
+// this path costs three pointer writes per cached subsystem. Any cache
+// miss (different registry, never instrumented) falls back to the full
+// path, so correctness never depends on the cache being warm.
+func (v *Vehicle) reattachMetrics(reg *obs.Registry) bool {
+	if reg == nil || v.OTA != nil {
+		// An attached OTA client is scenario state the cache has never
+		// seen; take the full path so its instruments register.
+		return false
+	}
+	for _, name := range []string{DomainPowertrain, DomainChassis, DomainInfotainment} {
+		if !v.Buses[name].ReattachMetrics(reg) {
+			return false
+		}
+	}
+	if !v.IDS.ReattachMetrics(reg) {
+		return false
+	}
+	return v.Audit.ReattachMetrics(reg)
 }
 
 // InstrumentParallel is Instrument for per-zone-kernel builds: member i's

@@ -33,6 +33,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 		{"E17", E17Zonal},
 		{"E18", E18Fleet},
 		{"E19", E19KernelPar},
+		{"E20", E20Observability},
 		{"A1", A1MACTruncation},
 		{"A2", A2BoundingThreshold},
 	}

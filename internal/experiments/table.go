@@ -159,6 +159,7 @@ func All(seed uint64) []*Table {
 		E17Zonal(seed),
 		E18Fleet(seed),
 		E19KernelPar(seed),
+		E20Observability(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

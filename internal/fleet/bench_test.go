@@ -8,6 +8,7 @@ import (
 	"autosec/internal/core"
 	"autosec/internal/gateway"
 	"autosec/internal/netif"
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -28,6 +29,65 @@ func BenchmarkFleetVehiclesPerSec(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vehicles/sec")
+}
+
+// BenchmarkFleetVehiclesPerSecObs is BenchmarkFleetVehiclesPerSec with
+// the metrics plane enabled: per-vehicle registries, probe
+// materialization and the index-order fleet merge. The acceptance gate
+// (checked by cmd/benchreport -compare) is <10% overhead against the
+// disabled benchmark above, which itself must not move — disabled means
+// nil instruments and one branch per hot-path site.
+func BenchmarkFleetVehiclesPerSecObs(b *testing.B) {
+	cfg := core.Config{VIN: "BENCH-FLEET", Seed: 1, Zonal: &core.ZonalConfig{
+		Zones:        2,
+		LocalDomains: []core.DomainSpec{{Name: "body", Kind: netif.CAN}},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, res, err := DriveObs(context.Background(), Driver{Cfg: cfg, N: b.N},
+		ObsOptions{Metrics: true}, driveScenario)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if len(res.Registry.Snapshot()) == 0 {
+		b.Fatal("metrics plane produced an empty fleet registry")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vehicles/sec")
+}
+
+// BenchmarkFleetRegistryMerge isolates the merge point itself: folding
+// one materialized per-vehicle registry into a warm fleet registry.
+// This is the per-vehicle cost added at the drive barrier; steady state
+// must be allocation-free (TestFleetMergeSteadyStateAllocs pins it).
+func BenchmarkFleetRegistryMerge(b *testing.B) {
+	cfg := core.Config{VIN: "BENCH-MERGE", Seed: 1, Zonal: &core.ZonalConfig{
+		Zones:        2,
+		LocalDomains: []core.DomainSpec{{Name: "body", Kind: netif.CAN}},
+	}}
+	pool := core.NewVehiclePool(cfg)
+	v, err := pool.Acquire(VehicleSeed(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shard := obs.NewRegistry()
+	v.Instrument(nil, shard)
+	if _, err := driveScenario(0, v); err != nil {
+		b.Fatal(err)
+	}
+	shard.Materialize()
+	pool.Release(v)
+	fleet := obs.NewRegistry()
+	if err := fleet.Merge(shard); err != nil { // warm-up creates the keys
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fleet.Merge(shard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFleetSteadyState is the alloc half of the benchmark pair: the

@@ -2,9 +2,8 @@ package fleet
 
 import (
 	"context"
-	"fmt"
-	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"autosec/internal/core"
 )
@@ -39,6 +38,38 @@ func VehicleSeed(base uint64, idx int) uint64 {
 	return z
 }
 
+// driveAbort is the shared failure state of one Drive call. The hot-path
+// check is a single atomic load (aborted); the mutex only serializes the
+// cold fail path that records which error wins. At 1e5+ vehicles the
+// previous design — a mutex acquisition per vehicle just to ask "has
+// anyone failed?" — was the one cross-worker synchronization point on an
+// otherwise share-nothing loop.
+type driveAbort struct {
+	aborted  atomic.Bool
+	mu       sync.Mutex
+	firstErr error
+	errIdx   int
+}
+
+// fail records err for vehicle idx, keeping the lowest-indexed error (a
+// shard seeing the abort flag may stop before reaching its own failure,
+// so under multiple workers the index is best-effort).
+func (a *driveAbort) fail(idx int, err error) {
+	a.mu.Lock()
+	if a.firstErr == nil || idx < a.errIdx {
+		a.firstErr, a.errIdx = err, idx
+	}
+	a.mu.Unlock()
+	a.aborted.Store(true)
+}
+
+// err returns the winning error after the drive barrier.
+func (a *driveAbort) err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.firstErr
+}
+
 // Drive runs fn once per vehicle index over d's population and returns
 // the per-vehicle results in index order. Each worker owns a contiguous
 // index shard and a private pool: the first acquisition constructs a
@@ -47,76 +78,12 @@ func VehicleSeed(base uint64, idx int) uint64 {
 // rules, observers or traffic it adds are rewound by the next Reset.
 //
 // An error aborts the drive; the lowest-indexed error observed wins the
-// report (a shard seeing the abort flag may stop before reaching its own
-// failure, so under multiple workers the index is best-effort). ctx
-// cancellation surfaces as that context's error.
+// report. ctx cancellation surfaces as that context's error.
+//
+// Drive is the bare loop; DriveObs is the same loop with the fleet
+// observability plane (merged metrics, sampled traces, progress
+// telemetry) attached.
 func Drive[T any](ctx context.Context, d Driver, fn func(idx int, v *core.Vehicle) (T, error)) ([]T, error) {
-	if d.N <= 0 {
-		return nil, fmt.Errorf("fleet: population must be positive, got %d", d.N)
-	}
-	workers := d.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > d.N {
-		workers = d.N
-	}
-
-	results := make([]T, d.N)
-	var (
-		mu       sync.Mutex
-		firstErr error
-		errIdx   int
-	)
-	fail := func(idx int, err error) {
-		mu.Lock()
-		if firstErr == nil || idx < errIdx {
-			firstErr, errIdx = err, idx
-		}
-		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Contiguous shards: vehicle idx lands in shard idx*workers/N,
-		// sizes differ by at most one.
-		lo := w * d.N / workers
-		hi := (w + 1) * d.N / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			pool := core.NewVehiclePool(d.Cfg)
-			for idx := lo; idx < hi; idx++ {
-				if err := ctx.Err(); err != nil {
-					fail(idx, err)
-					return
-				}
-				if failed() {
-					return
-				}
-				v, err := pool.Acquire(VehicleSeed(d.Cfg.Seed, idx))
-				if err != nil {
-					fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
-					return
-				}
-				out, err := fn(idx, v)
-				pool.Release(v)
-				if err != nil {
-					fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
-					return
-				}
-				results[idx] = out
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	results, _, err := DriveObs(ctx, d, ObsOptions{}, fn)
+	return results, err
 }

@@ -1,0 +1,458 @@
+// Fleet observability plane: DriveObs is Drive with three attachments —
+// merged metrics (per-vehicle obs.Registry shards folded into one fleet
+// registry in vehicle-index order at the drive barrier, so the snapshot
+// is byte-identical at any worker count), a deterministic flight
+// recorder (per-vehicle traces kept for a seed-hash sample of the fleet
+// plus every vehicle with a security incident, under a hard memory
+// bound), and runtime telemetry (per-worker progress and wall-clock
+// throughput, strictly excluded from the deterministic artifacts).
+//
+// The determinism split is deliberate: everything reachable from
+// ObsResult.Registry and ObsResult.Traces is a pure function of
+// (Config, N, ObsOptions sampling knobs) — fold order is fixed, sampling
+// hashes only the vehicle seed, trace selection is a deterministic
+// priority rule — while everything wall-clock lives in DriveStats and
+// the DriveObserver callbacks and never feeds back into the artifacts.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"autosec/internal/core"
+	"autosec/internal/obs"
+)
+
+// ObsOptions selects which parts of the observability plane a DriveObs
+// call attaches. The zero value disables everything and makes DriveObs
+// behave exactly like Drive.
+type ObsOptions struct {
+	// Metrics instruments every vehicle with a fresh registry and folds
+	// all of them, in vehicle-index order, into ObsResult.Registry.
+	Metrics bool
+
+	// TraceRate enables the flight recorder: each vehicle is traced, and
+	// the trace is kept if a splitmix64 hash of the vehicle's seed falls
+	// under this rate (0 disables tracing entirely, >= 1 keeps every
+	// vehicle up to MaxTraces). Vehicles with security incidents
+	// (core.Vehicle.SecurityIncidents) keep their traces regardless of
+	// the sample — the forensic cases are exactly the ones a fixed-rate
+	// sample would usually miss.
+	TraceRate float64
+
+	// TraceCapacity is the per-vehicle trace ring size in events
+	// (<= 0 means DefaultTraceCapacity). The ring keeps the most recent
+	// window, so a small capacity still captures the end of the scenario.
+	TraceCapacity int
+
+	// MaxTraces bounds how many traces the whole drive retains
+	// (<= 0 means DefaultMaxTraces). When the sample exceeds the bound,
+	// incident vehicles win over sampled ones and lower indices win
+	// within each class — a rule chosen so the kept set is identical at
+	// any worker count.
+	MaxTraces int
+
+	// Observer receives runtime telemetry during the drive. May be nil.
+	// Callbacks are invoked concurrently from worker goroutines.
+	Observer DriveObserver
+}
+
+// DefaultTraceCapacity is the flight-recorder ring size when
+// ObsOptions.TraceCapacity is unset: 4096 events ≈ 200KB per tracer,
+// small enough that MaxTraces retained rings stay in the tens of MB.
+const DefaultTraceCapacity = 4096
+
+// DefaultMaxTraces bounds the retained traces when ObsOptions.MaxTraces
+// is unset.
+const DefaultMaxTraces = 32
+
+// VehicleTrace is one kept flight-recorder capture.
+type VehicleTrace struct {
+	// Index is the vehicle's fleet index; Seed its kernel seed.
+	Index int
+	Seed  uint64
+	// Interesting marks a vehicle kept because it recorded security
+	// incidents (it may also have been in the sample).
+	Interesting bool
+	// Tracer holds the captured events; export with WriteChromeTrace.
+	Tracer *obs.Tracer
+}
+
+// DriveStats is the runtime telemetry of one drive. None of it is
+// deterministic across hosts or worker counts (wall clock, pool
+// behaviour and worker split all vary) — keep it out of golden artifacts.
+type DriveStats struct {
+	Vehicles int
+	Workers  int
+	// PoolHits/PoolMisses aggregate the per-worker vehicle pools:
+	// misses are constructions, hits are recycled resets.
+	PoolHits   int
+	PoolMisses int
+	// TracesKept counts retained flight-recorder captures;
+	// TracesInteresting how many of those were incident vehicles.
+	TracesKept        int
+	TracesInteresting int
+	// Wall is the barrier-to-barrier wall-clock time of the drive and
+	// VehiclesPerSec the resulting throughput.
+	Wall           time.Duration
+	VehiclesPerSec float64
+}
+
+// DriveObserver receives runtime telemetry while a drive runs. All
+// methods must tolerate concurrent calls from worker goroutines; a nil
+// observer is valid and free.
+type DriveObserver interface {
+	// VehicleDone fires after each vehicle completes: worker is the
+	// worker index, done/total the progress within that worker's shard.
+	VehicleDone(worker, done, total int)
+	// DriveDone fires once after the barrier with the run's stats.
+	DriveDone(stats DriveStats)
+}
+
+// ObsResult carries the observability artifacts of one DriveObs call.
+type ObsResult struct {
+	// Registry is the fleet-merged metrics registry (nil unless
+	// ObsOptions.Metrics): per-vehicle registries materialized before
+	// pool release and folded in vehicle-index order, so its snapshot is
+	// byte-identical at any worker count.
+	Registry *obs.Registry
+	// Traces holds the kept flight-recorder captures in index order.
+	Traces []VehicleTrace
+	// Stats is the runtime telemetry (always populated, never
+	// deterministic).
+	Stats DriveStats
+}
+
+// TraceSampled reports whether vehicle idx of a fleet with base seed
+// base is in the flight-recorder sample at the given rate. The decision
+// hashes VehicleSeed through one more splitmix64 finalizer round — so it
+// is decorrelated from every in-simulation use of the seed — and
+// depends only on (base, idx, rate): shard layout and worker count
+// cannot move a vehicle in or out of the sample.
+func TraceSampled(base uint64, idx int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	z := VehicleSeed(base, idx) ^ 0xD1B54A32D192ED03
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	// Top 53 bits as a uniform float in [0,1): exact, no rounding bias.
+	return float64(z>>11)/(1<<53) < rate
+}
+
+// keepTrace inserts t into kept (which is in index order) under the
+// capacity bound: incident vehicles evict the highest-indexed sampled
+// entry; sampled vehicles are dropped once full. Because shards are
+// contiguous and the global trim applies the same priority rule, capping
+// each worker at the same bound never discards a trace the global
+// selection would have kept.
+func keepTrace(kept []VehicleTrace, t VehicleTrace, max int) []VehicleTrace {
+	if len(kept) < max {
+		return append(kept, t)
+	}
+	if !t.Interesting {
+		return kept
+	}
+	for i := len(kept) - 1; i >= 0; i-- {
+		if !kept[i].Interesting {
+			copy(kept[i:], kept[i+1:])
+			kept[len(kept)-1] = t
+			return kept
+		}
+	}
+	return kept // all interesting: lower indices win
+}
+
+// selectTraces applies the global retention rule to the concatenated
+// per-worker kept lists (already in index order): incident vehicles
+// first, lower indices first within each class, capped at max, reordered
+// back to index order.
+func selectTraces(all []VehicleTrace, max int) []VehicleTrace {
+	if len(all) <= max {
+		return all
+	}
+	sel := make([]VehicleTrace, 0, max)
+	for _, t := range all {
+		if t.Interesting {
+			sel = append(sel, t)
+			if len(sel) == max {
+				break
+			}
+		}
+	}
+	if len(sel) < max {
+		for _, t := range all {
+			if !t.Interesting {
+				sel = append(sel, t)
+				if len(sel) == max {
+					break
+				}
+			}
+		}
+	}
+	// Both passes appended in index order per class; restore global
+	// index order with a stable insertion merge (sel is small).
+	for i := 1; i < len(sel); i++ {
+		for j := i; j > 0 && sel[j].Index < sel[j-1].Index; j-- {
+			sel[j], sel[j-1] = sel[j-1], sel[j]
+		}
+	}
+	return sel
+}
+
+// DriveObs runs fn once per vehicle like Drive and additionally operates
+// the observability plane selected by o. The returned ObsResult is
+// non-nil even when o is zero (Stats is always populated).
+//
+// Tracing requires a shared-kernel build: per-zone-kernel vehicles take
+// per-member tracers that cannot share one flight-recorder ring, so
+// TraceRate > 0 with Cfg.Zonal.PerZoneKernels is an error. Metrics work
+// on every build.
+func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx int, v *core.Vehicle) (T, error)) ([]T, *ObsResult, error) {
+	if d.N <= 0 {
+		return nil, nil, fmt.Errorf("fleet: population must be positive, got %d", d.N)
+	}
+	tracing := o.TraceRate > 0
+	if tracing && d.Cfg.Zonal != nil && d.Cfg.Zonal.PerZoneKernels {
+		return nil, nil, fmt.Errorf("fleet: flight recorder requires a shared-kernel build (Zonal.PerZoneKernels is set)")
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.N {
+		workers = d.N
+	}
+	traceCap := o.TraceCapacity
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCapacity
+	}
+	maxTraces := o.MaxTraces
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+
+	results := make([]T, d.N)
+	// Per-vehicle metric shards, filled at each vehicle's index and
+	// folded after the barrier — the single merge point that makes the
+	// fleet snapshot independent of the worker count. Shards are flat
+	// value captures (obs.ShardLayout), not live registries: each worker
+	// rewinds one scratch registry between vehicles instead of building
+	// ~100 allocations of instrument graph per vehicle.
+	type vehicleShard struct {
+		layout *obs.ShardLayout
+		data   obs.Shard
+	}
+	var shards []vehicleShard
+	if o.Metrics {
+		shards = make([]vehicleShard, d.N)
+	}
+	kept := make([][]VehicleTrace, workers)
+
+	var abort driveAbort
+	var statsMu sync.Mutex
+	stats := DriveStats{Vehicles: d.N, Workers: workers}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous shards: vehicle idx lands in shard idx*workers/N,
+		// sizes differ by at most one.
+		lo := w * d.N / workers
+		hi := (w + 1) * d.N / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pool := core.NewVehiclePool(d.Cfg)
+			// scratch is the recycled tracer for captures that end up
+			// discarded; a kept capture surrenders its tracer and the
+			// next vehicle allocates a fresh one. scratchReg is the
+			// worker's rewindable metrics registry, layout its slot
+			// assignment (rebuilt if a vehicle changes the key set).
+			var scratch *obs.Tracer
+			var scratchReg *obs.Registry
+			var layout *obs.ShardLayout
+			var arena *obs.ShardArena
+			for idx := lo; idx < hi; idx++ {
+				if err := ctx.Err(); err != nil {
+					abort.fail(idx, err)
+					break
+				}
+				if abort.aborted.Load() {
+					break
+				}
+				seed := VehicleSeed(d.Cfg.Seed, idx)
+				v, err := pool.Acquire(seed)
+				if err != nil {
+					abort.fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
+					break
+				}
+				var reg *obs.Registry
+				var tr *obs.Tracer
+				if o.Metrics {
+					if scratchReg == nil {
+						scratchReg = obs.NewRegistry()
+					} else {
+						scratchReg.Rewind()
+					}
+					reg = scratchReg
+				}
+				if tracing {
+					if scratch == nil {
+						scratch = obs.NewTracer(traceCap)
+					} else {
+						scratch.ResetAll()
+					}
+					tr = scratch
+				}
+				if reg != nil || tr != nil {
+					v.Instrument(tr, reg)
+				}
+				out, err := fn(idx, v)
+				if err == nil && tracing {
+					interesting := v.SecurityIncidents() > 0
+					if interesting || TraceSampled(d.Cfg.Seed, idx, o.TraceRate) {
+						kept[w] = keepTrace(kept[w], VehicleTrace{
+							Index: idx, Seed: seed, Interesting: interesting, Tracer: tr,
+						}, maxTraces)
+						if len(kept[w]) > 0 && kept[w][len(kept[w])-1].Tracer == tr {
+							scratch = nil // tracer surrendered to the kept list
+						}
+					}
+				}
+				if err == nil && reg != nil {
+					// Export flattens the readings — evaluating every
+					// probe — before the vehicle returns to the pool:
+					// the next Reset rewinds the very state the probe
+					// closures read.
+					if layout == nil || !layout.Matches(reg) {
+						layout = obs.NewShardLayout(reg)
+						arena = layout.NewArena(hi - idx)
+					}
+					shards[idx] = vehicleShard{layout: layout, data: arena.Export(reg)}
+				}
+				pool.Release(v)
+				if err != nil {
+					abort.fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
+					break
+				}
+				results[idx] = out
+				if o.Observer != nil {
+					o.Observer.VehicleDone(w, idx-lo+1, hi-lo)
+				}
+			}
+			statsMu.Lock()
+			stats.PoolHits += pool.Hits
+			stats.PoolMisses += pool.Misses
+			statsMu.Unlock()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := abort.err(); err != nil {
+		return nil, nil, err
+	}
+
+	res := &ObsResult{}
+	if o.Metrics {
+		// Fold shards in vehicle-index order. Runs of equal-shape shards
+		// (the homogeneous-population common case, where each worker's
+		// layout differs only by pointer) pre-sum into one accumulator —
+		// flat array arithmetic, bit-identical to per-shard MergeInto
+		// folding (see ShardLayout.Accumulate) — so the per-vehicle
+		// barrier cost is adds, not map walks. A genuine shape change
+		// (deterministic per index, never per worker) flushes the run.
+		res.Registry = obs.NewRegistry()
+		var accLayout *obs.ShardLayout
+		var acc obs.Shard
+		flush := func() error {
+			if accLayout == nil {
+				return nil
+			}
+			err := accLayout.MergeInto(res.Registry, acc)
+			accLayout, acc = nil, obs.Shard{}
+			return err
+		}
+		for idx := range shards {
+			l := shards[idx].layout
+			if l == nil {
+				continue
+			}
+			if accLayout != nil && l != accLayout && !accLayout.EqualShape(l) {
+				if err := flush(); err != nil {
+					return nil, nil, fmt.Errorf("fleet: merging metrics before vehicle %d: %w", idx, err)
+				}
+			}
+			if accLayout == nil {
+				accLayout = l
+			}
+			if err := accLayout.Accumulate(&acc, shards[idx].data); err != nil {
+				return nil, nil, fmt.Errorf("fleet: merging vehicle %d metrics: %w", idx, err)
+			}
+		}
+		if err := flush(); err != nil {
+			return nil, nil, fmt.Errorf("fleet: merging fleet metrics: %w", err)
+		}
+	}
+	if tracing {
+		var all []VehicleTrace
+		for _, ks := range kept {
+			all = append(all, ks...) // worker order == index order
+		}
+		res.Traces = selectTraces(all, maxTraces)
+		for _, t := range res.Traces {
+			if t.Interesting {
+				stats.TracesInteresting++
+			}
+		}
+		stats.TracesKept = len(res.Traces)
+	}
+	stats.Wall = time.Since(start)
+	if s := stats.Wall.Seconds(); s > 0 {
+		stats.VehiclesPerSec = float64(d.N) / s
+	}
+	res.Stats = stats
+	if o.Observer != nil {
+		o.Observer.DriveDone(stats)
+	}
+	return results, res, nil
+}
+
+// WriteChromeTraces exports every kept trace as a Chrome trace_event
+// JSON file named vehicle-<index>.trace.json under dir (created if
+// missing), returning the written paths in index order.
+func (r *ObsResult) WriteChromeTraces(dir string) ([]string, error) {
+	if r == nil || len(r.Traces) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(r.Traces))
+	for _, t := range r.Traces {
+		path := filepath.Join(dir, fmt.Sprintf("vehicle-%06d.trace.json", t.Index))
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		if err := t.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return paths, err
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProgressWriter is the stock DriveObserver for CLIs: it prints a line
+// to w every 10% of fleet completion and a final summary with wall-clock
+// throughput and pool behaviour. Write it to stderr — the output is
+// wall-clock telemetry and must never land in a deterministic artifact
+// stream. Safe for concurrent callbacks.
+type ProgressWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	total   int
+	done    int
+	lastPct int
+}
+
+// NewProgressWriter creates a ProgressWriter for a fleet of total
+// vehicles writing to w.
+func NewProgressWriter(w io.Writer, total int) *ProgressWriter {
+	return &ProgressWriter{w: w, total: total, lastPct: -1}
+}
+
+// VehicleDone implements DriveObserver.
+func (p *ProgressWriter) VehicleDone(worker, done, shardTotal int) {
+	p.mu.Lock()
+	p.done++
+	if p.total > 0 {
+		if pct := p.done * 100 / p.total; pct/10 > p.lastPct/10 || p.lastPct < 0 {
+			p.lastPct = pct
+			fmt.Fprintf(p.w, "fleet: %d/%d vehicles (%d%%)\n", p.done, p.total, pct)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// DriveDone implements DriveObserver.
+func (p *ProgressWriter) DriveDone(s DriveStats) {
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "fleet: %d vehicles, %d workers, %.0f vehicles/sec (wall %v), pool %d hits / %d misses",
+		s.Vehicles, s.Workers, s.VehiclesPerSec, s.Wall.Round(1e6), s.PoolHits, s.PoolMisses)
+	if s.TracesKept > 0 {
+		fmt.Fprintf(p.w, ", %d traces kept (%d incident)", s.TracesKept, s.TracesInteresting)
+	}
+	fmt.Fprintln(p.w)
+	p.mu.Unlock()
+}

@@ -29,6 +29,10 @@ type Engine struct {
 	lastAlert sim.Time
 	hasAlert  bool
 
+	// Reattach cache (survives ResetToBaseline); see ReattachMetrics.
+	obsCacheReg  *obs.Registry
+	obsCacheHist *obs.Histogram
+
 	// Pooled-reuse baseline; see MarkBaseline/ResetToBaseline.
 	baseSealed  bool
 	baseOnAlert int
@@ -156,7 +160,21 @@ func (e *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 		reg.Probe("ids/alerts_total", func() float64 { return float64(len(e.Alerts)) })
 		reg.Probe("ids/observed", func() float64 { return float64(e.observed) })
 		e.obsGapUS = reg.Histogram("ids/alert_gap_us", nil)
+		e.obsCacheReg, e.obsCacheHist = reg, e.obsGapUS
 	}
+}
+
+// ReattachMetrics re-arms the alert-gap histogram after a
+// ResetToBaseline detached it, provided reg is the registry this engine
+// last Instrument-ed into (whose probe entries must still be present —
+// a rewound registry keeps them). Returns false when the full
+// Instrument path is required.
+func (e *Engine) ReattachMetrics(reg *obs.Registry) bool {
+	if reg == nil || e.obsCacheReg != reg {
+		return false
+	}
+	e.obsGapUS = e.obsCacheHist
+	return true
 }
 
 // Attach taps the engine into live traffic on a medium. Records are

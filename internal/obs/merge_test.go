@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// sample values below are integers (or quarters) small enough that every
+// partial float64 sum is exact, so addition is associative and the
+// sharded/unsharded comparisons can demand byte-identical snapshots.
+
+func TestHistogramObserveNegativeMaxRegression(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x/neg", []float64{-10, 0, 10})
+	for _, v := range []float64{-25, -7, -1} {
+		h.Observe(v)
+	}
+	if got := h.Max(); got != -1 {
+		t.Fatalf("all-negative max=%v, want -1 (zero-initialized max leaked)", got)
+	}
+	// Max must also survive a merge into an empty histogram.
+	dst := NewRegistry().Histogram("x/neg", []float64{-10, 0, 10})
+	if err := dst.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Max(); got != -1 {
+		t.Fatalf("merged all-negative max=%v, want -1", got)
+	}
+}
+
+func TestNilMergesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Merge(&Counter{v: 3})
+	NewRegistry().Counter("a").Merge(nil)
+	var g *Gauge
+	g.Merge(&Gauge{v: 1})
+	NewRegistry().Gauge("a").Merge(nil)
+	var h *Histogram
+	if err := h.Merge(&Histogram{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRegistry().Histogram("a", nil).Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	var r *Registry
+	if err := r.Merge(NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRegistry().Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	a := NewRegistry().Histogram("h", []float64{1, 2, 3})
+	b := NewRegistry().Histogram("h", []float64{1, 2, 4})
+	b.Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging histograms with different bounds must error")
+	}
+	c := NewRegistry().Histogram("h", []float64{1, 2})
+	c.Observe(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging histograms with different bound counts must error")
+	}
+	// Registry-level merge surfaces the key.
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("sub/lat", []float64{1})
+	rb.Histogram("sub/lat", []float64{2}).Observe(1)
+	if err := ra.Merge(rb); err == nil {
+		t.Fatal("registry merge must propagate bound mismatch")
+	}
+}
+
+// TestHistogramMergeEqualsConcatenated is the tentpole property test:
+// merging shard histograms must equal one histogram fed the concatenated
+// sample stream — exactly, field for field.
+func TestHistogramMergeEqualsConcatenated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		bounds := []float64{-50, 0, 25, 100, 400}
+		n := 1 + rng.Intn(200)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = float64(rng.Intn(1200)-300) * 0.25
+		}
+		whole := NewRegistry().Histogram("h", bounds)
+		for _, v := range samples {
+			whole.Observe(v)
+		}
+		// Random contiguous partition into 1..6 shards.
+		merged := NewRegistry().Histogram("h", bounds)
+		lo := 0
+		for lo < n {
+			hi := lo + 1 + rng.Intn(n-lo)
+			shard := NewRegistry().Histogram("h", bounds)
+			for _, v := range samples[lo:hi] {
+				shard.Observe(v)
+			}
+			if err := merged.Merge(shard); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		if merged.count != whole.count || merged.sum != whole.sum || merged.max != whole.max {
+			t.Fatalf("trial %d: merged {count:%d sum:%v max:%v} != whole {count:%d sum:%v max:%v}",
+				trial, merged.count, merged.sum, merged.max, whole.count, whole.sum, whole.max)
+		}
+		if !reflect.DeepEqual(merged.counts, whole.counts) {
+			t.Fatalf("trial %d: bucket counts diverge: %v vs %v", trial, merged.counts, whole.counts)
+		}
+	}
+}
+
+// TestRegistryMergeShardPartitionByteIdentical pins the satellite
+// contract: folding randomly partitioned shard registries in order is
+// snapshot-for-snapshot identical to the unsharded registry.
+func TestRegistryMergeShardPartitionByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	type event struct {
+		c int64
+		g float64
+		h float64
+		p float64
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + rng.Intn(64)
+		events := make([]event, n)
+		for i := range events {
+			events[i] = event{
+				c: int64(rng.Intn(9)),
+				g: float64(rng.Intn(40)) * 0.25,
+				h: float64(rng.Intn(500)),
+				p: float64(rng.Intn(100)),
+			}
+		}
+		apply := func(r *Registry, evs []event) float64 {
+			var probeTotal float64
+			for _, e := range evs {
+				r.Counter("can/frames").Add(e.c)
+				r.Gauge("can/load").Add(e.g)
+				r.Histogram("can/frame_us", []float64{50, 200, 450}).Observe(e.h)
+				probeTotal += e.p
+			}
+			return probeTotal
+		}
+
+		unsharded := NewRegistry()
+		total := apply(unsharded, events)
+		unsharded.Probe("bus/deliveries", func() float64 { return total })
+
+		fleet := NewRegistry()
+		lo := 0
+		for lo < n {
+			hi := lo + 1 + rng.Intn(n-lo)
+			shard := NewRegistry()
+			sub := apply(shard, events[lo:hi])
+			shard.Probe("bus/deliveries", func() float64 { return sub })
+			if err := fleet.Merge(shard); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+
+		a, b := unsharded.Snapshot(), fleet.Snapshot()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: sharded snapshot diverges:\nunsharded: %+v\nmerged:    %+v", trial, a, b)
+		}
+	}
+}
+
+func TestMaterializeFreezesProbeReadings(t *testing.T) {
+	live := 7.0
+	r := NewRegistry()
+	r.Probe("zone/frames", func() float64 { return live })
+	r.Materialize()
+	live = 99 // simulate the pooled vehicle being reset and reused
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Key != "zone/frames" || snap[0].Kind != "probe" || snap[0].Value != 7 {
+		t.Fatalf("materialized snapshot = %+v, want frozen zone/frames=7", snap)
+	}
+
+	// Merge must consume the frozen reading, not the live closure.
+	fleet := NewRegistry()
+	if err := fleet.Merge(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Merge(r); err != nil {
+		t.Fatal(err)
+	}
+	snap = fleet.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 14 {
+		t.Fatalf("merged frozen probes = %+v, want zone/frames=14", snap)
+	}
+
+	// Re-materializing re-reads the live probe.
+	r.Materialize()
+	if got := r.Snapshot()[0].Value; got != 99 {
+		t.Fatalf("re-materialized value = %v, want 99", got)
+	}
+
+	var nilReg *Registry
+	nilReg.Materialize() // must not panic
+}
+
+// TestRegistryMergeSteadyStateAllocs pins the merge hot path at zero
+// allocations once the destination holds the union of keys — the
+// property TestFleetMergeSteadyStateAllocs relies on at fleet scale.
+func TestRegistryMergeSteadyStateAllocs(t *testing.T) {
+	mkShard := func() *Registry {
+		r := NewRegistry()
+		r.Counter("can/frames").Add(3)
+		r.Gauge("can/load").Add(0.5)
+		r.Histogram("can/frame_us", nil).Observe(125)
+		r.Probe("bus/deliveries", func() float64 { return 2 })
+		r.Materialize()
+		return r
+	}
+	shard := mkShard()
+	fleet := NewRegistry()
+	if err := fleet.Merge(shard); err != nil { // warm-up creates the keys
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := fleet.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("registry merge steady state allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestTracerResetAllByteDeterministic pins the recycling contract: a
+// tracer that captured an unrelated workload, then ResetAll, must export
+// byte-identical Chrome JSON to a fresh tracer fed the same events —
+// label ids (the exported tids) must not leak across captures.
+func TestTracerResetAllByteDeterministic(t *testing.T) {
+	capture := func(tr *Tracer) {
+		can := tr.Label("can")
+		tx := tr.Label("tx")
+		bus := tr.Label("powertrain")
+		tr.KernelDispatch(500, 2)
+		tr.Span(1000, 125_000, can, tx, bus, 0x100, 125)
+		tr.Instant(2000, can, tx, bus, 0x200, 0)
+	}
+	fresh := NewTracer(64)
+	capture(fresh)
+	var want bytes.Buffer
+	if err := fresh.WriteChromeTrace(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	recycled := NewTracer(64)
+	// Unrelated first capture warms the label table differently.
+	gw := recycled.Label("gateway")
+	ids := recycled.Label("ids")
+	recycled.Instant(1, gw, ids, recycled.Label("deny"), 9, 9)
+	recycled.ResetAll()
+
+	if recycled.Total() != 0 || recycled.Len() != 0 {
+		t.Fatal("ResetAll must discard events")
+	}
+	if got := recycled.LabelString(3); got != "" {
+		t.Fatalf("label 3 survived ResetAll: %q", got)
+	}
+
+	capture(recycled)
+	var got bytes.Buffer
+	if err := recycled.WriteChromeTrace(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("recycled tracer export differs from fresh:\nfresh:    %s\nrecycled: %s", want.String(), got.String())
+	}
+
+	// Pre-interned kernel labels must still work after ResetAll.
+	recycled.ResetAll()
+	recycled.KernelDispatch(sim.Time(10), 1)
+	if recycled.LabelString(1) != "kernel" || recycled.LabelString(2) != "dispatch" {
+		t.Fatal("ResetAll must retain the pre-interned kernel labels")
+	}
+
+	var nilTr *Tracer
+	nilTr.ResetAll() // must not panic
+}

@@ -100,7 +100,9 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.count++
 	h.sum += v
-	if v > h.max {
+	// The first sample seeds max unconditionally: comparing against the
+	// zero-initialized field would report max=0 for all-negative samples.
+	if h.count == 1 || v > h.max {
 		h.max = v
 	}
 }
@@ -170,6 +172,14 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	probes     map[string]func() float64
+
+	// frozen holds materialized probe readings: Materialize evaluates
+	// every registered probe into this map, and Merge accumulates source
+	// probe readings here. A frozen key overrides its live probe in
+	// Snapshot, so a materialized registry keeps reporting the values it
+	// held at materialization time even after the probed subsystems are
+	// reset — the property the pooled fleet driver depends on.
+	frozen map[string]float64
 }
 
 // NewRegistry creates an empty registry.
@@ -241,6 +251,24 @@ func (r *Registry) Probe(key string, fn func() float64) {
 	r.probes[key] = fn
 }
 
+// Materialize evaluates every registered probe now and stores the
+// readings, so later Snapshot and Merge calls report this moment's values
+// instead of re-reading live subsystem state. Call it before the probed
+// subsystems are reset or reused (the pooled fleet driver materializes
+// each vehicle's registry before releasing the vehicle back to its pool).
+// Materializing again re-reads the probes. No-op on a nil registry.
+func (r *Registry) Materialize() {
+	if r == nil {
+		return
+	}
+	if r.frozen == nil {
+		r.frozen = make(map[string]float64, len(r.probes))
+	}
+	for k, fn := range r.probes {
+		r.frozen[k] = fn()
+	}
+}
+
 // Snapshot reads every instrument and returns the metrics sorted by key,
 // so two snapshots of identical state are identical slices. Histograms
 // flatten into count/mean/p50/p99/max sub-keys.
@@ -248,7 +276,7 @@ func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.probes)+5*len(r.histograms))
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.probes)+len(r.frozen)+5*len(r.histograms))
 	for k, c := range r.counters {
 		out = append(out, Metric{Key: k, Kind: "counter", Value: float64(c.v)})
 	}
@@ -256,7 +284,13 @@ func (r *Registry) Snapshot() []Metric {
 		out = append(out, Metric{Key: k, Kind: "gauge", Value: g.v})
 	}
 	for k, fn := range r.probes {
+		if _, ok := r.frozen[k]; ok {
+			continue // materialized reading wins
+		}
 		out = append(out, Metric{Key: k, Kind: "probe", Value: fn()})
+	}
+	for k, v := range r.frozen {
+		out = append(out, Metric{Key: k, Kind: "probe", Value: v})
 	}
 	for k, h := range r.histograms {
 		out = append(out,

@@ -217,3 +217,30 @@ func (t *Tracer) Reset() {
 	}
 	t.n = 0
 }
+
+// ResetAll discards the recorded events AND the interned label table,
+// restoring the tracer to its post-NewTracer state (only "", "kernel"
+// and "dispatch" remain interned). Use it when recycling one tracer
+// across independent captures whose exported bytes must not depend on
+// each other: label ids leak into the Chrome trace output (they are the
+// tid values), so a plain Reset would make a capture's bytes depend on
+// every capture that warmed the table before it. The ring and the label
+// backing arrays are retained, so steady-state recycling re-interns into
+// existing capacity.
+func (t *Tracer) ResetAll() {
+	if t == nil {
+		return
+	}
+	t.n = 0
+	const retained = 3 // "", "kernel", "dispatch"
+	if len(t.labels) <= retained {
+		return
+	}
+	for _, s := range t.labels[retained:] {
+		delete(t.ids, s)
+	}
+	for i := retained; i < len(t.labels); i++ {
+		t.labels[i] = ""
+	}
+	t.labels = t.labels[:retained]
+}

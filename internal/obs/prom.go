@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric followed by its
+// samples, families sorted by name so identical registries produce
+// byte-identical output. Metric names are the registry keys prefixed
+// with "autosec_" and sanitized ("gateway/zone-cabin/forwarded" becomes
+// autosec_gateway_zone_cabin_forwarded). Counters export as counters;
+// gauges and probes (live or materialized) as gauges; histograms as real
+// Prometheus histograms — cumulative `_bucket{le="..."}` series from the
+// registered bounds plus `_sum`/`_count` — with the exact tracked
+// maximum as an extra `_max` gauge, since the paper's forensic use cases
+// (worst-case frame latency, alert gaps) care about the tail sample
+// itself, not a bucket estimate.
+//
+// The writer is an export path: it allocates freely and must not be
+// called from simulation hot paths. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name string
+		kind string // "counter", "gauge" or "histogram"
+		emit func(io.Writer, string) error
+	}
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.probes)+len(r.frozen)+len(r.histograms))
+
+	for k, c := range r.counters {
+		v := c.v
+		fams = append(fams, family{promName(k), "counter", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+	gauge := func(k string, v float64) family {
+		return family{promName(k), "gauge", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", n, promFloat(v))
+			return err
+		}}
+	}
+	for k, g := range r.gauges {
+		fams = append(fams, gauge(k, g.v))
+	}
+	for k, fn := range r.probes {
+		if _, ok := r.frozen[k]; ok {
+			continue // materialized reading wins, same rule as Snapshot
+		}
+		fams = append(fams, gauge(k, fn()))
+	}
+	for k, v := range r.frozen {
+		fams = append(fams, gauge(k, v))
+	}
+	for k, h := range r.histograms {
+		h := h
+		fams = append(fams, family{promName(k), "histogram", func(w io.Writer, n string) error {
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(h.sum)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", n, h.count)
+			return err
+		}})
+		fams = append(fams, family{promName(k) + "_max", "gauge", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", n, promFloat(h.max))
+			return err
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if err := f.emit(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry key to a valid Prometheus metric name:
+// "autosec_" prefix, every character outside [a-zA-Z0-9_] replaced
+// with '_'.
+func promName(key string) string {
+	var b strings.Builder
+	b.Grow(len("autosec_") + len(key))
+	b.WriteString("autosec_")
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 with the shortest representation that
+// round-trips, matching what Prometheus client libraries emit.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("audit/appends").Add(12)
+	r.Gauge("can/load").Set(0.375)
+	r.Probe("gateway/zone-cabin/forwarded", func() float64 { return 42 })
+	h := r.Histogram("can/frame_time_us", []float64{10, 100})
+	for _, v := range []float64{5, 50, 50, 500} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE autosec_audit_appends counter\nautosec_audit_appends 12\n",
+		"# TYPE autosec_can_load gauge\nautosec_can_load 0.375\n",
+		"# TYPE autosec_gateway_zone_cabin_forwarded gauge\nautosec_gateway_zone_cabin_forwarded 42\n",
+		"autosec_can_frame_time_us_bucket{le=\"10\"} 1\n",
+		"autosec_can_frame_time_us_bucket{le=\"100\"} 3\n",
+		"autosec_can_frame_time_us_bucket{le=\"+Inf\"} 4\n",
+		"autosec_can_frame_time_us_sum 605\n",
+		"autosec_can_frame_time_us_count 4\n",
+		"# TYPE autosec_can_frame_time_us_max gauge\nautosec_can_frame_time_us_max 500\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Families must be sorted by name for byte-determinism.
+	var names []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			names = append(names, strings.Fields(line)[2])
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("families not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+
+	// Byte-determinism: rendering twice is identical.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same registry must be byte-identical")
+	}
+}
+
+func TestWritePrometheusMaterializedProbeWins(t *testing.T) {
+	live := 3.0
+	r := NewRegistry()
+	r.Probe("zone/frames", func() float64 { return live })
+	r.Materialize()
+	live = 99
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "autosec_zone_frames 3\n") {
+		t.Fatalf("materialized probe must export the frozen reading:\n%s", buf.String())
+	}
+
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&buf); err != nil {
+		t.Fatal("nil registry must write nothing without error")
+	}
+}

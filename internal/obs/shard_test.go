@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shardTestRegistry builds a registry with every instrument class and
+// fills it with values derived from rng — arbitrary float64s, not just
+// exactly-representable ones, because the shard fold's bit-identity
+// claims hold for all inputs (fold-from-+0.0, see Accumulate).
+func shardTestRegistry(rng *rand.Rand) *Registry {
+	r := NewRegistry()
+	r.Counter("a/events").Add(int64(rng.Intn(100)))
+	r.Counter("b/drops").Add(int64(rng.Intn(10)))
+	r.Gauge("a/level").Set(rng.NormFloat64())
+	r.Gauge("z/depth").Set(rng.NormFloat64() * 1e-3)
+	h := r.Histogram("a/lat_us", []float64{1, 10, 100})
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		h.Observe(rng.NormFloat64() * 50)
+	}
+	p1, p2 := rng.NormFloat64(), rng.Float64()*1e6
+	r.Probe("a/probe", func() float64 { return p1 })
+	r.Probe("q/probe", func() float64 { return p2 })
+	return r
+}
+
+func promBytes(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardRoundTrip pins Export+MergeInto against Materialize+Merge:
+// flattening a registry through a shard and folding it into a fresh
+// registry must reproduce the registry-to-registry merge bit for bit.
+func TestShardRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		src := shardTestRegistry(rng)
+		layout := NewShardLayout(src)
+		shard := layout.Export(src)
+
+		viaShard := NewRegistry()
+		if err := layout.MergeInto(viaShard, shard); err != nil {
+			t.Fatal(err)
+		}
+		src.Materialize()
+		viaMerge := NewRegistry()
+		if err := viaMerge.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaShard.Snapshot(), viaMerge.Snapshot()) {
+			t.Fatalf("trial %d: shard round trip diverged from Merge:\n%v\n%v",
+				trial, viaShard.Snapshot(), viaMerge.Snapshot())
+		}
+		if !bytes.Equal(promBytes(t, viaShard), promBytes(t, viaMerge)) {
+			t.Fatalf("trial %d: shard round trip exposition diverged from Merge", trial)
+		}
+	}
+}
+
+// TestAccumulateEqualsSequentialMerge pins the barrier fast path: summing
+// shards into one accumulator and merging once must be bit-identical to
+// merging each shard into a fresh registry in the same order.
+func TestAccumulateEqualsSequentialMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(9)
+		var layout *ShardLayout
+		shards := make([]Shard, n)
+		for i := range shards {
+			src := shardTestRegistry(rng)
+			l := NewShardLayout(src)
+			if layout == nil {
+				layout = l
+			} else if !layout.EqualShape(l) {
+				t.Fatal("test registries must be shape-equal")
+			}
+			shards[i] = l.Export(src)
+		}
+
+		sequential := NewRegistry()
+		for _, s := range shards {
+			if err := layout.MergeInto(sequential, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var acc Shard
+		for _, s := range shards {
+			if err := layout.Accumulate(&acc, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		accumulated := NewRegistry()
+		if err := layout.MergeInto(accumulated, acc); err != nil {
+			t.Fatal(err)
+		}
+
+		sa, sb := sequential.Snapshot(), accumulated.Snapshot()
+		if len(sa) != len(sb) {
+			t.Fatalf("trial %d: snapshot sizes differ: %d vs %d", trial, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i].Key != sb[i].Key || sa[i].Kind != sb[i].Kind {
+				t.Fatalf("trial %d: snapshot keys differ at %d: %+v vs %+v", trial, i, sa[i], sb[i])
+			}
+			if math.Float64bits(sa[i].Value) != math.Float64bits(sb[i].Value) {
+				t.Fatalf("trial %d: %q differs bitwise: %v vs %v", trial, sa[i].Key, sa[i].Value, sb[i].Value)
+			}
+		}
+		// The exposition includes the exact histogram _sum, which the
+		// flattened snapshot only covers through the mean.
+		if !bytes.Equal(promBytes(t, sequential), promBytes(t, accumulated)) {
+			t.Fatalf("trial %d: accumulated exposition diverged from sequential merge", trial)
+		}
+	}
+}
+
+// TestRewindKeepsProbesAndZeroes pins the Rewind contract the fleet
+// driver's reattach fast path depends on: instruments zero in place,
+// materialized readings drop, probe registrations survive.
+func TestRewindKeepsProbesAndZeroes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(4)
+	r.Histogram("h", []float64{10}).Observe(-3)
+	live := 7.0
+	r.Probe("p", func() float64 { return live })
+	r.Materialize()
+
+	r.Rewind()
+	live = 11
+
+	got := map[string]float64{}
+	for _, m := range r.Snapshot() {
+		got[m.Key] = m.Value
+	}
+	for k, v := range map[string]float64{"c": 0, "g": 0, "p": 11, "h/count": 0, "h/max": 0} {
+		if got[k] != v {
+			t.Fatalf("after Rewind, %q = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestEqualShape covers the structural comparison the fleet barrier uses
+// to pre-sum shards exported under distinct per-worker layouts.
+func TestEqualShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := NewShardLayout(shardTestRegistry(rng))
+	b := NewShardLayout(shardTestRegistry(rng))
+	if !a.EqualShape(b) || !b.EqualShape(a) {
+		t.Fatal("identically-shaped registries must compare shape-equal")
+	}
+
+	extra := shardTestRegistry(rng)
+	extra.Counter("zz/extra").Inc()
+	if a.EqualShape(NewShardLayout(extra)) {
+		t.Fatal("extra counter key must break shape equality")
+	}
+
+	rebound := shardTestRegistry(rng)
+	rebound.Histogram("other/lat", []float64{5, 50})
+	if a.EqualShape(NewShardLayout(rebound)) {
+		t.Fatal("different histogram key set must break shape equality")
+	}
+}

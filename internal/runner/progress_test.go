@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestMapProgressReportsEveryReplicate pins the Progress contract: one
+// serialized call per replicate, done strictly increasing 1..total, and
+// identical seed-ordered results to plain Map.
+func TestMapProgressReportsEveryReplicate(t *testing.T) {
+	seeds := Seeds(100, 17)
+	var calls []int
+	var total int
+	results, err := MapProgress(context.Background(), seeds, 4,
+		func(done, n int) { calls = append(calls, done); total = n },
+		func(_ context.Context, seed uint64) (uint64, error) { return seed * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(seeds) {
+		t.Fatalf("progress total = %d, want %d", total, len(seeds))
+	}
+	if len(calls) != len(seeds) {
+		t.Fatalf("progress fired %d times, want %d", len(calls), len(seeds))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v not strictly increasing from 1", calls)
+		}
+	}
+	for i, r := range results {
+		if r.Seed != seeds[i] || r.Value != seeds[i]*3 || r.Err != nil {
+			t.Fatalf("result %d = %+v, want seed-ordered value", i, r)
+		}
+	}
+}
+
+// TestMapProgressReachesTotalOnCancellation: replicates never handed to a
+// worker still count toward done == total, so progress displays complete.
+func TestMapProgressReachesTotalOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	seeds := Seeds(1, 50)
+	var mu sync.Mutex
+	last := 0
+	_, err := MapProgress(ctx, seeds, 2,
+		func(done, n int) { mu.Lock(); last = done; mu.Unlock() },
+		func(c context.Context, seed uint64) (int, error) {
+			if seed == 3 {
+				cancel()
+			}
+			return int(seed), nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if last != len(seeds) {
+		t.Fatalf("final progress done = %d, want %d", last, len(seeds))
+	}
+}
+
+// TestMapNilProgressUnchanged: Map delegates with a nil Progress and
+// keeps its original behavior.
+func TestMapNilProgressUnchanged(t *testing.T) {
+	results, err := Map(context.Background(), Seeds(7, 5), 0,
+		func(_ context.Context, seed uint64) (uint64, error) { return seed, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != 7+uint64(i) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}

@@ -65,6 +65,11 @@ func (z *Zone) Kernel() *sim.Kernel { return z.k }
 // fabrics).
 func (z *Zone) Member() int { return z.member }
 
+// BackboneDeliveriesCount reports backbone-ingress frames this zone
+// accepted and delivered locally. On partitioned fabrics, read only
+// between runs.
+func (z *Zone) BackboneDeliveriesCount() int64 { return z.bbDeliveries.Value }
+
 // BackboneFramesTotal reports every frame the backbone carried: the
 // shared-medium counter, or the sum of per-zone egress counters in a
 // partitioned fabric. Partitioned counters are per-zone precisely so the
@@ -250,6 +255,10 @@ func (f *Fabric) InstrumentZones(tracers []*obs.Tracer, reg *obs.Registry) {
 			tr = tracers[i]
 		}
 		z.GW.InstrumentAs(tr, reg, "zone-"+z.Name)
+		if reg != nil {
+			z := z
+			reg.Probe("zone-"+z.Name+"/backbone_deliveries", func() float64 { return float64(z.bbDeliveries.Value) })
+		}
 	}
 	if reg != nil {
 		reg.Probe("zonal/backbone_frames", func() float64 { return float64(f.BackboneFramesTotal()) })

@@ -8,6 +8,7 @@ import (
 	"autosec/internal/ethernet"
 	"autosec/internal/gateway"
 	"autosec/internal/netif"
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -359,5 +360,40 @@ func BenchmarkZonalPartitioned(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		step()
+	}
+}
+
+// TestInstrumentZonesPerZoneProbes pins the partitioned flavor of the
+// per-zone delivery probes: each zone's zone-<name>/backbone_deliveries
+// reads its own kernel-local counter, and the sum matches the fabric
+// total.
+func TestInstrumentZonesPerZoneProbes(t *testing.T) {
+	const zones = 3
+	r := newZoneRig(t, zones, true, 7)
+	reg := obs.NewRegistry()
+	r.fab.InstrumentZones(nil, reg)
+	collisionFreeWorkload(r, zones, 2)
+	r.run(t)
+
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Key] = m.Value
+	}
+	var sum float64
+	for i := 0; i < zones; i++ {
+		key := fmt.Sprintf("zone-z%d/backbone_deliveries", i)
+		v, ok := snap[key]
+		if !ok {
+			t.Fatalf("probe %q not registered", key)
+		}
+		// Every frame floods to all other zones, so each zone accepts
+		// deliveries from the (zones-1) other zones' injections.
+		if v == 0 {
+			t.Fatalf("probe %q = 0, want ingress deliveries", key)
+		}
+		sum += v
+	}
+	if total := snap["zonal/backbone_deliveries"]; total != sum {
+		t.Fatalf("fabric total %v != per-zone sum %v", total, sum)
 	}
 }

@@ -196,15 +196,18 @@ func (f *Fabric) AddZone(name string) (*Zone, error) {
 	if err := z.GW.AttachDomain(BackboneDomain, uplink); err != nil {
 		return nil, err
 	}
-	deliveries := &f.BackboneDeliveries
-	if f.group != nil {
-		// Per-zone counter: only this zone's kernel writes it, so windows
-		// never contend on a shared word.
-		deliveries = &z.bbDeliveries
-	}
+	// Every zone counts its own backbone ingress (only this zone's kernel
+	// writes the counter, so partitioned fabrics never contend on a shared
+	// word, and per-zone observability probes have a value to read).
+	// Shared-kernel fabrics additionally keep the fabric total live, which
+	// experiment code reads mid-run.
+	shared := f.group == nil
 	z.GW.Observe(func(at sim.Time, from string, fr *netif.Frame, verdict string) {
 		if from == BackboneDomain && len(verdict) >= 5 && verdict[:5] == "allow" {
-			deliveries.Inc()
+			z.bbDeliveries.Inc()
+			if shared {
+				f.BackboneDeliveries.Inc()
+			}
 		}
 		for _, fn := range f.observers {
 			fn(at, z.Name, from, fr, verdict)
@@ -356,6 +359,10 @@ func (f *Fabric) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	}
 	for _, z := range f.zones {
 		z.GW.InstrumentAs(tr, reg, "zone-"+z.Name)
+		if reg != nil {
+			z := z
+			reg.Probe("zone-"+z.Name+"/backbone_deliveries", func() float64 { return float64(z.bbDeliveries.Value) })
+		}
 	}
 	if reg != nil {
 		reg.Probe("zonal/backbone_frames", func() float64 { return float64(f.BackboneFramesTotal()) })

@@ -7,6 +7,7 @@ import (
 	"autosec/internal/can"
 	"autosec/internal/ethernet"
 	"autosec/internal/gateway"
+	"autosec/internal/obs"
 	"autosec/internal/sim"
 )
 
@@ -312,5 +313,52 @@ func TestTopologyErrors(t *testing.T) {
 	}
 	if zz, ok := f.ZoneOf("pt"); !ok || zz != z {
 		t.Fatal("ZoneOf lost the directory entry")
+	}
+}
+
+// TestPerZoneDeliveryProbes pins the per-zone observability surface: each
+// zone exposes zone-<name>/backbone_deliveries counting only its own
+// accepted backbone ingress, and the fabric totals stay consistent with
+// the per-zone split on a shared-kernel fabric.
+func TestPerZoneDeliveryProbes(t *testing.T) {
+	k, f, pt, body := rig2(t)
+	f.SetRules([]*gateway.Rule{{
+		Name: "body-to-pt", From: "body", To: []string{"powertrain"},
+		IDLo: 0x100, IDHi: 0x1FF, Action: gateway.Allow,
+	}})
+	_ = pt
+
+	reg := obs.NewRegistry()
+	f.Instrument(nil, reg)
+
+	tx := can.NewController("ecu-body")
+	body.Attach(tx)
+	k.At(sim.Millisecond, func() {
+		_ = tx.Send(can.Frame{ID: 0x155, Data: []byte{1}}, nil)
+		_ = tx.Send(can.Frame{ID: 0x156, Data: []byte{2}}, nil)
+	})
+	if err := k.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Key] = m.Value
+	}
+	if got := snap["zone-a/backbone_deliveries"]; got != 2 {
+		t.Fatalf("zone-a deliveries = %v, want 2", got)
+	}
+	if got := snap["zone-b/backbone_deliveries"]; got != 0 {
+		t.Fatalf("zone-b deliveries = %v, want 0 (egress is not ingress)", got)
+	}
+	if got := snap["zonal/backbone_deliveries"]; got != 2 {
+		t.Fatalf("fabric delivery total = %v, want 2", got)
+	}
+	za, _ := f.ZoneByName("a")
+	if za.BackboneDeliveriesCount() != 2 {
+		t.Fatalf("zone accessor = %d, want 2", za.BackboneDeliveriesCount())
+	}
+	if f.BackboneDeliveries.Value != 2 {
+		t.Fatalf("shared fabric counter = %d, want 2", f.BackboneDeliveries.Value)
 	}
 }
