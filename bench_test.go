@@ -46,6 +46,7 @@ func BenchmarkE17Zonal(b *testing.B)         { benchTable(b, experiments.E17Zona
 func BenchmarkE18Fleet(b *testing.B)         { benchTable(b, experiments.E18Fleet) }
 func BenchmarkE19KernelPar(b *testing.B)     { benchTable(b, experiments.E19KernelPar) }
 func BenchmarkE20Observability(b *testing.B) { benchTable(b, experiments.E20Observability) }
+func BenchmarkE21MediumIDS(b *testing.B)     { benchTable(b, experiments.E21MediumIDS) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
 

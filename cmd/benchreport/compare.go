@@ -35,6 +35,7 @@ import (
 	"autosec/internal/experiments"
 	"autosec/internal/fleet"
 	"autosec/internal/gateway"
+	"autosec/internal/ids"
 	"autosec/internal/netif"
 	"autosec/internal/obs"
 	"autosec/internal/sim"
@@ -189,6 +190,8 @@ func runCompare(path string, seed uint64, runners []idRunner) int {
 	off := benchBest(3, probeFleetDrive)
 	obsOn := benchBest(3, probeFleetDriveObs)
 	merge := benchBest(2, probeFleetMerge)
+	idsBase := benchBest(2, probeIDSObserveBaseline)
+	idsMedium := benchBest(2, probeIDSObserveMediumAware)
 	probes := []struct {
 		name string
 		res  testing.BenchmarkResult
@@ -196,6 +199,8 @@ func runCompare(path string, seed uint64, runners []idRunner) int {
 		{"BenchmarkFleetVehiclesPerSec", off},
 		{"BenchmarkFleetVehiclesPerSecObs", obsOn},
 		{"BenchmarkFleetRegistryMerge", merge},
+		{"BenchmarkIDSObserveBaseline", idsBase},
+		{"BenchmarkIDSObserveMediumAware", idsMedium},
 	}
 	for _, p := range probes {
 		pin, pinned := base.Microbenchmarks[p.name]
@@ -225,6 +230,16 @@ func runCompare(path string, seed uint64, runners []idRunner) int {
 		fail("registry merge point: %d allocs/op (must be 0 in steady state)", a)
 	} else {
 		ok("registry merge point: 0 allocs/op")
+	}
+	for _, p := range []struct {
+		name string
+		res  testing.BenchmarkResult
+	}{{"baseline", idsBase}, {"medium-aware", idsMedium}} {
+		if a := p.res.AllocsPerOp(); a != 0 {
+			fail("ids observe hot path (%s): %d allocs/op (must be 0 in steady state)", p.name, a)
+		} else {
+			ok("ids observe hot path (%s): 0 allocs/op", p.name)
+		}
 	}
 
 	fmt.Println()
@@ -307,6 +322,67 @@ func probeFleetDriveObs(b *testing.B) {
 		b.Fatal("metrics plane produced an empty fleet registry")
 	}
 }
+
+// idsProbeRecord builds one fabric record for the observe-path probes.
+func idsProbeRecord(at sim.Time, medium netif.Kind, id uint32, sender string, n int) netif.Record {
+	return netif.Record{At: at, Frame: netif.Frame{
+		Medium: medium, ID: id, Sender: sender,
+		Src: netif.HWAddr{0x02, 0, 0, 0, 0, 0x51}, Aux: 1, Payload: make([]byte, n),
+	}}
+}
+
+// idsProbeEngine returns a suite engine trained on a small mixed-media
+// trace, plus conforming steady-state records — the same shape as the
+// internal/ids observe benchmarks the alloc gate mirrors.
+func idsProbeEngine(s ids.Suite) (*ids.Engine, []netif.Record) {
+	e := ids.NewEngineFromSuite(s)
+	var train []netif.Record
+	for i := 0; i < 8; i++ {
+		at := sim.Time(i) * 5 * sim.Millisecond
+		train = append(train, idsProbeRecord(at, netif.FlexRay, 9, "steer-ecu", 8))
+	}
+	for round := 0; round < 4; round++ {
+		for i, id := range []uint32{0x10, 0x11, 0x21, 0x30} {
+			at := sim.Time(round*40+i*10) * sim.Millisecond
+			train = append(train, idsProbeRecord(at, netif.LIN, id, "slave", 2))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		train = append(train, idsProbeRecord(at, netif.Ethernet, 0x88B6, "", 8))
+	}
+	e.Train(&netif.Trace{Records: train})
+	recs := []netif.Record{
+		idsProbeRecord(0, netif.FlexRay, 9, "steer-ecu", 8),
+		idsProbeRecord(0, netif.LIN, 0x10, "slave", 2),
+		idsProbeRecord(0, netif.LIN, 0x11, "slave", 2),
+		idsProbeRecord(0, netif.LIN, 0x21, "slave", 2),
+		idsProbeRecord(0, netif.LIN, 0x30, "slave", 2),
+		idsProbeRecord(0, netif.Ethernet, 0x88B6, "", 8),
+	}
+	for i := range recs {
+		e.Observe(recs[i]) // settle window/interval state
+	}
+	return e, recs
+}
+
+// probeIDSObserve measures the trained observe hot path; the standing
+// gate requires 0 allocs/op for both suites.
+func probeIDSObserve(b *testing.B, s ids.Suite) {
+	e, recs := idsProbeEngine(s)
+	var at sim.Time = 10 * sim.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		r.At = at
+		e.Observe(r)
+		at += 5 * sim.Millisecond
+	}
+}
+
+func probeIDSObserveBaseline(b *testing.B)    { probeIDSObserve(b, ids.BaselineSuite()) }
+func probeIDSObserveMediumAware(b *testing.B) { probeIDSObserve(b, ids.MediumAwareSuite()) }
 
 // probeFleetMerge isolates the merge point: folding one materialized
 // per-vehicle registry into a warm fleet registry, the exact per-vehicle

@@ -1,10 +1,10 @@
-// Command benchreport regenerates the full experiment suite E1–E19 (plus
+// Command benchreport regenerates the full experiment suite E1–E21 (plus
 // ablations A1–A2) from DESIGN.md and prints each result table, paper
 // claim included. -fleet trims or extends E18's fleet-size sweep the way
 // -zones does E17's zone counts; -kernelpar N runs E19's per-zone-kernel
-// sweep with N workers per vehicle (any N prints the same bytes as the
-// default serial reference — that equivalence is the point of E19, and
-// CI diffs it).
+// sweep and E21's medium-IDS vehicles with N workers per vehicle (any N
+// prints the same bytes as the default serial reference — that
+// equivalence is the point of E19, and CI diffs both).
 //
 // With -seeds N it becomes a replication study: the suite runs once per
 // seed (seed, seed+1, …) sharded across a -par-sized worker pool, and the
@@ -188,6 +188,14 @@ func main() {
 			return experiments.E19KernelParWith(s, []int{2, 4, 8, 16}, *kernelpar)
 		}
 	}
+	// E21 drives its per-zone-kernel vehicles with the same worker
+	// override as E19; every value prints identical bytes and CI diffs it.
+	e21 := experiments.E21MediumIDS
+	if *kernelpar != 1 {
+		e21 = func(s uint64) *experiments.Table {
+			return experiments.E21MediumIDSWith(s, *kernelpar)
+		}
+	}
 
 	if *fleetpar < 0 {
 		fmt.Fprintln(os.Stderr, "benchreport: -fleetpar must be >= 0")
@@ -243,6 +251,7 @@ func main() {
 		{"E18", e18},
 		{"E19", e19},
 		{"E20", e20},
+		{"E21", e21},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
 	}

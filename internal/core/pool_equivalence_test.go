@@ -7,7 +7,10 @@ import (
 	"testing"
 
 	"autosec/internal/can"
+	"autosec/internal/ethernet"
+	"autosec/internal/flexray"
 	"autosec/internal/gateway"
+	"autosec/internal/lin"
 	"autosec/internal/netif"
 	"autosec/internal/obs"
 	"autosec/internal/sim"
@@ -54,6 +57,16 @@ func eqRandomConfig(r *eqRng, trial int) Config {
 			z.LocalDomains = []DomainSpec{{Name: "body", Kind: netif.CAN}}
 		}
 		cfg.Zonal = z
+	}
+	// Detection-plane envelope: nil keeps the historical default; an
+	// explicit config widens the taps to every extra domain, and the
+	// medium-aware draw swaps in the semantic suite, whose registry
+	// routing order Reset must rebuild exactly.
+	switch r.intn(3) {
+	case 1:
+		cfg.IDS = &IDSConfig{}
+	case 2:
+		cfg.IDS = &IDSConfig{MediumAware: true}
 	}
 	return cfg
 }
@@ -110,6 +123,67 @@ func eqScenario(t *testing.T, v *Vehicle, scenSeed uint64) string {
 		k.Every(st.Duration(100*sim.Microsecond, sim.Millisecond), period, func() {
 			_ = c.Send(can.Frame{ID: id, Data: []byte{payload, 0x01}}, nil)
 		})
+	}
+
+	// Mixed-media traffic on the extra domains. On builds with an
+	// explicit IDS config the widened taps observe these records, and on
+	// medium-aware builds the semantic detectors alert on the scripted
+	// violations — alerts land in the audit chain the fingerprint hashes,
+	// so any detector state surviving Reset shows up as a divergence.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("extra%d", i)
+		switch {
+		case v.LINClusters[name] != nil:
+			cl := v.LINClusters[name]
+			slave := lin.NewSlave("eq-lin-slave")
+			if err := slave.Publish(0x10, func(at sim.Time) []byte { return []byte{0x10, 0xEF} }); err != nil {
+				t.Fatalf("lin publish: %v", err)
+			}
+			cl.AddSlave(slave)
+			cl.SetSchedule([]lin.ScheduleEntry{{ID: 0x10, Delay: sim.Millisecond}})
+			if err := cl.Start(); err != nil {
+				t.Fatalf("lin start: %v", err)
+			}
+			if r.chance(50) {
+				at := 2*sim.Millisecond + sim.Duration(r.intn(500))*sim.Microsecond
+				k.At(at, func() {
+					_ = cl.SendSporadic("eq-rogue", 0x2A, []byte{0xBA, 0xD0})
+				})
+			}
+		case v.FlexRayClusters[name] != nil:
+			fr := v.FlexRayClusters[name]
+			slot := flexray.SlotID(3 + r.intn(4))
+			if err := fr.AssignStatic(slot, "eq-fr-ecu", func(cycle int) []byte {
+				return []byte{byte(cycle), 0x00}
+			}); err != nil {
+				t.Fatalf("flexray assign: %v", err)
+			}
+			if err := fr.Start(); err != nil {
+				t.Fatalf("flexray start: %v", err)
+			}
+			if r.chance(50) {
+				rogue := flexray.SlotID(20 + r.intn(8))
+				k.At(sim.Millisecond, func() {
+					_ = fr.Intrude(rogue, "eq-fr-rogue", func(cycle int) []byte { return []byte{0xEE, 0x0E} })
+				})
+			}
+		case v.Switches[name] != nil:
+			sw := v.Switches[name]
+			h := ethernet.NewHost(fmt.Sprintf("eq-eth-host%d", i), ethernet.LocalMAC(0xE0+uint32(i)))
+			sw.Connect(h, 1)
+			payload := []byte{byte(r.intn(256)), 0x01}
+			k.Every(sim.Duration(100+r.intn(400))*sim.Microsecond, sim.Millisecond, func() {
+				_ = h.Send(ethernet.Frame{Dst: ethernet.Broadcast, EtherType: 0x88B6, Payload: payload})
+			})
+		case v.Buses[name] != nil:
+			c := can.NewController(fmt.Sprintf("eq-extra-can%d", i))
+			v.Buses[name].Attach(c)
+			id := can.ID(0x400 + r.intn(0x100))
+			period := sim.Duration(300+r.intn(700)) * sim.Microsecond
+			k.Every(500*sim.Microsecond, period, func() {
+				_ = c.Send(can.Frame{ID: id, Data: []byte{0xEC}}, nil)
+			})
+		}
 	}
 
 	// Background workload matrices sometimes.
@@ -181,6 +255,10 @@ func eqFingerprint(v *Vehicle, tr *obs.Tracer, reg *obs.Registry) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "kernel: now=%d steps=%d\n", v.Kernel.Now(), v.Kernel.Steps())
 	fmt.Fprintf(&b, "auth: macbits=%d failures=%d\n", v.MACBits, v.AuthFailures.Value)
+	fmt.Fprintf(&b, "ids: detectors=%v observed=%d\n", v.IDS.Detectors(), v.IDS.Observed())
+	for _, a := range v.IDS.Alerts {
+		fmt.Fprintf(&b, "ids alert: %s\n", a.String())
+	}
 
 	var trace bytes.Buffer
 	if err := tr.WriteChromeTrace(&trace); err != nil {

@@ -6,9 +6,6 @@
 // lifted one level up: construction wiring survives, run state does not.
 package core
 
-import (
-	"autosec/internal/ids"
-)
 
 // vehicleBaseline captures the Config-derived live state sealed at the
 // end of NewVehicle. Subsystem-internal baselines live on the subsystems
@@ -150,10 +147,11 @@ func (v *Vehicle) Reset(seed uint64) {
 		v.Gateway.ResetToBaseline()
 	}
 
-	// IDS gets a factory-fresh detector trio, mirroring NewVehicle —
-	// training state lives inside detectors, so fresh detectors mean an
-	// untrained engine, same as a fresh build.
-	v.IDS.ResetToBaseline(ids.NewFrequencyDetector(), ids.NewIntervalDetector(), ids.NewSpecDetector())
+	// IDS gets a factory-fresh build of the configured suite, mirroring
+	// NewVehicle — training state lives inside detectors, so fresh
+	// detectors mean an untrained engine, same as a fresh build, and the
+	// suite guarantees the same registry routing order.
+	v.IDS.ResetToBaseline(v.idsSuite.Build()...)
 
 	v.SHE.ResetToBaseline()
 	v.CPU.ResetState()

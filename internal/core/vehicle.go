@@ -60,6 +60,20 @@ type Config struct {
 	// domains sharded across them. Vehicle.Gateway is nil in zonal mode;
 	// use Vehicle.Zonal.
 	Zonal *ZonalConfig
+	// IDS, when set, reconfigures the detection plane: the engine taps
+	// every ExtraDomains medium in addition to the powertrain, and
+	// MediumAware selects the per-medium semantic detector suite. nil
+	// keeps the historical default exactly — the baseline statistical
+	// trio tapped into the powertrain only.
+	IDS *IDSConfig
+}
+
+// IDSConfig parameterizes the vehicle's detection plane.
+type IDSConfig struct {
+	// MediumAware installs ids.MediumAwareSuite() (the baseline trio
+	// plus the FlexRay, LIN, Ethernet and SOME/IP semantic families);
+	// false keeps ids.BaselineSuite().
+	MediumAware bool
 }
 
 // ZonalConfig parameterizes a zonal E/E build. The three standard CAN
@@ -139,6 +153,9 @@ type Vehicle struct {
 	auditStage [][]stagedAudit
 	stageIdx   []int
 
+	// idsSuite is the detector construction set the build selected;
+	// Reset rebuilds the detection plane from it.
+	idsSuite ids.Suite
 	// domainOrder records domain names in construction order so Reset
 	// walks the media deterministically (never map order).
 	domainOrder []string
@@ -233,9 +250,23 @@ func NewVehicle(cfg Config) (*Vehicle, error) {
 		}
 	}
 
-	// Secure Networks compensating control: IDS on the powertrain.
-	v.IDS = ids.NewEngine(ids.NewFrequencyDetector(), ids.NewIntervalDetector(), ids.NewSpecDetector())
+	// Secure Networks compensating control: the detection plane. The
+	// suite is remembered so pooled Resets rebuild the identical detector
+	// set in the identical registry order.
+	v.idsSuite = ids.BaselineSuite()
+	if cfg.IDS != nil && cfg.IDS.MediumAware {
+		v.idsSuite = ids.MediumAwareSuite()
+	}
+	v.IDS = ids.NewEngineFromSuite(v.idsSuite)
 	v.IDS.Attach(v.Media[DomainPowertrain])
+	if cfg.IDS != nil {
+		// Widened taps: every mixed-media extra domain feeds the engine.
+		// Extras shard into zone 0 — member 0's kernel — in every build
+		// flavor, so the added taps never observe across kernels.
+		for _, spec := range cfg.ExtraDomains {
+			v.IDS.Attach(v.Media[spec.Name])
+		}
+	}
 
 	// Secure Processing: SHE engine + MCU scheduler.
 	var uid she.UID
@@ -587,6 +618,17 @@ func buildDetector(d policy.Directive) (ids.Detector, error) {
 		return ids.NewEntropyDetector(), nil
 	case "spec":
 		return ids.NewSpecDetector(), nil
+	// The per-medium semantic families route to their medium's registry
+	// bucket automatically (ids.MediumDetector), so a policy push of a
+	// FlexRay model never sees other media's traffic.
+	case "fr-slot":
+		return ids.NewFlexRaySlotDetector(), nil
+	case "lin-schedule":
+		return ids.NewLINScheduleDetector(), nil
+	case "eth-addr":
+		return ids.NewEthernetAddrDetector(), nil
+	case "someip":
+		return ids.NewSOMEIPDetector(), nil
 	default:
 		return nil, fmt.Errorf("core: unknown detector %q", name)
 	}

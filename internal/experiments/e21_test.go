@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestE21ParallelMatchesSerial pins the medium-IDS experiment's
+// parallel-build invariance directly on the artifact: the E21 table
+// rendered from a multi-worker per-zone-kernel run is byte-identical to
+// the serial reference run (the one the golden file captures). Every
+// attack medium lives on an extra domain sharded into zone 0, so the
+// detection plane never observes across kernels. Run under -race to
+// also certify the synchronization.
+func TestE21ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 8-row scenario matrix twice")
+	}
+	want := E21MediumIDSWith(1, 1).String()
+	for _, workers := range []int{2, 8} {
+		got := E21MediumIDSWith(1, workers).String()
+		if got != want {
+			t.Fatalf("workers=%d table diverged from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -160,6 +160,7 @@ func All(seed uint64) []*Table {
 		E18Fleet(seed),
 		E19KernelPar(seed),
 		E20Observability(seed),
+		E21MediumIDS(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

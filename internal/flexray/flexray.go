@@ -79,6 +79,10 @@ type Frame struct {
 	Sender  string
 	// NullFrame marks a static slot whose owner had nothing to send.
 	NullFrame bool
+	// Dynamic marks a minislot-arbitrated dynamic-segment frame; static
+	// TDMA frames leave it clear so receivers can tell schedule-owned
+	// traffic from on-demand transmission.
+	Dynamic bool
 }
 
 // HeaderCRC computes the 11-bit header CRC (poly 0xB85, x^11+x^9+x^8+x^7+x^2+1)
@@ -274,7 +278,7 @@ func (c *Cluster) runCycle() {
 		at := dynBase + sim.Duration(mini)*miniLen
 		c.kernel.At(at, func() {
 			c.DynSent.Inc()
-			c.deliver(Frame{Slot: r.slot, Cycle: c.cycle, Payload: r.payload, Sender: r.sender})
+			c.deliver(Frame{Slot: r.slot, Cycle: c.cycle, Payload: r.payload, Sender: r.sender, Dynamic: true})
 		})
 		mini += need
 	}

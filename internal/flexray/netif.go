@@ -18,6 +18,9 @@ func FrameToNetif(f *Frame, out *netif.Frame) {
 	if f.NullFrame {
 		flags |= netif.FlagNull
 	}
+	if f.Dynamic {
+		flags |= netif.FlagDynamic
+	}
 	*out = netif.Frame{
 		Medium:   netif.FlexRay,
 		ID:       uint32(f.Slot),
@@ -47,6 +50,7 @@ func FrameFromNetif(nf *netif.Frame) (Frame, error) {
 		Payload:   nf.Payload,
 		Sender:    nf.Sender,
 		NullFrame: nf.Flags&netif.FlagNull != 0,
+		Dynamic:   nf.Flags&netif.FlagDynamic != 0,
 	}, nil
 }
 

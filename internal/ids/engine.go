@@ -12,10 +12,13 @@ import (
 
 // Engine runs a set of detectors over live traffic and aggregates alerts.
 // Detectors can be added and removed at runtime — the in-field upgrade
-// path the extensibility experiments exercise.
+// path the extensibility experiments exercise. Routing is medium-keyed:
+// detectors live in a Registry, and each record reaches the global
+// (medium-agnostic) detectors plus the ones registered for the record's
+// netif.Kind, in a deterministic merge order (see Registry).
 type Engine struct {
-	detectors []Detector
-	Alerts    []Alert
+	reg    Registry
+	Alerts []Alert
 
 	onAlert []func(Alert)
 
@@ -56,10 +59,10 @@ func (e *Engine) ResetToBaseline(ds ...Detector) {
 	if !e.baseSealed {
 		panic("ids: ResetToBaseline before MarkBaseline")
 	}
-	for i := range e.detectors {
-		e.detectors[i] = nil
+	e.reg.Clear()
+	for _, d := range ds {
+		e.reg.Register(d)
 	}
-	e.detectors = append(e.detectors[:0], ds...)
 	e.Alerts = e.Alerts[:0]
 	for i := e.baseOnAlert; i < len(e.onAlert); i++ {
 		e.onAlert[i] = nil
@@ -74,50 +77,56 @@ func (e *Engine) ResetToBaseline(ds ...Detector) {
 }
 
 // NewEngine creates an engine with the given initial detectors.
+// MediumDetectors route to their medium's registry bucket, everything
+// else to the global set (see Registry.Register).
 func NewEngine(ds ...Detector) *Engine {
-	return &Engine{detectors: ds}
+	e := &Engine{}
+	for _, d := range ds {
+		e.reg.Register(d)
+	}
+	return e
 }
 
-// Add installs a detector at runtime.
-func (e *Engine) Add(d Detector) { e.detectors = append(e.detectors, d) }
+// NewEngineFromSuite builds an engine from a detector suite.
+func NewEngineFromSuite(s Suite) *Engine { return NewEngine(s.Build()...) }
+
+// Add installs a detector at runtime, routing MediumDetectors to their
+// medium's bucket — the in-field upgrade path: a policy push of a
+// FlexRay model lands in the FlexRay bucket without the pusher knowing
+// the registry layout.
+func (e *Engine) Add(d Detector) { e.reg.Register(d) }
+
+// AddFor installs a detector scoped to one medium regardless of its
+// type.
+func (e *Engine) AddFor(k netif.Kind, d Detector) { e.reg.RegisterFor(k, d) }
 
 // Remove uninstalls a detector by name; it reports whether one was found.
-func (e *Engine) Remove(name string) bool {
-	for i, d := range e.detectors {
-		if d.Name() == name {
-			e.detectors = append(e.detectors[:i], e.detectors[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
+func (e *Engine) Remove(name string) bool { return e.reg.Remove(name) }
 
-// Detectors lists the installed detector names.
-func (e *Engine) Detectors() []string {
-	out := make([]string, 0, len(e.detectors))
-	for _, d := range e.detectors {
-		out = append(out, d.Name())
-	}
-	return out
-}
+// Detectors lists the installed detector names in routing order.
+func (e *Engine) Detectors() []string { return e.reg.Names() }
 
 // Train trains every installed detector on the clean reference trace.
-func (e *Engine) Train(trace *netif.Trace) {
-	for _, d := range e.detectors {
-		d.Train(trace)
-	}
-}
+func (e *Engine) Train(trace *netif.Trace) { e.reg.Train(trace) }
 
 // OnAlert registers an alert subscriber (e.g. the gateway's quarantine
 // trigger).
 func (e *Engine) OnAlert(fn func(Alert)) { e.onAlert = append(e.onAlert, fn) }
 
-// Observe feeds one record to all detectors.
+// Observe routes one record through the registry: the global detectors
+// first, then the record's medium bucket, each in install order — the
+// deterministic alert merge order the golden tables pin. The hot path
+// allocates nothing when no detector alerts.
 func (e *Engine) Observe(rec netif.Record) []Alert {
 	e.observed++
 	var out []Alert
-	for _, d := range e.detectors {
+	for _, d := range e.reg.global {
 		out = append(out, d.Observe(rec)...)
+	}
+	if int(rec.Frame.Medium) < len(e.reg.byKind) {
+		for _, d := range e.reg.byKind[rec.Frame.Medium] {
+			out = append(out, d.Observe(rec)...)
+		}
 	}
 	e.Alerts = append(e.Alerts, out...)
 	for _, a := range out {

@@ -174,7 +174,9 @@ func (d *FrequencyDetector) Observe(rec netif.Record) []Alert {
 				d.suppressed[k] = false
 			}
 		}
-		d.counts = make(map[netif.Key]int)
+		// Clear in place rather than reallocating: the observe hot path
+		// must stay allocation-free at steady state.
+		clear(d.counts)
 		d.winStart = rec.At
 	}
 	d.counts[rec.Frame.Key()]++

@@ -44,6 +44,10 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of media kinds, for dense per-kind tables
+// (detector registries, routing arrays) indexed by Kind.
+const NumKinds = int(numKinds)
+
 func (k Kind) String() string {
 	switch k {
 	case CAN:
@@ -85,6 +89,10 @@ const (
 	FlagBRS uint16 = 1 << 3
 	// FlagNull marks a FlexRay null frame (owner had nothing to send).
 	FlagNull uint16 = 1 << 8
+	// FlagDynamic marks a FlexRay dynamic-segment frame. Static TDMA
+	// frames leave it clear, so medium-aware detectors can tell a
+	// schedule-owned slot from minislot arbitration.
+	FlagDynamic uint16 = 1 << 9
 )
 
 // HWAddr is a 48-bit hardware address (Ethernet MAC); zero for media

@@ -1,0 +1,60 @@
+package someip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the wire decoder with arbitrary bytes. The
+// invariants: decode never panics, a decode error never returns a
+// message, a successful decode survives an encode/decode round trip
+// bit-for-bit, and PeekHeader agrees with the full decoder on both
+// validity and every header field — the IDS service-misuse detector
+// trusts the peek, so a disagreement would let crafted frames slip
+// past monitoring that the endpoints accept.
+func FuzzDecode(f *testing.F) {
+	seed := func(m Message) []byte { return m.encode() }
+	f.Add(seed(Message{ServiceID: 0x1234, MethodID: 0x01, ClientID: 0x42, SessionID: 7,
+		Type: TypeRequest, Payload: []byte{0xDE, 0xAD}}))
+	f.Add(seed(Message{ServiceID: 0x1234, MethodID: 0x10, Type: TypeNotification,
+		Payload: []byte{1, 2, 3, 4}}))
+	f.Add(seed(Message{ServiceID: 0x1234, Type: TypeOffer}))
+	f.Add(seed(Message{ServiceID: 0x1234, MethodID: 0x10, ClientID: 0x42, Type: TypeSubscribe}))
+	f.Add(seed(Message{ServiceID: 0xFFFF, MethodID: 0xFFFF, ClientID: 0xFFFF, SessionID: 0xFFFF,
+		Type: TypeError, ReturnCode: ReturnUnknownMethod}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 12, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 14))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decode(data)
+		h, ok := PeekHeader(data)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("decode returned message with error: %v", err)
+			}
+			if ok {
+				t.Fatalf("PeekHeader accepted %x but decode rejected it", data)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("decode accepted %x but PeekHeader rejected it", data)
+		}
+		if h.Service != m.ServiceID || h.Method != m.MethodID || h.Client != m.ClientID ||
+			h.Session != m.SessionID || h.Type != m.Type || h.ReturnCode != m.ReturnCode ||
+			h.PayloadLen != len(m.Payload) {
+			t.Fatalf("PeekHeader disagrees with decode: %+v vs %+v", h, m)
+		}
+		wire := m.encode()
+		m2, err := decode(wire)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if m2.ServiceID != m.ServiceID || m2.MethodID != m.MethodID ||
+			m2.ClientID != m.ClientID || m2.SessionID != m.SessionID ||
+			m2.Type != m.Type || m2.ReturnCode != m.ReturnCode ||
+			!bytes.Equal(m2.Payload, m.Payload) {
+			t.Fatalf("round trip diverged:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}

@@ -35,12 +35,14 @@ const (
 	TypeResponse     MessageType = 0x80
 	TypeError        MessageType = 0x81
 	// Discovery pseudo-types (SOME/IP-SD rides a reserved service; the
-	// model gives it explicit types for clarity).
-	typeOffer        MessageType = 0xC0
-	typeFind         MessageType = 0xC1
-	typeSubscribe    MessageType = 0xC2
-	typeSubscribeAck MessageType = 0xC3
-	typeSubscribeNak MessageType = 0xC4
+	// model gives it explicit types for clarity). Exported so wire
+	// monitors — the IDS service-misuse detector, the obs tap — can
+	// classify discovery traffic without round-tripping a Message.
+	TypeOffer        MessageType = 0xC0
+	TypeFind         MessageType = 0xC1
+	TypeSubscribe    MessageType = 0xC2
+	TypeSubscribeAck MessageType = 0xC3
+	TypeSubscribeNak MessageType = 0xC4
 )
 
 // Return codes.
@@ -155,7 +157,7 @@ func (s *Server) Handle(methodID uint16, fn MethodHandler) { s.methods[methodID]
 func (s *Server) StartOffering(period sim.Duration) (stop func()) {
 	return s.kernel.Every(0, period, func() {
 		s.OffersSent.Inc()
-		s.sendTo(ethernet.Broadcast, &Message{ServiceID: s.ServiceID, Type: typeOffer})
+		s.sendTo(ethernet.Broadcast, &Message{ServiceID: s.ServiceID, Type: TypeOffer})
 	})
 }
 
@@ -165,8 +167,8 @@ func (s *Server) sendTo(dst ethernet.MAC, m *Message) {
 
 func (s *Server) handle(src ethernet.MAC, m *Message) {
 	switch m.Type {
-	case typeFind:
-		s.sendTo(src, &Message{ServiceID: s.ServiceID, Type: typeOffer})
+	case TypeFind:
+		s.sendTo(src, &Message{ServiceID: s.ServiceID, Type: TypeOffer})
 	case TypeRequest:
 		fn, ok := s.methods[m.MethodID]
 		if !ok {
@@ -179,11 +181,11 @@ func (s *Server) handle(src ethernet.MAC, m *Message) {
 		s.RequestsOK.Inc()
 		s.sendTo(src, &Message{ServiceID: s.ServiceID, MethodID: m.MethodID,
 			ClientID: m.ClientID, SessionID: m.SessionID, Type: TypeResponse, ReturnCode: rc, Payload: resp})
-	case typeSubscribe:
+	case TypeSubscribe:
 		eg := m.MethodID
 		if s.SubscriberACL != nil && !s.SubscriberACL(src, eg) {
 			s.SubsRejected.Inc()
-			s.sendTo(src, &Message{ServiceID: s.ServiceID, MethodID: eg, Type: typeSubscribeNak})
+			s.sendTo(src, &Message{ServiceID: s.ServiceID, MethodID: eg, Type: TypeSubscribeNak})
 			return
 		}
 		if s.subscribers[eg] == nil {
@@ -191,7 +193,7 @@ func (s *Server) handle(src ethernet.MAC, m *Message) {
 		}
 		s.subscribers[eg][src] = true
 		s.SubsAccepted.Inc()
-		s.sendTo(src, &Message{ServiceID: s.ServiceID, MethodID: eg, Type: typeSubscribeAck})
+		s.sendTo(src, &Message{ServiceID: s.ServiceID, MethodID: eg, Type: TypeSubscribeAck})
 	}
 }
 
@@ -238,7 +240,7 @@ func NewClient(host *ethernet.Host, clientID uint16) *Client {
 			return
 		}
 		switch m.Type {
-		case typeOffer:
+		case TypeOffer:
 			if _, known := c.serviceMAC[m.ServiceID]; !known {
 				c.serviceMAC[m.ServiceID] = f.Src
 				for _, fn := range c.onOffer {
@@ -258,9 +260,9 @@ func NewClient(host *ethernet.Host, clientID uint16) *Client {
 			for _, fn := range c.onNotify[key] {
 				fn(m.Payload)
 			}
-		case typeSubscribeAck, typeSubscribeNak:
+		case TypeSubscribeAck, TypeSubscribeNak:
 			for _, fn := range c.onSubAck {
-				fn(m.ServiceID, m.MethodID, m.Type == typeSubscribeAck)
+				fn(m.ServiceID, m.MethodID, m.Type == TypeSubscribeAck)
 			}
 		}
 	})
@@ -283,7 +285,7 @@ func (c *Client) OnNotification(service, eventgroup uint16, fn func(payload []by
 
 // Find broadcasts a service find.
 func (c *Client) Find(service uint16) error {
-	m := &Message{ServiceID: service, Type: typeFind}
+	m := &Message{ServiceID: service, Type: TypeFind}
 	return c.host.Send(ethernet.Frame{Dst: ethernet.Broadcast, EtherType: EtherTypeSOMEIP, Payload: m.encode()})
 }
 
@@ -315,6 +317,6 @@ func (c *Client) Subscribe(service, eventgroup uint16) error {
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrUnknownService, service)
 	}
-	m := &Message{ServiceID: service, MethodID: eventgroup, ClientID: c.ClientID, Type: typeSubscribe}
+	m := &Message{ServiceID: service, MethodID: eventgroup, ClientID: c.ClientID, Type: TypeSubscribe}
 	return c.host.Send(ethernet.Frame{Dst: mac, EtherType: EtherTypeSOMEIP, Payload: m.encode()})
 }
