@@ -47,6 +47,7 @@ func BenchmarkE18Fleet(b *testing.B)         { benchTable(b, experiments.E18Flee
 func BenchmarkE19KernelPar(b *testing.B)     { benchTable(b, experiments.E19KernelPar) }
 func BenchmarkE20Observability(b *testing.B) { benchTable(b, experiments.E20Observability) }
 func BenchmarkE21MediumIDS(b *testing.B)     { benchTable(b, experiments.E21MediumIDS) }
+func BenchmarkE22Campaign(b *testing.B)      { benchTable(b, experiments.E22Campaign) }
 func BenchmarkA1MACTruncation(b *testing.B)  { benchTable(b, experiments.A1MACTruncation) }
 func BenchmarkA2BoundingSweep(b *testing.B)  { benchTable(b, experiments.A2BoundingThreshold) }
 

@@ -24,6 +24,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -38,6 +39,7 @@ import (
 	"autosec/internal/ids"
 	"autosec/internal/netif"
 	"autosec/internal/obs"
+	"autosec/internal/ota"
 	"autosec/internal/sim"
 )
 
@@ -119,6 +121,12 @@ const macroNS = int64(time.Second)
 // disabled path.
 const obsOverheadBudget = 1.10
 
+// campaignMemoSpeedup is the acceptance floor from the campaign engine:
+// the memoized per-vehicle verify (warm VerifyCache, signatures and
+// attestation already proven for this campaign) must be at least this
+// many times faster than the cold path that runs ed25519 per poll.
+const campaignMemoSpeedup = 10.0
+
 // runCompare executes the gate and returns the process exit code.
 func runCompare(path string, seed uint64, runners []idRunner) int {
 	base, err := loadBaseline(path)
@@ -192,6 +200,8 @@ func runCompare(path string, seed uint64, runners []idRunner) int {
 	merge := benchBest(2, probeFleetMerge)
 	idsBase := benchBest(2, probeIDSObserveBaseline)
 	idsMedium := benchBest(2, probeIDSObserveMediumAware)
+	verifyCold := benchBest(2, probeCampaignVerifyCold)
+	verifyMemo := benchBest(3, probeCampaignVerifyMemoized)
 	probes := []struct {
 		name string
 		res  testing.BenchmarkResult
@@ -201,6 +211,8 @@ func runCompare(path string, seed uint64, runners []idRunner) int {
 		{"BenchmarkFleetRegistryMerge", merge},
 		{"BenchmarkIDSObserveBaseline", idsBase},
 		{"BenchmarkIDSObserveMediumAware", idsMedium},
+		{"BenchmarkCampaignVerifyThroughputCold", verifyCold},
+		{"BenchmarkCampaignVerifyThroughputMemoized", verifyMemo},
 	}
 	for _, p := range probes {
 		pin, pinned := base.Microbenchmarks[p.name]
@@ -240,6 +252,17 @@ func runCompare(path string, seed uint64, runners []idRunner) int {
 		} else {
 			ok("ids observe hot path (%s): 0 allocs/op", p.name)
 		}
+	}
+	if a := verifyMemo.AllocsPerOp(); a != 0 {
+		fail("campaign memoized verify: %d allocs/op (must be 0 on the hot path)", a)
+	} else {
+		ok("campaign memoized verify: 0 allocs/op")
+	}
+	speedup := float64(verifyCold.NsPerOp()) / float64(verifyMemo.NsPerOp())
+	if speedup < campaignMemoSpeedup {
+		fail("campaign verify memoization: %.1fx over cold (floor %.0fx)", speedup, campaignMemoSpeedup)
+	} else {
+		ok("campaign verify memoization: %.1fx over cold (floor %.0fx)", speedup, campaignMemoSpeedup)
 	}
 
 	fmt.Println()
@@ -383,6 +406,66 @@ func probeIDSObserve(b *testing.B, s ids.Suite) {
 
 func probeIDSObserveBaseline(b *testing.B)    { probeIDSObserve(b, ids.BaselineSuite()) }
 func probeIDSObserveMediumAware(b *testing.B) { probeIDSObserve(b, ids.MediumAwareSuite()) }
+
+// campaignProbeFixture builds the same group-addressed bundle the
+// internal/ota campaign benchmarks use: a director+image pair signing a
+// single brake-firmware target for one model line. The vehicle is left
+// one ApplyCached short of steady state so the cold probe installs and
+// the memoized probe re-polls.
+func campaignProbeFixture(b *testing.B) (*ota.Bundle, *ota.Client, *ota.VerifyCache) {
+	b.Helper()
+	d, err := ota.NewRepository("director")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := ota.NewRepository("image")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("brake firmware v2 image bytes ........")
+	target := ota.MakeTarget("brake-fw", 2, "brake-mcu-r2", payload)
+	bundle := &ota.Bundle{
+		Director: d.Sign("model-S", []ota.Target{target}, sim.Hour),
+		Image:    im.Sign("", []ota.Target{target}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": payload},
+	}
+	c := ota.NewClient("VIN-probe", d.PublicKey(), im.PublicKey())
+	c.Group = "model-S"
+	c.AddECU("brake-mcu-r2", 1)
+	return bundle, c, ota.NewVerifyCache()
+}
+
+// probeCampaignVerifyCold measures the per-poll cost with a fresh cache
+// every iteration — every signature runs through ed25519 and the
+// attestation is rebuilt, the pre-memoization fleet cost.
+func probeCampaignVerifyCold(b *testing.B) {
+	bundle, c, _ := campaignProbeFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold := ota.NewVerifyCache()
+		if err := c.ApplyCached(bundle, sim.Minute, cold); err != nil && !errors.Is(err, ota.ErrNoUpdate) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// probeCampaignVerifyMemoized measures the steady-state campaign
+// check-in: warm cache, every proof memoized. The standing gates pin
+// this at 0 allocs/op and >= campaignMemoSpeedup over the cold probe.
+func probeCampaignVerifyMemoized(b *testing.B) {
+	bundle, c, vc := campaignProbeFixture(b)
+	if err := c.ApplyCached(bundle, sim.Minute, vc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ApplyCached(bundle, sim.Minute, vc); !errors.Is(err, ota.ErrNoUpdate) {
+			b.Fatal(err)
+		}
+	}
+}
 
 // probeFleetMerge isolates the merge point: folding one materialized
 // per-vehicle registry into a warm fleet registry, the exact per-vehicle

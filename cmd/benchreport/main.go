@@ -1,4 +1,4 @@
-// Command benchreport regenerates the full experiment suite E1–E21 (plus
+// Command benchreport regenerates the full experiment suite E1–E22 (plus
 // ablations A1–A2) from DESIGN.md and prints each result table, paper
 // claim included. -fleet trims or extends E18's fleet-size sweep the way
 // -zones does E17's zone counts; -kernelpar N runs E19's per-zone-kernel
@@ -37,7 +37,8 @@
 // sweep, -fleetpar pins the fleet driver's worker count (the table is
 // byte-identical for every value — CI diffs 1 against 8), and -progress
 // streams per-drive completion and vehicles/sec to stderr, strictly
-// outside the deterministic stdout.
+// outside the deterministic stdout. -fleetpar also drives E22's campaign
+// waves at that worker count, under the same byte-identity contract.
 //
 // -compare BASELINE.json is the perf regression gate: it re-runs every
 // experiment pinned in a committed BENCH_PRn.json, requires byte-identical
@@ -101,7 +102,7 @@ func main() {
 	fleet := flag.String("fleet", "", "comma-separated fleet sizes for E18's sweep (e.g. 500,5000); empty uses the golden default (1000,10000,100000)")
 	kernelpar := flag.Int("kernelpar", 1, "worker count for E19's per-zone-kernel group (1 = serial reference; any value prints identical tables)")
 	obsfleet := flag.String("obsfleet", "", "comma-separated fleet sizes for E20's observability sweep (e.g. 500,5000); empty uses the golden default (1000,10000)")
-	fleetpar := flag.Int("fleetpar", 0, "fleet driver worker count for E20 (0 = GOMAXPROCS; any value prints identical tables — CI diffs 1 vs 8)")
+	fleetpar := flag.Int("fleetpar", 0, "fleet driver worker count for E20 and E22's campaign waves (0 = default; any value prints identical tables — CI diffs 1 vs 8)")
 	progress := flag.Bool("progress", false, "stream fleet drive progress and throughput to stderr (wall-clock telemetry; never in the tables)")
 	compareFile := flag.String("compare", "", "regression-gate the working tree against this committed BENCH_PRn.json baseline and exit")
 	jsonOut := flag.String("json", "", "write per-experiment ns + table hashes as JSON to this file ('-' for stdout); single-seed mode only")
@@ -201,6 +202,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport: -fleetpar must be >= 0")
 		os.Exit(1)
 	}
+	// E22 drives its campaign waves with the -fleetpar worker count; the
+	// default 0 keeps the serial golden reference. Any value prints
+	// identical bytes — CI byte-diffs 1 against 8.
+	e22 := experiments.E22Campaign
+	if *fleetpar > 1 {
+		e22 = func(s uint64) *experiments.Table {
+			return experiments.E22CampaignWith(s, *fleetpar)
+		}
+	}
 	e20 := experiments.E20Observability
 	if *obsfleet != "" || *fleetpar != 0 || *progress {
 		sizes := []int{1_000, 10_000}
@@ -252,6 +262,7 @@ func main() {
 		{"E19", e19},
 		{"E20", e20},
 		{"E21", e21},
+		{"E22", e22},
 		{"A1", experiments.A1MACTruncation},
 		{"A2", experiments.A2BoundingThreshold},
 	}

@@ -1,22 +1,34 @@
-// Command otactl drives an OTA campaign against a simulated fleet and
-// reports the outcome per vehicle, including what a stolen-key attacker
-// achieves under each key-provisioning policy.
+// Command otactl drives OTA update campaigns against a simulated fleet
+// and reports the outcome, including what an update-channel attacker
+// achieves mid-campaign and what a stolen-key attacker achieves under
+// each key-provisioning policy.
 //
 // Usage:
 //
-//	otactl campaign [-fleet N] [-models M]                      legitimate update across the fleet
+//	otactl campaign [-fleet N] [-models M] [-canary N] [-growth K]
+//	                [-abort F] [-attack A] [-attack-from W]
+//	                [-rotate-at W] [-rotate-on-blast] [-fleetpar P] [-seed S]
+//	                                      staged rollout waves, optionally under attack
 //	otactl attack [-fleet N] [-models M] [-policy shared|per-model|per-device]
-//	                                                            extract one key, try the whole fleet
+//	                                      extract one key, try the whole fleet
+//
+// The campaign subcommand runs the internal/campaign engine: canary →
+// ring → full waves over a pooled fleet, verify-once-per-campaign
+// signature memoization, version skew from vehicles that missed the
+// previous campaign, and the E22 attack matrix (freeze, rollback,
+// imagekey, twokey) with abort thresholds and key rotation as the
+// responses. The report is deterministic for a given flag set at any
+// -fleetpar value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"autosec/internal/campaign"
 	"autosec/internal/fleet"
-	"autosec/internal/ota"
-	"autosec/internal/sim"
 )
 
 func main() {
@@ -35,7 +47,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  otactl campaign [-fleet N] [-models M]                        run a legitimate signed update
+  otactl campaign [-fleet N] [-models M] [-canary N] [-growth K] [-abort F]
+                  [-attack A] [-attack-from W] [-rotate-at W] [-rotate-on-blast]
+                  [-fleetpar P] [-seed S]
+                  staged rollout waves under an optional mid-campaign attack
+                  A in {none, freeze, rollback, imagekey, twokey}
   otactl attack [-fleet N] [-models M] [-policy P]              assess stolen-key fleet compromise
                  P in {shared, per-model, per-device}
 `)
@@ -44,44 +60,58 @@ func usage() {
 
 func cmdCampaign(args []string) {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	n := fs.Int("fleet", 20, "fleet size")
+	n := fs.Int("fleet", 400, "fleet size")
 	models := fs.Int("models", 4, "model lines")
+	canary := fs.Int("canary", 16, "canary (first wave) size")
+	growth := fs.Int("growth", 4, "ring growth factor between waves")
+	abort := fs.Float64("abort", 0.5, "abort threshold on a wave's compromised fraction (0 disables)")
+	attackName := fs.String("attack", "none", "mid-campaign attack: none|freeze|rollback|imagekey|twokey")
+	attackFrom := fs.Int("attack-from", 1, "first wave index the attack is active for")
+	rotateAt := fs.Int("rotate-at", -1, "rotate the trust epoch before this wave index (-1: never)")
+	rotateOnBlast := fs.Bool("rotate-on-blast", false, "rotate keys instead of aborting when a wave trips the abort threshold")
+	fleetpar := fs.Int("fleetpar", 1, "fleet driver worker count (any value prints identical reports)")
+	seed := fs.Uint64("seed", 1, "scenario seed")
 	_ = fs.Parse(args)
 
-	director, err := ota.NewRepository("director")
+	var kind campaign.AttackKind
+	switch *attackName {
+	case "none":
+		kind = campaign.AttackNone
+	case "freeze":
+		kind = campaign.AttackFreeze
+	case "rollback":
+		kind = campaign.AttackRollback
+	case "imagekey":
+		kind = campaign.AttackImageKey
+	case "twokey":
+		kind = campaign.AttackTwoKey
+	default:
+		usage()
+	}
+
+	eng, err := campaign.New(campaign.Config{
+		Fleet:   *n,
+		Models:  *models,
+		Workers: *fleetpar,
+		Seed:    *seed,
+		Strategy: campaign.Strategy{
+			Name:           "otactl",
+			Canary:         *canary,
+			Growth:         *growth,
+			AbortThreshold: *abort,
+		},
+		Attack:        campaign.AttackPlan{Kind: kind, FromWave: *attackFrom},
+		RotateAtWave:  *rotateAt,
+		RotateOnBlast: *rotateOnBlast,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	image, err := ota.NewRepository("image")
+	res, err := eng.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}
-
-	payload := []byte("brake firmware v2: patched CVE-2026-0042")
-	target := ota.MakeTarget("brake-fw", 2, "brake-mcu", payload)
-	imgMeta := image.Sign("", []ota.Target{target}, sim.Hour)
-
-	installed, rejected := 0, 0
-	for i := 0; i < *n; i++ {
-		vin := fmt.Sprintf("VIN-%06d", i+1)
-		client := ota.NewClient(vin, director.PublicKey(), image.PublicKey())
-		client.AddECU("brake-mcu", 1)
-		bundle := &ota.Bundle{
-			Director: director.Sign(vin, []ota.Target{target}, sim.Hour),
-			Image:    imgMeta,
-			Payloads: map[string][]byte{"brake-fw": payload},
-		}
-		if err := client.Apply(bundle, sim.Minute); err != nil {
-			fmt.Printf("%s: REJECTED: %v\n", vin, err)
-			rejected++
-			continue
-		}
-		ecu, _ := client.ECU("brake-mcu")
-		fmt.Printf("%s: installed %s v%d\n", vin, ecu.InstalledName, ecu.InstalledVersion)
-		installed++
-	}
-	fmt.Printf("-- campaign over %d vehicles (%d models): %d installed, %d rejected\n",
-		*n, *models, installed, rejected)
+	fmt.Print(res.Render())
 }
 
 func cmdAttack(args []string) {

@@ -1,0 +1,326 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"autosec/internal/obs"
+)
+
+func baseConfig() Config {
+	return Config{
+		Fleet:  400,
+		Models: 4,
+		Seed:   7,
+		Strategy: Strategy{
+			Name: "conservative", Canary: 16, Growth: 4, AbortThreshold: 0.5,
+		},
+		RotateAtWave: -1,
+	}
+}
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignHappyPath(t *testing.T) {
+	cfg := baseConfig()
+	res := run(t, cfg)
+	if res.Aborted || res.Rotations != 0 {
+		t.Fatalf("clean campaign aborted/rotated: %+v", res)
+	}
+	if got := res.Outcomes[OutcomeUpdated]; got != cfg.Fleet {
+		t.Fatalf("updated %d of %d:\n%s", got, cfg.Fleet, res.Render())
+	}
+	// Waves partition the fleet: canary 16, rings x4.
+	if len(res.Waves) == 0 || res.Waves[0].Wave.Size() != 16 {
+		t.Fatalf("wave plan: %+v", res.Waves)
+	}
+	// The backend published 3 generations x 4 models = 12 bundles, 24
+	// signatures; epoch never rotated, so exactly 24 cold verifications
+	// serve the whole fleet (provisioning + waves).
+	if res.Cache.SigVerifies != 24 {
+		t.Fatalf("cold signature verifications: %d\n%s", res.Cache.SigVerifies, res.Render())
+	}
+	if res.Cache.AttestBuilds != 12 {
+		t.Fatalf("attestation builds: %d", res.Cache.AttestBuilds)
+	}
+	// Fleet-scale lookups dwarf the cold work: provisioning (fleet +
+	// non-late-joiners) plus two check-ins per vehicle.
+	if res.Cache.SigLookups < int64(4*cfg.Fleet) {
+		t.Fatalf("sig lookups: %d", res.Cache.SigLookups)
+	}
+}
+
+func TestCampaignVersionSkewConverges(t *testing.T) {
+	cfg := baseConfig()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := 0
+	for _, st := range e.States() {
+		if st.LateJoiner {
+			late++
+		}
+	}
+	if late == 0 || late == cfg.Fleet {
+		t.Fatalf("late joiner population: %d", late)
+	}
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Every vehicle — skewed or not — ends on the campaign firmware.
+	for _, st := range e.States() {
+		ecu, ok := st.Client.ECU(hwid(st.Model))
+		if !ok || ecu.InstalledVersion != versionCurrent {
+			t.Fatalf("vehicle %d (late=%v) at version %d", st.Idx, st.LateJoiner, ecu.InstalledVersion)
+		}
+	}
+}
+
+func TestCampaignRollbackBlastsLateJoiners(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Strategy.AbortThreshold = 0 // measure the full sweep
+	cfg.Attack = AttackPlan{Kind: AttackRollback, FromWave: 1}
+	res := run(t, cfg)
+	// Wave 0 is clean; attacked waves freeze the baseline population and
+	// roll the late joiners back to superseded firmware.
+	if res.Waves[0].StaleInstalls != 0 || res.Waves[0].Frozen != 0 {
+		t.Fatalf("clean canary polluted: %+v", res.Waves[0])
+	}
+	stale, frozen := 0, 0
+	for _, w := range res.Waves[1:] {
+		stale += w.StaleInstalls
+		frozen += w.Frozen
+	}
+	if stale == 0 || frozen == 0 {
+		t.Fatalf("rollback sweep: stale=%d frozen=%d\n%s", stale, frozen, res.Render())
+	}
+	if res.Outcomes[OutcomeStaleInstall] != stale || res.Outcomes[OutcomeFrozen] != frozen {
+		t.Fatalf("outcome tallies disagree with waves:\n%s", res.Render())
+	}
+	// Blast radius is exactly the attacked late joiners: stale installs
+	// land on vehicles that missed the baseline, nobody else installs
+	// anything stale.
+	lateAttacked := 0
+	for idx := res.Waves[1].Wave.Lo; idx < cfg.Fleet; idx++ {
+		if idx%7 == 3 {
+			lateAttacked++
+		}
+	}
+	if stale != lateAttacked {
+		t.Fatalf("stale installs %d, want the %d attacked late joiners", stale, lateAttacked)
+	}
+}
+
+func TestCampaignFreezeSilentThenDetected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Strategy.AbortThreshold = 0
+	cfg.Attack = AttackPlan{Kind: AttackFreeze, FromWave: 1}
+	res := run(t, cfg)
+	attackedPop := 0
+	for _, w := range res.Waves[1:] {
+		attackedPop += w.Wave.Size()
+		if w.EvilInstalls != 0 || w.StaleInstalls != 0 {
+			t.Fatalf("freeze installed something: %+v", w)
+		}
+	}
+	// Every attacked vehicle is frozen and — because the replayed
+	// metadata expires inside the wave — detected.
+	if res.Outcomes[OutcomeFrozen] != attackedPop {
+		t.Fatalf("frozen %d of %d attacked:\n%s", res.Outcomes[OutcomeFrozen], attackedPop, res.Render())
+	}
+	// Freeze is pure withholding: blast fraction 0 everywhere, so the
+	// abort rule never sees it — the detection signal is the expiry.
+	if res.Aborted {
+		t.Fatal("freeze must not trip the blast-abort rule")
+	}
+}
+
+func TestCampaignImageKeyContained(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Attack = AttackPlan{Kind: AttackImageKey, FromWave: 0}
+	res := run(t, cfg)
+	// A single stolen key installs nothing: the two repositories must
+	// agree. Every vehicle rejects the forgery and recovers on the honest
+	// re-check.
+	if res.Outcomes[OutcomeEvilInstall] != 0 {
+		t.Fatalf("single-key forgery installed:\n%s", res.Render())
+	}
+	if res.Outcomes[OutcomeUpdated] != cfg.Fleet {
+		t.Fatalf("fleet did not recover:\n%s", res.Render())
+	}
+	rejected := 0
+	for _, w := range res.Waves {
+		rejected += w.AttackRejected
+	}
+	if rejected != cfg.Fleet {
+		t.Fatalf("rejections %d of %d", rejected, cfg.Fleet)
+	}
+}
+
+func TestCampaignTwoKeyAbortBoundsBlast(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Attack = AttackPlan{Kind: AttackTwoKey, FromWave: 1}
+	res := run(t, cfg)
+	// Wave 1 (size 64) is fully compromised; the abort threshold stops
+	// the campaign there, so the blast radius is one ring, not the fleet.
+	if !res.Aborted || res.AbortWave != 1 {
+		t.Fatalf("expected abort at wave 1:\n%s", res.Render())
+	}
+	if got := res.Outcomes[OutcomeEvilInstall]; got != res.Waves[1].Wave.Size() {
+		t.Fatalf("blast radius %d, want %d:\n%s", got, res.Waves[1].Wave.Size(), res.Render())
+	}
+	if res.Outcomes[OutcomePending] == 0 {
+		t.Fatal("abort should leave the undriven fleet pending")
+	}
+}
+
+func TestCampaignTwoKeyRotationRecovers(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Attack = AttackPlan{Kind: AttackTwoKey, FromWave: 1}
+	cfg.RotateOnBlast = true
+	res := run(t, cfg)
+	if res.Aborted || res.Rotations != 1 {
+		t.Fatalf("expected one rotation, no abort:\n%s", res.Render())
+	}
+	blast := res.Waves[1].Wave.Size()
+	// The compromised ring was hijacked, failed rotation and is the
+	// entire failed set; every wave after the rotation installs cleanly
+	// under the new epoch because the stolen keys sign a dead trust root.
+	if len(res.RotateFailed) != blast || res.Outcomes[OutcomeFailed] != blast {
+		t.Fatalf("failed set %d/%d, want %d:\n%s",
+			len(res.RotateFailed), res.Outcomes[OutcomeFailed], blast, res.Render())
+	}
+	for _, w := range res.Waves[2:] {
+		if w.EvilInstalls != 0 || w.Updated != w.Wave.Size() {
+			t.Fatalf("post-rotation wave compromised: %+v", w)
+		}
+	}
+	if res.Outcomes[OutcomeEvilInstall] != 0 {
+		t.Fatalf("evil installs should have been reclassified as failed:\n%s", res.Render())
+	}
+}
+
+// TestCampaignRotationBetweenCanaryAndRing is the RotateKeys-vs-campaign
+// race: the canary wave is compromised end to end (two stolen keys), the
+// OEM rotates the trust epoch between canary and ring. Hijacked canary
+// vehicles must land in failed deterministically (fleet slice order),
+// and the post-rotation waves must verify under the new master without
+// re-verifying any completed wave's artifacts.
+func TestCampaignRotationBetweenCanaryAndRing(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Strategy.AbortThreshold = 0
+	cfg.Attack = AttackPlan{Kind: AttackTwoKey, FromWave: 0}
+	cfg.RotateAtWave = 1 // between canary and ring
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preWave := e.Cache().Stats()
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canary := res.Waves[0].Wave.Size()
+	if res.Waves[0].EvilInstalls != canary {
+		t.Fatalf("canary should be fully compromised: %+v", res.Waves[0])
+	}
+	if !res.Waves[1].Rotated {
+		t.Fatalf("rotation did not land between canary and ring:\n%s", res.Render())
+	}
+	// Hijacked vehicles fail rotation in fleet slice order: the canary is
+	// indices [0,16), so the failed VINs are exactly VIN-000001..VIN-000016
+	// in order.
+	if len(res.RotateFailed) != canary {
+		t.Fatalf("rotate failed %d, want %d", len(res.RotateFailed), canary)
+	}
+	for i, vin := range res.RotateFailed {
+		if want := e.States()[i].VIN; vin != want {
+			t.Fatalf("failed[%d] = %s, want %s (slice order)", i, vin, want)
+		}
+		if e.States()[i].Outcome != OutcomeFailed {
+			t.Fatalf("hijacked vehicle %d outcome %v", i, e.States()[i].Outcome)
+		}
+	}
+	// Post-rotation waves all verify under the new master.
+	for _, w := range res.Waves[1:] {
+		if w.Updated != w.Wave.Size() {
+			t.Fatalf("post-rotation wave not clean: %+v", w)
+		}
+	}
+	// "Without re-verifying completed waves": the rotation adds exactly
+	// one republished generation plus one re-check of the forged director
+	// metadata under the new key (the cache key embeds the key
+	// fingerprint, so the old proof cannot be reused) — bounded by
+	// published artifacts, not by fleet or wave size. Epoch-0 artifacts:
+	// 3 gens + 1 forged bundle set (2 sigs per model each); epoch 1 adds
+	// 1 gen plus the forged director's single failed re-verification per
+	// model.
+	wantVerifies := int64(2*cfg.Models*5 + cfg.Models)
+	if res.Cache.SigVerifies != wantVerifies {
+		t.Fatalf("cold verifies %d, want %d (artifact-bounded, not fleet-bounded)",
+			res.Cache.SigVerifies, wantVerifies)
+	}
+	if preWave.SigVerifies >= res.Cache.SigVerifies {
+		t.Fatal("waves performed no verification at all?")
+	}
+}
+
+// TestCampaignParInvariance is the campaign determinism gate: the full
+// report — waves, outcomes, cache stats and the merged metrics registry
+// — must be byte-identical at 1 and 8 workers. CI runs this under -race.
+func TestCampaignParInvariance(t *testing.T) {
+	render := func(workers int, attack AttackKind) string {
+		cfg := baseConfig()
+		cfg.Workers = workers
+		cfg.Attack = AttackPlan{Kind: attack, FromWave: 1}
+		cfg.RotateOnBlast = true
+		res := run(t, cfg)
+		var sb strings.Builder
+		sb.WriteString(res.Render())
+		for _, m := range res.Registry.Snapshot() {
+			sb.WriteString(m.Key + "=" + obs.FormatValue(m.Value) + "\n")
+		}
+		return sb.String()
+	}
+	for _, attack := range []AttackKind{AttackNone, AttackRollback, AttackTwoKey} {
+		s1 := render(1, attack)
+		s8 := render(8, attack)
+		if s1 != s8 {
+			t.Fatalf("attack %v: campaign diverges by worker count:\n--- par=1\n%s--- par=8\n%s", attack, s1, s8)
+		}
+	}
+}
+
+// TestCampaignMemoizedSteadyState: after its install, a vehicle's
+// re-poll is the memoized no-update path — the client-side counter that
+// makes the fleet's steady-state load visible.
+func TestCampaignMemoizedSteadyState(t *testing.T) {
+	cfg := baseConfig()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range e.States()[:20] {
+		if st.Client.UpToDate.Value == 0 {
+			t.Fatalf("vehicle %d never exercised the no-update path", st.Idx)
+		}
+	}
+}

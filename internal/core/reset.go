@@ -6,7 +6,6 @@
 // lifted one level up: construction wiring survives, run state does not.
 package core
 
-
 // vehicleBaseline captures the Config-derived live state sealed at the
 // end of NewVehicle. Subsystem-internal baselines live on the subsystems
 // themselves (see their MarkBaseline methods).

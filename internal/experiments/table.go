@@ -161,6 +161,7 @@ func All(seed uint64) []*Table {
 		E19KernelPar(seed),
 		E20Observability(seed),
 		E21MediumIDS(seed),
+		E22Campaign(seed),
 		A1MACTruncation(seed),
 		A2BoundingThreshold(seed),
 	}

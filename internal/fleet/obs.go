@@ -223,6 +223,22 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 	if d.N <= 0 {
 		return nil, nil, fmt.Errorf("fleet: population must be positive, got %d", d.N)
 	}
+	return driveRangeObs(ctx, d, o, 0, d.N, func(idx int, v *core.Vehicle, _ *obs.Registry) (T, error) {
+		return fn(idx, v)
+	})
+}
+
+// driveRangeObs is the sharded drive loop over the index range [lo, hi)
+// of d's population — the common core of DriveObs (full population) and
+// DriveWaveObs (one campaign wave). Vehicle identity is a function of
+// the absolute index: seeds, trace sampling and metric fold order all
+// key on idx, never on the range, so driving [0,N) in one call or as a
+// sequence of wave ranges visits byte-identical vehicles. fn receives
+// the vehicle's live metrics registry (nil unless o.Metrics) so range
+// callers can register scenario-level instruments that merge at the
+// barrier alongside the vehicle's own.
+func driveRangeObs[T any](ctx context.Context, d Driver, o ObsOptions, lo, hi int, fn func(idx int, v *core.Vehicle, reg *obs.Registry) (T, error)) ([]T, *ObsResult, error) {
+	n := hi - lo
 	tracing := o.TraceRate > 0
 	if tracing && d.Cfg.Zonal != nil && d.Cfg.Zonal.PerZoneKernels {
 		return nil, nil, fmt.Errorf("fleet: flight recorder requires a shared-kernel build (Zonal.PerZoneKernels is set)")
@@ -231,8 +247,8 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > d.N {
-		workers = d.N
+	if workers > n {
+		workers = n
 	}
 	traceCap := o.TraceCapacity
 	if traceCap <= 0 {
@@ -243,7 +259,7 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 		maxTraces = DefaultMaxTraces
 	}
 
-	results := make([]T, d.N)
+	results := make([]T, n)
 	// Per-vehicle metric shards, filled at each vehicle's index and
 	// folded after the barrier — the single merge point that makes the
 	// fleet snapshot independent of the worker count. Shards are flat
@@ -256,23 +272,23 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 	}
 	var shards []vehicleShard
 	if o.Metrics {
-		shards = make([]vehicleShard, d.N)
+		shards = make([]vehicleShard, n)
 	}
 	kept := make([][]VehicleTrace, workers)
 
 	var abort driveAbort
 	var statsMu sync.Mutex
-	stats := DriveStats{Vehicles: d.N, Workers: workers}
+	stats := DriveStats{Vehicles: n, Workers: workers}
 	start := time.Now()
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		// Contiguous shards: vehicle idx lands in shard idx*workers/N,
-		// sizes differ by at most one.
-		lo := w * d.N / workers
-		hi := (w + 1) * d.N / workers
+		// Contiguous shards over the driven range; sizes differ by at
+		// most one.
+		wlo := lo + w*n/workers
+		whi := lo + (w+1)*n/workers
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w, wlo, whi int) {
 			defer wg.Done()
 			pool := core.NewVehiclePool(d.Cfg)
 			// scratch is the recycled tracer for captures that end up
@@ -284,7 +300,7 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 			var scratchReg *obs.Registry
 			var layout *obs.ShardLayout
 			var arena *obs.ShardArena
-			for idx := lo; idx < hi; idx++ {
+			for idx := wlo; idx < whi; idx++ {
 				if err := ctx.Err(); err != nil {
 					abort.fail(idx, err)
 					break
@@ -319,7 +335,7 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 				if reg != nil || tr != nil {
 					v.Instrument(tr, reg)
 				}
-				out, err := fn(idx, v)
+				out, err := fn(idx, v, reg)
 				if err == nil && tracing {
 					interesting := v.SecurityIncidents() > 0
 					if interesting || TraceSampled(d.Cfg.Seed, idx, o.TraceRate) {
@@ -338,25 +354,25 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 					// closures read.
 					if layout == nil || !layout.Matches(reg) {
 						layout = obs.NewShardLayout(reg)
-						arena = layout.NewArena(hi - idx)
+						arena = layout.NewArena(whi - idx)
 					}
-					shards[idx] = vehicleShard{layout: layout, data: arena.Export(reg)}
+					shards[idx-lo] = vehicleShard{layout: layout, data: arena.Export(reg)}
 				}
 				pool.Release(v)
 				if err != nil {
 					abort.fail(idx, fmt.Errorf("fleet: vehicle %d: %w", idx, err))
 					break
 				}
-				results[idx] = out
+				results[idx-lo] = out
 				if o.Observer != nil {
-					o.Observer.VehicleDone(w, idx-lo+1, hi-lo)
+					o.Observer.VehicleDone(w, idx-wlo+1, whi-wlo)
 				}
 			}
 			statsMu.Lock()
 			stats.PoolHits += pool.Hits
 			stats.PoolMisses += pool.Misses
 			statsMu.Unlock()
-		}(w, lo, hi)
+		}(w, wlo, whi)
 	}
 	wg.Wait()
 	if err := abort.err(); err != nil {
@@ -383,21 +399,21 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 			accLayout, acc = nil, obs.Shard{}
 			return err
 		}
-		for idx := range shards {
-			l := shards[idx].layout
+		for i := range shards {
+			l := shards[i].layout
 			if l == nil {
 				continue
 			}
 			if accLayout != nil && l != accLayout && !accLayout.EqualShape(l) {
 				if err := flush(); err != nil {
-					return nil, nil, fmt.Errorf("fleet: merging metrics before vehicle %d: %w", idx, err)
+					return nil, nil, fmt.Errorf("fleet: merging metrics before vehicle %d: %w", lo+i, err)
 				}
 			}
 			if accLayout == nil {
 				accLayout = l
 			}
-			if err := accLayout.Accumulate(&acc, shards[idx].data); err != nil {
-				return nil, nil, fmt.Errorf("fleet: merging vehicle %d metrics: %w", idx, err)
+			if err := accLayout.Accumulate(&acc, shards[i].data); err != nil {
+				return nil, nil, fmt.Errorf("fleet: merging vehicle %d metrics: %w", lo+i, err)
 			}
 		}
 		if err := flush(); err != nil {
@@ -419,7 +435,7 @@ func DriveObs[T any](ctx context.Context, d Driver, o ObsOptions, fn func(idx in
 	}
 	stats.Wall = time.Since(start)
 	if s := stats.Wall.Seconds(); s > 0 {
-		stats.VehiclesPerSec = float64(d.N) / s
+		stats.VehiclesPerSec = float64(n) / s
 	}
 	res.Stats = stats
 	if o.Observer != nil {

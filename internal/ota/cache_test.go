@@ -1,0 +1,329 @@
+package ota
+
+import (
+	"errors"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// campaignFixture wires a director+image pair and a group-addressed
+// bundle the way the campaign backend does: one director statement per
+// model line, shared by every vehicle of the model.
+type campaignFixture struct {
+	director *Repository
+	image    *Repository
+	bundle   *Bundle
+	payload  []byte
+	target   Target
+}
+
+func newCampaignFixture(t *testing.T, expires sim.Time) *campaignFixture {
+	t.Helper()
+	d, err := NewRepository("director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewRepository("image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("brake firmware v2 image bytes ........")
+	target := MakeTarget("brake-fw", 2, "brake-mcu-r2", payload)
+	return &campaignFixture{
+		director: d,
+		image:    im,
+		payload:  payload,
+		target:   target,
+		bundle: &Bundle{
+			Director: d.Sign("model-S", []Target{target}, expires),
+			Image:    im.Sign("", []Target{target}, expires),
+			Payloads: map[string][]byte{"brake-fw": payload},
+		},
+	}
+}
+
+func (f *campaignFixture) newVehicle(t *testing.T, vin string, installed uint64) *Client {
+	t.Helper()
+	c := NewClient(vin, f.director.PublicKey(), f.image.PublicKey())
+	c.Group = "model-S"
+	c.AddECU("brake-mcu-r2", installed)
+	return c
+}
+
+func TestApplyCachedMemoizesAcrossFleet(t *testing.T) {
+	f := newCampaignFixture(t, sim.Hour)
+	vc := NewVerifyCache()
+	const fleet = 50
+	for i := 0; i < fleet; i++ {
+		c := f.newVehicle(t, "VIN", 1)
+		if err := c.ApplyCached(f.bundle, sim.Minute, vc); err != nil {
+			t.Fatalf("vehicle %d: %v", i, err)
+		}
+		ecu, _ := c.ECU("brake-mcu-r2")
+		if ecu.InstalledVersion != 2 {
+			t.Fatalf("vehicle %d at version %d", i, ecu.InstalledVersion)
+		}
+	}
+	st := vc.Stats()
+	// 50 vehicles x 2 repos of lookups, but only one cold verification
+	// per repository and one attestation build for the whole fleet.
+	if st.SigLookups != 2*fleet || st.SigVerifies != 2 {
+		t.Fatalf("sig stats: %+v", st)
+	}
+	if st.AttestLookups != fleet || st.AttestBuilds != 1 {
+		t.Fatalf("attest stats: %+v", st)
+	}
+}
+
+func TestApplyCachedNoUpdate(t *testing.T) {
+	f := newCampaignFixture(t, sim.Hour)
+	vc := NewVerifyCache()
+	c := f.newVehicle(t, "VIN-1", 1)
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); err != nil {
+		t.Fatal(err)
+	}
+	// The steady-state campaign check-in: same bundle again is "you are
+	// current", not a rollback rejection.
+	if err := c.ApplyCached(f.bundle, 2*sim.Minute, vc); !errors.Is(err, ErrNoUpdate) {
+		t.Fatalf("re-poll: %v", err)
+	}
+	if c.Installed.Value != 1 || c.Rejected.Value != 0 || c.UpToDate.Value != 1 {
+		t.Fatalf("counters installed=%d rejected=%d uptodate=%d",
+			c.Installed.Value, c.Rejected.Value, c.UpToDate.Value)
+	}
+}
+
+func TestApplyCachedFreezeTurnsIntoExpiry(t *testing.T) {
+	// A freeze attacker replays the vehicle's own current metadata: the
+	// reply is ErrNoUpdate (silent) until the metadata expires, at which
+	// point the same replay surfaces as ErrExpiredMeta — the detection
+	// signal.
+	f := newCampaignFixture(t, sim.Hour)
+	vc := NewVerifyCache()
+	c := f.newVehicle(t, "VIN-1", 1)
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyCached(f.bundle, 2*sim.Minute, vc); !errors.Is(err, ErrNoUpdate) {
+		t.Fatalf("inside freshness window: %v", err)
+	}
+	if err := c.ApplyCached(f.bundle, sim.Hour, vc); !errors.Is(err, ErrExpiredMeta) {
+		t.Fatalf("at expiry: %v", err)
+	}
+}
+
+func TestApplyCachedVersionSkew(t *testing.T) {
+	// A vehicle joining mid-campaign already at the target version on one
+	// ECU and behind on another converges instead of erroring.
+	f := newCampaignFixture(t, sim.Hour)
+	adasPayload := []byte("adas model weights v2")
+	adas := MakeTarget("adas-fw", 2, "adas-soc-r1", adasPayload)
+	b := &Bundle{
+		Director: f.director.Sign("model-S", []Target{f.target, adas}, sim.Hour),
+		Image:    f.image.Sign("", []Target{f.target, adas}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": f.payload, "adas-fw": adasPayload},
+	}
+	vc := NewVerifyCache()
+	c := f.newVehicle(t, "VIN-skew", 2) // brake ECU already at the campaign target
+	c.AddECU("adas-soc-r1", 1)
+	if err := c.ApplyCached(b, sim.Minute, vc); err != nil {
+		t.Fatalf("skewed vehicle should converge: %v", err)
+	}
+	adasECU, _ := c.ECU("adas-soc-r1")
+	if adasECU.InstalledVersion != 2 {
+		t.Fatalf("adas not converged: %d", adasECU.InstalledVersion)
+	}
+	// Strictly older targets are still a rollback even in campaign mode.
+	c2 := f.newVehicle(t, "VIN-ahead", 3)
+	c2.AddECU("adas-soc-r1", 1)
+	if err := c2.ApplyCached(b, sim.Minute, vc); !errors.Is(err, ErrRollback) {
+		t.Fatalf("downgrade of an ahead vehicle: %v", err)
+	}
+}
+
+func TestApplyCachedGroupScoping(t *testing.T) {
+	f := newCampaignFixture(t, sim.Hour)
+	vc := NewVerifyCache()
+	// Wrong group: the bundle is addressed to model-S.
+	c := NewClient("VIN-x", f.director.PublicKey(), f.image.PublicKey())
+	c.Group = "model-3"
+	c.AddECU("brake-mcu-r2", 1)
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); !errors.Is(err, ErrWrongVehicle) {
+		t.Fatalf("cross-group bundle: %v", err)
+	}
+	// No group set: group-addressed metadata is also rejected.
+	c2 := NewClient("VIN-y", f.director.PublicKey(), f.image.PublicKey())
+	c2.AddECU("brake-mcu-r2", 1)
+	if err := c2.ApplyCached(f.bundle, sim.Minute, vc); !errors.Is(err, ErrWrongVehicle) {
+		t.Fatalf("groupless client: %v", err)
+	}
+	// Directly-addressed metadata still works alongside group addressing.
+	direct := &Bundle{
+		Director: f.director.Sign("VIN-z", []Target{f.target}, sim.Hour),
+		Image:    f.image.Sign("", []Target{f.target}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": f.payload},
+	}
+	c3 := f.newVehicle(t, "VIN-z", 1)
+	if err := c3.ApplyCached(direct, sim.Minute, vc); err != nil {
+		t.Fatalf("directly addressed: %v", err)
+	}
+}
+
+func TestApplyCachedKeyRotationInvalidatesEpoch(t *testing.T) {
+	// A cache entry proven under one trust epoch must never satisfy a
+	// lookup after rotation: the SigKey embeds the key fingerprint.
+	f := newCampaignFixture(t, sim.Hour)
+	vc := NewVerifyCache()
+	c := f.newVehicle(t, "VIN-1", 1)
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); err != nil {
+		t.Fatal(err)
+	}
+	preRotation := vc.Stats().SigVerifies
+
+	newDirector, err := NewRepository("director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newImage, err := NewRepository("image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetKeys(newDirector.PublicKey(), newImage.PublicKey())
+
+	// The old-epoch bundle re-verifies cold under the new keys and fails.
+	if err := c.ApplyCached(f.bundle, 2*sim.Minute, vc); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("stale-epoch bundle after rotation: %v", err)
+	}
+	if vc.Stats().SigVerifies == preRotation {
+		t.Fatal("rotation reused a stale-epoch cache entry")
+	}
+
+	// New-epoch metadata (counters restarted at 1) verifies and installs.
+	p3 := []byte("brake firmware v3")
+	t3 := MakeTarget("brake-fw", 3, "brake-mcu-r2", p3)
+	nb := &Bundle{
+		Director: newDirector.Sign("model-S", []Target{t3}, sim.Hour),
+		Image:    newImage.Sign("", []Target{t3}, sim.Hour),
+		Payloads: map[string][]byte{"brake-fw": p3},
+	}
+	if err := c.ApplyCached(nb, 3*sim.Minute, vc); err != nil {
+		t.Fatalf("new-epoch bundle: %v", err)
+	}
+	ecu, _ := c.ECU("brake-mcu-r2")
+	if ecu.InstalledVersion != 3 {
+		t.Fatalf("post-rotation install: version %d", ecu.InstalledVersion)
+	}
+}
+
+func TestApplyCachedBadBundleStaysBad(t *testing.T) {
+	// Attestation failures are cached too: the whole fleet rejects a
+	// tampered bundle after one cold cross-check.
+	f := newCampaignFixture(t, sim.Hour)
+	f.bundle.Payloads["brake-fw"] = []byte("tampered")
+	vc := NewVerifyCache()
+	for i := 0; i < 10; i++ {
+		c := f.newVehicle(t, "VIN", 1)
+		if err := c.ApplyCached(f.bundle, sim.Minute, vc); !errors.Is(err, ErrHashMismatch) {
+			t.Fatalf("vehicle %d: %v", i, err)
+		}
+	}
+	if st := vc.Stats(); st.AttestBuilds != 1 {
+		t.Fatalf("attest built %d times", st.AttestBuilds)
+	}
+}
+
+func TestApplyCachedNilCacheFallsBack(t *testing.T) {
+	f := newCampaignFixture(t, sim.Hour)
+	c := f.newVehicle(t, "VIN-1", 1)
+	// Group addressing is an ApplyCached semantic; plain Apply rejects it,
+	// which is exactly the nil-cache fallback contract.
+	if err := c.ApplyCached(f.bundle, sim.Minute, nil); !errors.Is(err, ErrWrongVehicle) {
+		t.Fatalf("nil cache should behave like Apply: %v", err)
+	}
+}
+
+// TestApplyCachedMemoizedAllocFree pins the 0-alloc contract of the
+// memoized verify path: a warmed client re-polling current metadata
+// (the steady state of every vehicle in every later campaign wave)
+// allocates nothing.
+func TestApplyCachedMemoizedAllocFree(t *testing.T) {
+	f := newCampaignFixture(t, sim.Hour)
+	vc := NewVerifyCache()
+	c := f.newVehicle(t, "VIN-1", 1)
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); !errors.Is(err, ErrNoUpdate) {
+		t.Fatal("fixture not in steady state")
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if err := c.ApplyCached(f.bundle, sim.Minute, vc); !errors.Is(err, ErrNoUpdate) {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("memoized verify path allocates %.1f times per call", n)
+	}
+}
+
+func BenchmarkCampaignVerifyThroughputCold(b *testing.B) {
+	f, vc := benchFixture(b)
+	c := f.newVehicleB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh cache every poll: every signature is verified cold.
+		cold := NewVerifyCache()
+		if err := c.ApplyCached(f.bundle, sim.Minute, cold); err != nil && !errors.Is(err, ErrNoUpdate) {
+			b.Fatal(err)
+		}
+	}
+	_ = vc
+}
+
+func BenchmarkCampaignVerifyThroughputMemoized(b *testing.B) {
+	f, vc := benchFixture(b)
+	c := f.newVehicleB(b)
+	if err := c.ApplyCached(f.bundle, sim.Minute, vc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ApplyCached(f.bundle, sim.Minute, vc); !errors.Is(err, ErrNoUpdate) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFixture(b *testing.B) (*campaignFixture, *VerifyCache) {
+	b.Helper()
+	d, err := NewRepository("director")
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := NewRepository("image")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("brake firmware v2 image bytes ........")
+	target := MakeTarget("brake-fw", 2, "brake-mcu-r2", payload)
+	f := &campaignFixture{
+		director: d, image: im, payload: payload, target: target,
+		bundle: &Bundle{
+			Director: d.Sign("model-S", []Target{target}, sim.Hour),
+			Image:    im.Sign("", []Target{target}, sim.Hour),
+			Payloads: map[string][]byte{"brake-fw": payload},
+		},
+	}
+	return f, NewVerifyCache()
+}
+
+func (f *campaignFixture) newVehicleB(b *testing.B) *Client {
+	b.Helper()
+	c := NewClient("VIN-bench", f.director.PublicKey(), f.image.PublicKey())
+	c.Group = "model-S"
+	c.AddECU("brake-mcu-r2", 1)
+	return c
+}

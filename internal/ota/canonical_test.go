@@ -1,0 +1,154 @@
+package ota
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// TestExpiryBoundary is the regression test for the freshness off-by-one:
+// "expires at T" must mean invalid at T. The old comparison (now >
+// Expires) accepted metadata at exactly its expiry instant, handing a
+// freeze attacker one extra replay window at the boundary.
+func TestExpiryBoundary(t *testing.T) {
+	f := newFixture(t)
+	exp := sim.Hour
+	err := f.client.Apply(f.bundle(exp), exp) // now == Expires
+	if !errors.Is(err, ErrExpiredMeta) {
+		t.Fatalf("metadata at its expiry instant must be rejected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("expired %v", exp)) {
+		t.Fatalf("expiry error should name the expiry time: %q", err)
+	}
+	// One tick before the boundary is still fresh.
+	f2 := newFixture(t)
+	if err := f2.client.Apply(f2.bundle(exp), exp-1); err != nil {
+		t.Fatalf("metadata one tick before expiry must verify: %v", err)
+	}
+}
+
+// TestCanonicalFieldBoundaryRegression pins the field-boundary ambiguity
+// the length-prefixed encoding fixes: under the old NUL-terminated
+// scheme, a VehicleID embedding a NUL byte could absorb the bytes of the
+// first target's name, letting two semantically different metadata
+// values share canonical bytes (and therefore one signature).
+func TestCanonicalFieldBoundaryRegression(t *testing.T) {
+	a := &Metadata{
+		Repo: "director", Version: 7, Expires: sim.Hour,
+		VehicleID: "VIN-1",
+		Targets:   []Target{{Name: "brake-fw", Version: 2, HWID: "hw"}},
+	}
+	b := &Metadata{
+		Repo: "director", Version: 7, Expires: sim.Hour,
+		VehicleID: "VIN-1\x00brake-fw",
+		Targets:   []Target{{Name: "", Version: 2, HWID: "hw"}},
+	}
+	if bytes.Equal(a.canonical(), b.canonical()) {
+		t.Fatal("metadata values shifting bytes across a field boundary share canonical bytes")
+	}
+}
+
+// TestCanonicalTargetOrderInvariant: the encoding must be a function of
+// the metadata *value*, so target slice order cannot matter.
+func TestCanonicalTargetOrderInvariant(t *testing.T) {
+	t1 := Target{Name: "a-fw", Version: 1, HWID: "hw-a", Length: 3}
+	t2 := Target{Name: "b-fw", Version: 2, HWID: "hw-b", Length: 5}
+	t3 := Target{Name: "c-fw", Version: 3, HWID: "hw-c", Length: 7}
+	a := &Metadata{Repo: "image", Version: 1, Targets: []Target{t1, t2, t3}}
+	b := &Metadata{Repo: "image", Version: 1, Targets: []Target{t3, t1, t2}}
+	if !bytes.Equal(a.canonical(), b.canonical()) {
+		t.Fatal("canonical bytes depend on target slice order")
+	}
+}
+
+// TestCanonicalCollisionResistance is the property test: across a large
+// deterministic sample of metadata values — with hostile strings full of
+// NULs and length-prefix-looking bytes — distinct values must never
+// share canonical bytes.
+func TestCanonicalCollisionResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("ab\x00\x01\x02\xff-")
+	randStr := func(max int) string {
+		n := rng.Intn(max + 1)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(s)
+	}
+	key := func(m *Metadata) string {
+		// Semantic identity: targets in name order, all fields delimited
+		// unambiguously via %q.
+		names := make([]string, len(m.Targets))
+		for i := range m.Targets {
+			names[i] = m.Targets[i].Name
+		}
+		parts := []string{fmt.Sprintf("%q|%d|%d|%q", m.Repo, m.Version, m.Expires, m.VehicleID)}
+		for _, i := range sortedOrder(names) {
+			tg := m.Targets[i]
+			parts = append(parts, fmt.Sprintf("%q|%d|%q|%d|%x", tg.Name, tg.Version, tg.HWID, tg.Length, tg.Hash))
+		}
+		return strings.Join(parts, "||")
+	}
+	seen := make(map[string]string) // canonical bytes -> semantic key
+	for i := 0; i < 5000; i++ {
+		m := &Metadata{
+			Repo:      randStr(4),
+			Version:   uint64(rng.Intn(4)),
+			Expires:   sim.Time(rng.Intn(3)),
+			VehicleID: randStr(6),
+		}
+		names := make(map[string]bool)
+		for k := rng.Intn(3); k > 0; k-- {
+			name := randStr(5)
+			if names[name] {
+				continue // duplicate target names are not a valid value
+			}
+			names[name] = true
+			tg := Target{Name: name, Version: uint64(rng.Intn(3)), HWID: randStr(3), Length: rng.Intn(4)}
+			tg.Hash[0] = byte(rng.Intn(2))
+			m.Targets = append(m.Targets, tg)
+		}
+		canon := string(m.canonical())
+		sem := key(m)
+		if prev, ok := seen[canon]; ok && prev != sem {
+			t.Fatalf("canonical collision:\n  %s\n  %s", prev, sem)
+		}
+		seen[canon] = sem
+	}
+}
+
+func sortedOrder(names []string) []int {
+	order := make([]int, 0, len(names))
+	for i := range names {
+		j := len(order)
+		order = append(order, i)
+		for j > 0 && names[order[j]] < names[order[j-1]] {
+			order[j], order[j-1] = order[j-1], order[j]
+			j--
+		}
+	}
+	return order
+}
+
+// TestCanonicalIntoAllocFree: with a warmed scratch the verify hot path
+// renders canonical bytes with zero allocations.
+func TestCanonicalIntoAllocFree(t *testing.T) {
+	m := &Metadata{
+		Repo: "director", Version: 3, Expires: sim.Hour, VehicleID: "model-S",
+		Targets: []Target{
+			{Name: "brake-fw", Version: 2, HWID: "brake-mcu-r2", Length: 38},
+			{Name: "adas-fw", Version: 2, HWID: "adas-soc-r1", Length: 40},
+		},
+	}
+	var s canonicalScratch
+	m.canonicalInto(&s) // warm the scratch
+	if n := testing.AllocsPerRun(200, func() { m.canonicalInto(&s) }); n != 0 {
+		t.Fatalf("canonicalInto allocates %.1f times per call with warm scratch", n)
+	}
+}

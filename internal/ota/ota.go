@@ -16,14 +16,12 @@
 package ota
 
 import (
-	"bytes"
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 
 	"autosec/internal/obs"
 	"autosec/internal/sim"
@@ -52,27 +50,66 @@ type Metadata struct {
 	Sig []byte
 }
 
-// canonical renders the signed portion deterministically.
+// canonicalScratch holds the reusable working state of canonicalInto so
+// the verify hot path renders canonical bytes without allocating: buf is
+// the output buffer, order the target-sort index slice. The zero value is
+// ready to use; both slices grow on first use and are reused after.
+type canonicalScratch struct {
+	buf   []byte
+	order []int
+}
+
+// canonical renders the signed portion deterministically (allocating
+// convenience wrapper around canonicalInto; signing-side code paths use
+// it, verifiers reuse a scratch).
 func (m *Metadata) canonical() []byte {
-	var b bytes.Buffer
-	b.WriteString(m.Repo)
-	b.WriteByte(0)
-	binary.Write(&b, binary.BigEndian, m.Version)
-	binary.Write(&b, binary.BigEndian, uint64(m.Expires))
-	b.WriteString(m.VehicleID)
-	b.WriteByte(0)
-	ts := append([]Target(nil), m.Targets...)
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
-	for _, t := range ts {
-		b.WriteString(t.Name)
-		b.WriteByte(0)
-		binary.Write(&b, binary.BigEndian, t.Version)
-		b.WriteString(t.HWID)
-		b.WriteByte(0)
-		binary.Write(&b, binary.BigEndian, uint64(t.Length))
-		b.Write(t.Hash[:])
+	var s canonicalScratch
+	return m.canonicalInto(&s)
+}
+
+// canonicalInto renders the signed portion into s.buf and returns it.
+// Every variable-length field (Repo, VehicleID, target Name and HWID) is
+// length-prefixed and the target list is count-prefixed, so two distinct
+// metadata values can never share canonical bytes — the earlier
+// NUL-terminated encoding let a VehicleID embedding a NUL byte absorb the
+// first target's name. Targets render in name order regardless of slice
+// order; the returned slice aliases s.buf and is valid until the next
+// call with the same scratch.
+func (m *Metadata) canonicalInto(s *canonicalScratch) []byte {
+	b := s.buf[:0]
+	b = appendLenPrefixed(b, m.Repo)
+	b = binary.BigEndian.AppendUint64(b, m.Version)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Expires))
+	b = appendLenPrefixed(b, m.VehicleID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Targets)))
+	// Name-order indices via a reused insertion sort: target lists are
+	// short (one per model in campaign bundles), and sort.Slice on a
+	// fresh copy would allocate on every verify.
+	order := s.order[:0]
+	for i := range m.Targets {
+		j := len(order)
+		order = append(order, i)
+		for j > 0 && m.Targets[order[j]].Name < m.Targets[order[j-1]].Name {
+			order[j], order[j-1] = order[j-1], order[j]
+			j--
+		}
 	}
-	return b.Bytes()
+	for _, i := range order {
+		t := &m.Targets[i]
+		b = appendLenPrefixed(b, t.Name)
+		b = binary.BigEndian.AppendUint64(b, t.Version)
+		b = appendLenPrefixed(b, t.HWID)
+		b = binary.BigEndian.AppendUint64(b, uint64(t.Length))
+		b = append(b, t.Hash[:]...)
+	}
+	s.buf, s.order = b, order
+	return b
+}
+
+// appendLenPrefixed appends a 4-byte big-endian length then the bytes.
+func appendLenPrefixed(b []byte, v string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
 }
 
 // Repository is a metadata signer (director or image repo).
@@ -139,7 +176,8 @@ type Bundle struct {
 	Payloads map[string][]byte
 }
 
-// Verification errors — one per row of the E10 attack matrix.
+// Verification errors — one per row of the E10 attack matrix, plus the
+// campaign-mode freshness sentinel.
 var (
 	ErrBadSignature = errors.New("ota: metadata signature invalid")
 	ErrRollback     = errors.New("ota: metadata or target version rollback")
@@ -150,7 +188,22 @@ var (
 	ErrHashMismatch = errors.New("ota: payload hash mismatch")
 	ErrIncomplete   = errors.New("ota: bundle is missing payloads")
 	ErrUnknownECU   = errors.New("ota: no ECU with that hardware ID")
+	// ErrNoUpdate is returned by ApplyCached when the bundle's metadata
+	// is exactly the client's current metadata (both version counters
+	// equal) and still verifies: the vehicle is up to date, nothing was
+	// installed and nothing was rejected. A freeze attacker replaying a
+	// vehicle's own stale-but-signed metadata hides behind this answer
+	// until the metadata expires — at which point the reply becomes
+	// ErrExpiredMeta, which is the freeze detection signal.
+	ErrNoUpdate = errors.New("ota: metadata current, no update available")
 )
+
+// pendingInstall is one planned target commit; Apply and ApplyCached
+// stage the whole plan before touching any ECU (all-or-nothing).
+type pendingInstall struct {
+	ecu *ECUState
+	t   Target
+}
 
 // ECUState is the client-side record for one ECU.
 type ECUState struct {
@@ -164,8 +217,20 @@ type ECUState struct {
 type Client struct {
 	VehicleID string
 
+	// Group optionally names a campaign addressing group (for example a
+	// model line); director metadata whose VehicleID equals the group is
+	// accepted alongside metadata addressed to the vehicle itself. Group
+	// addressing is what lets a fleet campaign sign one director
+	// statement per model instead of one per vehicle, which in turn is
+	// what makes verify-once-per-campaign memoization effective.
+	Group string
+
 	directorKey ed25519.PublicKey
 	imageKey    ed25519.PublicKey
+	// Key fingerprints for the verification cache: metadata verified
+	// under one trust epoch must never satisfy a lookup under another.
+	directorKeyID uint64
+	imageKeyID    uint64
 
 	lastDirectorVersion uint64
 	lastImageVersion    uint64
@@ -174,6 +239,13 @@ type Client struct {
 
 	Installed sim.Counter
 	Rejected  sim.Counter
+	// UpToDate counts ApplyCached calls that returned ErrNoUpdate.
+	UpToDate sim.Counter
+
+	// scratch backs the allocation-free canonical rendering and install
+	// planning on the cached verify path.
+	scratch canonicalScratch
+	plan    []pendingInstall
 
 	// Observability (nil when off); see Instrument in obs.go.
 	obsTr      *obs.Tracer
@@ -186,11 +258,34 @@ type Client struct {
 // NewClient creates a client trusting the two repository keys.
 func NewClient(vehicleID string, directorKey, imageKey ed25519.PublicKey) *Client {
 	return &Client{
-		VehicleID:   vehicleID,
-		directorKey: directorKey,
-		imageKey:    imageKey,
-		ecus:        make(map[string]*ECUState),
+		VehicleID:     vehicleID,
+		directorKey:   directorKey,
+		imageKey:      imageKey,
+		directorKeyID: KeyID(directorKey),
+		imageKeyID:    KeyID(imageKey),
+		ecus:          make(map[string]*ECUState),
 	}
+}
+
+// SetKeys rotates the client onto a new trust epoch: both repository
+// keys are replaced and the metadata version counters restart, exactly
+// like a root-metadata rotation in Uptane — the new repositories begin
+// counting from 1 again. Installed target versions are untouched, so
+// anti-rollback of the images themselves survives the rotation.
+func (c *Client) SetKeys(directorKey, imageKey ed25519.PublicKey) {
+	c.directorKey = directorKey
+	c.imageKey = imageKey
+	c.directorKeyID = KeyID(directorKey)
+	c.imageKeyID = KeyID(imageKey)
+	c.lastDirectorVersion = 0
+	c.lastImageVersion = 0
+}
+
+// KeyID fingerprints a verification key for cache keying (first eight
+// bytes of its SHA-256).
+func KeyID(pub ed25519.PublicKey) uint64 {
+	sum := sha256.Sum256(pub)
+	return binary.BigEndian.Uint64(sum[:8])
 }
 
 // AddECU registers an ECU by hardware ID with its factory firmware version.
@@ -209,11 +304,22 @@ func (c *Client) verifyMeta(m *Metadata, key ed25519.PublicKey, lastVersion uint
 	if !ed25519.Verify(key, m.canonical(), m.Sig) {
 		return fmt.Errorf("%w: repo %s", ErrBadSignature, m.Repo)
 	}
-	if m.Expires != 0 && now > m.Expires {
-		return fmt.Errorf("%w: repo %s at %v", ErrExpiredMeta, m.Repo, now)
+	if err := checkFresh(m, now); err != nil {
+		return err
 	}
 	if m.Version <= lastVersion {
 		return fmt.Errorf("%w: repo %s version %d <= %d", ErrRollback, m.Repo, m.Version, lastVersion)
+	}
+	return nil
+}
+
+// checkFresh enforces metadata expiry. "Expires at T" means invalid at
+// T: the comparison is now >= Expires, so metadata presented at exactly
+// its expiry instant is already rejected (an off-by-one here handed a
+// freeze attacker one extra replay window at the boundary).
+func checkFresh(m *Metadata, now sim.Time) error {
+	if m.Expires != 0 && now >= m.Expires {
+		return fmt.Errorf("%w: repo %s at %v (expired %v)", ErrExpiredMeta, m.Repo, now, m.Expires)
 	}
 	return nil
 }
@@ -263,10 +369,6 @@ func (c *Client) apply(b *Bundle, now sim.Time) error {
 	imageByName := make(map[string]Target, len(b.Image.Targets))
 	for _, t := range b.Image.Targets {
 		imageByName[t.Name] = t
-	}
-	type pendingInstall struct {
-		ecu *ECUState
-		t   Target
 	}
 	var plan []pendingInstall
 	for _, t := range b.Director.Targets {
